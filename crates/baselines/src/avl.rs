@@ -1,0 +1,390 @@
+//! A classic mutable AVL tree — the per-leaf container of CA-AVL
+//! (Sagonas & Winblad [44]). Single-threaded; the CA tree provides the
+//! locking around it.
+
+/// A node of the AVL tree.
+struct AvlNode<K, V> {
+    key: K,
+    value: V,
+    height: i32,
+    left: Option<Box<AvlNode<K, V>>>,
+    right: Option<Box<AvlNode<K, V>>>,
+}
+
+type Link<K, V> = Option<Box<AvlNode<K, V>>>;
+
+/// A mutable, balanced ordered map.
+pub struct Avl<K, V> {
+    root: Link<K, V>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for Avl<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn height<K, V>(n: &Link<K, V>) -> i32 {
+    n.as_ref().map_or(0, |n| n.height)
+}
+
+fn fix_height<K, V>(n: &mut Box<AvlNode<K, V>>) {
+    n.height = 1 + height(&n.left).max(height(&n.right));
+}
+
+fn balance_factor<K, V>(n: &Box<AvlNode<K, V>>) -> i32 {
+    height(&n.left) - height(&n.right)
+}
+
+fn rotate_right<K, V>(mut n: Box<AvlNode<K, V>>) -> Box<AvlNode<K, V>> {
+    let mut l = n.left.take().expect("rotate_right needs a left child");
+    n.left = l.right.take();
+    fix_height(&mut n);
+    l.right = Some(n);
+    fix_height(&mut l);
+    l
+}
+
+fn rotate_left<K, V>(mut n: Box<AvlNode<K, V>>) -> Box<AvlNode<K, V>> {
+    let mut r = n.right.take().expect("rotate_left needs a right child");
+    n.right = r.left.take();
+    fix_height(&mut n);
+    r.left = Some(n);
+    fix_height(&mut r);
+    r
+}
+
+fn rebalance<K, V>(mut n: Box<AvlNode<K, V>>) -> Box<AvlNode<K, V>> {
+    fix_height(&mut n);
+    let bf = balance_factor(&n);
+    if bf > 1 {
+        if balance_factor(n.left.as_ref().unwrap()) < 0 {
+            n.left = Some(rotate_left(n.left.take().unwrap()));
+        }
+        rotate_right(n)
+    } else if bf < -1 {
+        if balance_factor(n.right.as_ref().unwrap()) > 0 {
+            n.right = Some(rotate_right(n.right.take().unwrap()));
+        }
+        rotate_left(n)
+    } else {
+        n
+    }
+}
+
+fn insert<K: Ord, V>(link: Link<K, V>, key: K, value: V) -> (Box<AvlNode<K, V>>, Option<V>) {
+    match link {
+        None => (
+            Box::new(AvlNode { key, value, height: 1, left: None, right: None }),
+            None,
+        ),
+        Some(mut n) => {
+            let old = match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => {
+                    let (child, old) = insert(n.left.take(), key, value);
+                    n.left = Some(child);
+                    old
+                }
+                std::cmp::Ordering::Greater => {
+                    let (child, old) = insert(n.right.take(), key, value);
+                    n.right = Some(child);
+                    old
+                }
+                std::cmp::Ordering::Equal => Some(std::mem::replace(&mut n.value, value)),
+            };
+            (rebalance(n), old)
+        }
+    }
+}
+
+fn pop_min<K, V>(mut n: Box<AvlNode<K, V>>) -> (Link<K, V>, Box<AvlNode<K, V>>) {
+    match n.left.take() {
+        None => {
+            let right = n.right.take();
+            (right, n)
+        }
+        Some(left) => {
+            let (rest, min) = pop_min(left);
+            n.left = rest;
+            (Some(rebalance(n)), min)
+        }
+    }
+}
+
+fn remove<K: Ord, V>(link: Link<K, V>, key: &K) -> (Link<K, V>, Option<V>) {
+    match link {
+        None => (None, None),
+        Some(mut n) => match key.cmp(&n.key) {
+            std::cmp::Ordering::Less => {
+                let (child, old) = remove(n.left.take(), key);
+                n.left = child;
+                (Some(rebalance(n)), old)
+            }
+            std::cmp::Ordering::Greater => {
+                let (child, old) = remove(n.right.take(), key);
+                n.right = child;
+                (Some(rebalance(n)), old)
+            }
+            std::cmp::Ordering::Equal => {
+                let old = n.value;
+                match (n.left.take(), n.right.take()) {
+                    (None, r) => (r, Some(old)),
+                    (l, None) => (l, Some(old)),
+                    (l, Some(r)) => {
+                        let (rest, mut succ) = pop_min(r);
+                        succ.left = l;
+                        succ.right = rest;
+                        (Some(rebalance(succ)), Some(old))
+                    }
+                }
+            }
+        },
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Avl<K, V> {
+    pub fn new() -> Self {
+        Avl { root: None, len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            cur = match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => n.left.as_deref(),
+                std::cmp::Ordering::Greater => n.right.as_deref(),
+                std::cmp::Ordering::Equal => return Some(&n.value),
+            };
+        }
+        None
+    }
+
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (root, old) = insert(self.root.take(), key, value);
+        self.root = Some(root);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (root, old) = remove(self.root.take(), key);
+        self.root = root;
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// In-order visit of entries with key `>= lo`; stop when `f` returns
+    /// false.
+    pub fn scan_from(&self, lo: &K, f: &mut dyn FnMut(&K, &V) -> bool) {
+        fn walk<K: Ord, V>(
+            link: &Option<Box<AvlNode<K, V>>>,
+            lo: &K,
+            f: &mut dyn FnMut(&K, &V) -> bool,
+        ) -> bool {
+            let Some(n) = link else { return true };
+            if n.key >= *lo {
+                if !walk(&n.left, lo, f) {
+                    return false;
+                }
+                if !f(&n.key, &n.value) {
+                    return false;
+                }
+            }
+            walk(&n.right, lo, f)
+        }
+        walk(&self.root, lo, f);
+    }
+
+    /// All entries, ascending.
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        if let Some(min) = self.min_key() {
+            self.scan_from(&min, &mut |k, v| {
+                out.push((k.clone(), v.clone()));
+                true
+            });
+        }
+        out
+    }
+
+    pub fn min_key(&self) -> Option<K> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(l) = cur.left.as_deref() {
+            cur = l;
+        }
+        Some(cur.key.clone())
+    }
+
+    pub fn max_key(&self) -> Option<K> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(r) = cur.right.as_deref() {
+            cur = r;
+        }
+        Some(cur.key.clone())
+    }
+
+    /// Split into `(left, right)` halves of roughly equal size; returns
+    /// the first key of the right half. Used by CA-tree node splits.
+    pub fn split_in_half(self) -> (Self, Self, K) {
+        let entries = self.to_vec();
+        assert!(entries.len() >= 2, "cannot split container with < 2 entries");
+        let mid = entries.len() / 2;
+        let split_key = entries[mid].0.clone();
+        let mut left = Avl::new();
+        let mut right = Avl::new();
+        for (i, (k, v)) in entries.into_iter().enumerate() {
+            if i < mid {
+                left.insert(k, v);
+            } else {
+                right.insert(k, v);
+            }
+        }
+        (left, right, split_key)
+    }
+
+    /// Merge `other` (all keys strictly greater) into `self`.
+    pub fn absorb_right(&mut self, other: Self) {
+        for (k, v) in other.to_vec() {
+            self.insert(k, v);
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn check<K: Ord, V>(link: &Option<Box<AvlNode<K, V>>>) -> (i32, usize) {
+            let Some(n) = link else { return (0, 0) };
+            let (lh, lc) = check(&n.left);
+            let (rh, rc) = check(&n.right);
+            assert!((lh - rh).abs() <= 1, "unbalanced node");
+            assert_eq!(n.height, 1 + lh.max(rh), "bad height");
+            if let Some(l) = n.left.as_deref() {
+                assert!(l.key < n.key);
+            }
+            if let Some(r) = n.right.as_deref() {
+                assert!(r.key > n.key);
+            }
+            (n.height, lc + rc + 1)
+        }
+        let (_, count) = check(&self.root);
+        assert_eq!(count, self.len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = Avl::new();
+        assert_eq!(t.insert(5, 50), None);
+        assert_eq!(t.insert(3, 30), None);
+        assert_eq!(t.insert(7, 70), None);
+        assert_eq!(t.insert(5, 55), Some(50));
+        assert_eq!(t.get(&5), Some(&55));
+        assert_eq!(t.get(&4), None);
+        assert_eq!(t.remove(&3), Some(30));
+        assert_eq!(t.remove(&3), None);
+        assert_eq!(t.len(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn stays_balanced_under_sequential_inserts() {
+        let mut t = Avl::new();
+        for k in 0..1000 {
+            t.insert(k, k);
+            if k % 100 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn matches_btreemap_under_random_ops() {
+        let mut t = Avl::new();
+        let mut model = BTreeMap::new();
+        let mut seed = 12345u64;
+        for i in 0..5000u64 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let k = seed % 200;
+            if seed & 1 == 0 {
+                assert_eq!(t.insert(k, i), model.insert(k, i));
+            } else {
+                assert_eq!(t.remove(&k), model.remove(&k));
+            }
+        }
+        t.check_invariants();
+        let got = t.to_vec();
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_from_bounds() {
+        let mut t = Avl::new();
+        for k in [10, 20, 30, 40, 50] {
+            t.insert(k, k);
+        }
+        let mut out = vec![];
+        t.scan_from(&25, &mut |k, _| {
+            out.push(*k);
+            true
+        });
+        assert_eq!(out, vec![30, 40, 50]);
+        // Early stop.
+        let mut out = vec![];
+        t.scan_from(&0, &mut |k, _| {
+            out.push(*k);
+            out.len() < 2
+        });
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn split_and_absorb() {
+        let mut t = Avl::new();
+        for k in 0..100 {
+            t.insert(k, k * 2);
+        }
+        let (mut l, r, sk) = t.split_in_half();
+        assert_eq!(sk, 50);
+        assert_eq!(l.len(), 50);
+        assert_eq!(r.len(), 50);
+        assert_eq!(l.max_key(), Some(49));
+        assert_eq!(r.min_key(), Some(50));
+        l.absorb_right(r);
+        assert_eq!(l.len(), 100);
+        l.check_invariants();
+        assert_eq!(l.get(&75), Some(&150));
+    }
+
+    #[test]
+    fn min_max_keys() {
+        let mut t = Avl::new();
+        assert_eq!(t.min_key(), None);
+        for k in [5, 1, 9, 3] {
+            t.insert(k, ());
+        }
+        assert_eq!(t.min_key(), Some(1));
+        assert_eq!(t.max_key(), Some(9));
+    }
+}

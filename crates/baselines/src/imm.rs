@@ -1,0 +1,158 @@
+//! An immutable sorted-array container — the per-leaf container of
+//! CA-imm [43] and of the LFCA tree [51] (and the k-ary tree's leaves).
+//! Analogous to a Jiffy revision, but versionless: updates build a whole
+//! new container.
+
+use std::sync::Arc;
+
+/// An immutable sorted run of key-value entries.
+#[derive(Clone, Debug)]
+pub struct ImmArray<K, V> {
+    entries: Arc<[(K, V)]>,
+}
+
+impl<K: Ord + Clone, V: Clone> Default for ImmArray<K, V> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> ImmArray<K, V> {
+    pub fn empty() -> Self {
+        ImmArray { entries: Arc::from(Vec::new().into_boxed_slice()) }
+    }
+
+    /// From entries sorted by strictly ascending key.
+    pub fn from_sorted(entries: Vec<(K, V)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        ImmArray { entries: Arc::from(entries.into_boxed_slice()) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.entries
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// New container with `key` set; returns `(container, had_key)`.
+    pub fn with_put(&self, key: K, value: V) -> (Self, bool) {
+        match self.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => {
+                let mut v: Vec<(K, V)> = self.entries.to_vec();
+                v[i] = (key, value);
+                (Self::from_sorted(v), true)
+            }
+            Err(i) => {
+                let mut v: Vec<(K, V)> = Vec::with_capacity(self.len() + 1);
+                v.extend_from_slice(&self.entries[..i]);
+                v.push((key, value));
+                v.extend_from_slice(&self.entries[i..]);
+                (Self::from_sorted(v), false)
+            }
+        }
+    }
+
+    /// New container without `key`; returns `(container, had_key)`.
+    pub fn with_remove(&self, key: &K) -> (Self, bool) {
+        match self.entries.binary_search_by(|(k, _)| k.cmp(key)) {
+            Ok(i) => {
+                let mut v: Vec<(K, V)> = Vec::with_capacity(self.len() - 1);
+                v.extend_from_slice(&self.entries[..i]);
+                v.extend_from_slice(&self.entries[i + 1..]);
+                (Self::from_sorted(v), true)
+            }
+            Err(_) => (self.clone(), false),
+        }
+    }
+
+    pub fn entries(&self) -> &[(K, V)] {
+        &self.entries
+    }
+
+    pub fn lower_bound(&self, lo: &K) -> usize {
+        self.entries.partition_point(|(k, _)| k < lo)
+    }
+
+    pub fn min_key(&self) -> Option<&K> {
+        self.entries.first().map(|(k, _)| k)
+    }
+
+    pub fn split_in_half(&self) -> (Self, Self, K) {
+        assert!(self.len() >= 2);
+        let mid = self.len() / 2;
+        let split_key = self.entries[mid].0.clone();
+        (
+            Self::from_sorted(self.entries[..mid].to_vec()),
+            Self::from_sorted(self.entries[mid..].to_vec()),
+            split_key,
+        )
+    }
+
+    /// Concatenate with a container whose keys are all strictly greater.
+    pub fn concat(&self, right: &Self) -> Self {
+        debug_assert!(self
+            .entries
+            .last()
+            .zip(right.entries.first())
+            .map_or(true, |(a, b)| a.0 < b.0));
+        let mut v = Vec::with_capacity(self.len() + right.len());
+        v.extend_from_slice(&self.entries);
+        v.extend_from_slice(&right.entries);
+        Self::from_sorted(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove() {
+        let a: ImmArray<u64, u64> = ImmArray::empty();
+        let (b, had) = a.with_put(5, 50);
+        assert!(!had);
+        assert_eq!(b.get(&5), Some(&50));
+        assert_eq!(a.get(&5), None, "source unchanged");
+        let (c, had) = b.with_put(5, 55);
+        assert!(had);
+        assert_eq!(c.get(&5), Some(&55));
+        let (d, had) = c.with_remove(&5);
+        assert!(had);
+        assert!(d.is_empty());
+        let (e, had) = d.with_remove(&5);
+        assert!(!had);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn ordering_maintained() {
+        let mut a: ImmArray<u64, u64> = ImmArray::empty();
+        for k in [5u64, 1, 9, 3, 7] {
+            a = a.with_put(k, k).0;
+        }
+        let keys: Vec<u64> = a.entries().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        assert_eq!(a.lower_bound(&4), 2);
+    }
+
+    #[test]
+    fn split_concat_roundtrip() {
+        let mut a: ImmArray<u64, u64> = ImmArray::empty();
+        for k in 0..10 {
+            a = a.with_put(k, k).0;
+        }
+        let (l, r, sk) = a.split_in_half();
+        assert_eq!(sk, 5);
+        let back = l.concat(&r);
+        assert_eq!(back.entries(), a.entries());
+    }
+}

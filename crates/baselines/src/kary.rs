@@ -1,0 +1,347 @@
+//! A non-blocking k-ary search tree — the paper's "k-ary tree" baseline
+//! (Brown & Helga / Brown & Avni [13, 14]).
+//!
+//! Internal nodes carry up to `k-1` routing keys and `k` child slots;
+//! leaves are immutable sorted arrays of at most `k` entries replaced
+//! wholesale by CAS. An overflowing leaf is replaced by an internal node
+//! whose children split the entries — the structural growth of the
+//! original. Range scans are optimistic: collect the leaves covering the
+//! range, then re-validate every collected leaf pointer and *restart* the
+//! scan if any changed — exactly the paper's characterization ("range
+//! scans undergo a validation phase ... and are restarted when a
+//! concurrent update is detected"; Jiffy's scans, in contrast, never
+//! restart).
+//!
+//! Simplification: empty leaves are kept in place rather than pruned
+//! (the original prunes with helping descriptors); searches simply pass
+//! through them. Batch updates are not supported by the original and are
+//! applied per-op.
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Pointer, Shared};
+use index_api::{Batch, BatchOp, OrderedIndex};
+
+use crate::imm::ImmArray;
+
+/// Arity (number of children per internal node; leaves hold up to `K_ARY`
+/// entries). Brown's evaluation uses small arities; 8 keeps trees shallow
+/// without bloating copies.
+const K_ARY: usize = 8;
+
+enum KNode<K, V> {
+    Internal { keys: Vec<K>, children: Vec<Atomic<KNode<K, V>>> },
+    Leaf(ImmArray<K, V>),
+}
+
+/// The k-ary search tree (see module docs).
+pub struct KaryTree<K, V> {
+    root: Atomic<KNode<K, V>>,
+}
+
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for KaryTree<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for KaryTree<K, V> {}
+
+struct KRoute<'g, K, V> {
+    leaf: Shared<'g, KNode<K, V>>,
+    link: *const Atomic<KNode<K, V>>,
+    /// Exclusive upper bound of the leaf's range (None = rightmost).
+    upper: Option<K>,
+}
+
+impl<K, V> KaryTree<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    pub fn new() -> Self {
+        KaryTree { root: Atomic::new(KNode::Leaf(ImmArray::empty())) }
+    }
+
+    fn route<'g>(&self, key: &K, guard: &'g Guard) -> KRoute<'g, K, V> {
+        let mut link: *const Atomic<KNode<K, V>> = &self.root;
+        let mut upper: Option<K> = None;
+        loop {
+            let node = unsafe { (*link).load(Ordering::Acquire, guard) };
+            match unsafe { node.deref() } {
+                KNode::Internal { keys, children } => {
+                    let idx = keys.partition_point(|rk| rk <= key);
+                    if idx < keys.len() {
+                        upper = Some(keys[idx].clone());
+                    }
+                    link = &children[idx];
+                }
+                KNode::Leaf(_) => return KRoute { leaf: node, link, upper },
+            }
+        }
+    }
+
+    fn leaf_arr<'g>(leaf: Shared<'g, KNode<K, V>>) -> &'g ImmArray<K, V> {
+        match unsafe { leaf.deref() } {
+            KNode::Leaf(arr) => arr,
+            KNode::Internal { .. } => unreachable!("routed to an internal node"),
+        }
+    }
+
+    pub fn get(&self, key: &K) -> Option<V> {
+        let guard = &epoch::pin();
+        let r = self.route(key, guard);
+        Self::leaf_arr(r.leaf).get(key).cloned()
+    }
+
+    fn replace_leaf<'g>(
+        &self,
+        r: &KRoute<'g, K, V>,
+        arr: ImmArray<K, V>,
+        guard: &'g Guard,
+    ) -> bool {
+        let new_node: Owned<KNode<K, V>> = if arr.len() > K_ARY {
+            // Overflow: split into an internal node over K_ARY leaves.
+            let entries = arr.entries();
+            let per = entries.len().div_ceil(K_ARY);
+            let mut keys = Vec::new();
+            let mut children = Vec::new();
+            for chunk in entries.chunks(per) {
+                if !children.is_empty() {
+                    keys.push(chunk[0].0.clone());
+                }
+                children.push(Atomic::new(KNode::Leaf(ImmArray::from_sorted(chunk.to_vec()))));
+            }
+            while children.len() < keys.len() + 1 {
+                children.push(Atomic::new(KNode::Leaf(ImmArray::empty())));
+            }
+            Owned::new(KNode::Internal { keys, children })
+        } else {
+            Owned::new(KNode::Leaf(arr))
+        };
+        let link = unsafe { &*r.link };
+        match link.compare_exchange(r.leaf, new_node, Ordering::AcqRel, Ordering::Acquire, guard) {
+            Ok(_) => {
+                unsafe { guard.defer_destroy(r.leaf) };
+                true
+            }
+            Err(e) => {
+                drop(e.new);
+                false
+            }
+        }
+    }
+
+    pub fn put(&self, key: K, value: V) -> bool {
+        let guard = &epoch::pin();
+        loop {
+            let r = self.route(&key, guard);
+            let (next, had) = Self::leaf_arr(r.leaf).with_put(key.clone(), value.clone());
+            if self.replace_leaf(&r, next, guard) {
+                return !had;
+            }
+        }
+    }
+
+    pub fn remove(&self, key: &K) -> bool {
+        let guard = &epoch::pin();
+        loop {
+            let r = self.route(key, guard);
+            let (next, had) = Self::leaf_arr(r.leaf).with_remove(key);
+            if !had {
+                return false;
+            }
+            if self.replace_leaf(&r, next, guard) {
+                return true;
+            }
+        }
+    }
+
+    /// Linearizable range scan with validate-and-restart.
+    pub fn scan_from(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V)) {
+        let guard = &epoch::pin();
+        'retry: loop {
+            let mut collected: Vec<(K, V)> = Vec::new();
+            let mut seen: Vec<(*const Atomic<KNode<K, V>>, usize)> = Vec::new();
+            let mut cursor = lo.clone();
+            loop {
+                let r = self.route(&cursor, guard);
+                let arr = Self::leaf_arr(r.leaf);
+                for (k, v) in &arr.entries()[arr.lower_bound(&cursor)..] {
+                    if collected.len() >= n {
+                        break;
+                    }
+                    collected.push((k.clone(), v.clone()));
+                }
+                seen.push((r.link, r.leaf.into_usize()));
+                if collected.len() >= n {
+                    break;
+                }
+                match r.upper {
+                    Some(u) => cursor = u,
+                    None => break,
+                }
+            }
+            // Validation: every visited leaf must still be in place;
+            // otherwise restart (the original's restart-on-update).
+            for (slot, ptr) in &seen {
+                let cur = unsafe { (**slot).load(Ordering::Acquire, guard) };
+                if cur.into_usize() != *ptr {
+                    continue 'retry;
+                }
+            }
+            for (k, v) in collected.into_iter().take(n) {
+                sink(&k, &v);
+            }
+            return;
+        }
+    }
+}
+
+impl<K, V> Default for KaryTree<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> Drop for KaryTree<K, V> {
+    fn drop(&mut self) {
+        let guard = unsafe { epoch::unprotected() };
+        let mut work = vec![self.root.load(Ordering::Relaxed, guard)];
+        while let Some(node) = work.pop() {
+            if node.is_null() {
+                continue;
+            }
+            if let KNode::Internal { children, .. } = unsafe { node.deref() } {
+                for c in children {
+                    work.push(c.load(Ordering::Relaxed, guard));
+                }
+            }
+            drop(unsafe { node.into_owned() });
+        }
+    }
+}
+
+impl<K, V> OrderedIndex<K, V> for KaryTree<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn get(&self, key: &K) -> Option<V> {
+        KaryTree::get(self, key)
+    }
+
+    fn put(&self, key: K, value: V) {
+        KaryTree::put(self, key, value);
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        KaryTree::remove(self, key)
+    }
+
+    fn scan_from(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V)) {
+        KaryTree::scan_from(self, lo, n, sink)
+    }
+
+    fn batch_update(&self, batch: Batch<K, V>) {
+        for op in batch.into_ops() {
+            match op {
+                BatchOp::Put(k, v) => {
+                    self.put(k, v);
+                }
+                BatchOp::Remove(k) => {
+                    self.remove(&k);
+                }
+            }
+        }
+    }
+
+    fn supports_atomic_batch(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "k-ary"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn matches_model() {
+        let t: KaryTree<u64, u64> = KaryTree::new();
+        let mut model = BTreeMap::new();
+        let mut seed = 0xC0FFEEu64;
+        for i in 0..20_000u64 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let k = seed % 2048;
+            if seed & 3 == 0 {
+                assert_eq!(t.remove(&k), model.remove(&k).is_some());
+            } else {
+                assert_eq!(t.put(k, i), model.insert(k, i).is_none());
+            }
+        }
+        for k in (0..2048).step_by(17) {
+            assert_eq!(t.get(&k), model.get(&k).copied());
+        }
+        let mut scanned = vec![];
+        t.scan_from(&0, usize::MAX, &mut |k, v| scanned.push((*k, *v)));
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(scanned, want);
+    }
+
+    #[test]
+    fn deep_trees_from_sequential_inserts() {
+        let t: KaryTree<u64, u64> = KaryTree::new();
+        for k in 0..5000 {
+            t.put(k, k);
+        }
+        for k in (0..5000).step_by(307) {
+            assert_eq!(t.get(&k), Some(k));
+        }
+        let mut count = 0usize;
+        t.scan_from(&0, usize::MAX, &mut |_, _| count += 1);
+        assert_eq!(count, 5000);
+    }
+
+    #[test]
+    fn concurrent_scan_consistency() {
+        let t: Arc<KaryTree<u64, u64>> = Arc::new(KaryTree::new());
+        for k in 0..1000 {
+            t.put(k * 2, 0);
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for tid in 0..3u64 {
+                let t = &t;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut seed = tid * 7 + 3;
+                    while !stop.load(Ordering::Relaxed) {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        // Insert + remove the same odd key: the key set
+                        // visible to a consistent scan stays the evens.
+                        let k = (seed % 1000) * 2 + 1;
+                        t.put(k, 1);
+                        t.remove(&k);
+                    }
+                });
+            }
+            for _ in 0..50 {
+                let mut keys = vec![];
+                t.scan_from(&0, usize::MAX, &mut |k, _| keys.push(*k));
+                assert!(keys.windows(2).all(|w| w[0] < w[1]));
+                let evens = keys.iter().filter(|k| *k % 2 == 0).count();
+                assert_eq!(evens, 1000, "scan lost committed entries");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+}

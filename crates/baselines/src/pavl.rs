@@ -1,0 +1,308 @@
+//! A persistent (path-copying) AVL tree with `Arc`-shared nodes.
+//!
+//! Used by the SnapTree-like baseline: cloning the tree is an O(1) `Arc`
+//! clone of the root, so snapshots are cheap *once writers are paused* —
+//! which is exactly the behaviour the paper attributes to SnapTree's
+//! `clone` ("can severely slow down concurrent update operations").
+
+use std::sync::Arc;
+
+struct PNode<K, V> {
+    key: K,
+    value: V,
+    height: i32,
+    left: Option<Arc<PNode<K, V>>>,
+    right: Option<Arc<PNode<K, V>>>,
+}
+
+type PLink<K, V> = Option<Arc<PNode<K, V>>>;
+
+/// An immutable balanced map; all update methods return a new tree that
+/// shares structure with the old one.
+pub struct PAvl<K, V> {
+    root: PLink<K, V>,
+    len: usize,
+}
+
+impl<K, V> Clone for PAvl<K, V> {
+    fn clone(&self) -> Self {
+        PAvl { root: self.root.clone(), len: self.len }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Default for PAvl<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn h<K, V>(l: &PLink<K, V>) -> i32 {
+    l.as_ref().map_or(0, |n| n.height)
+}
+
+fn mk<K: Clone, V: Clone>(key: K, value: V, left: PLink<K, V>, right: PLink<K, V>) -> Arc<PNode<K, V>> {
+    let height = 1 + h(&left).max(h(&right));
+    Arc::new(PNode { key, value, height, left, right })
+}
+
+fn balance<K: Ord + Clone, V: Clone>(
+    key: K,
+    value: V,
+    left: PLink<K, V>,
+    right: PLink<K, V>,
+) -> Arc<PNode<K, V>> {
+    let bf = h(&left) - h(&right);
+    if bf > 1 {
+        let l = left.unwrap();
+        if h(&l.left) >= h(&l.right) {
+            // Right rotation.
+            mk(
+                l.key.clone(),
+                l.value.clone(),
+                l.left.clone(),
+                Some(mk(key, value, l.right.clone(), right)),
+            )
+        } else {
+            // Left-right.
+            let lr = l.right.as_ref().unwrap();
+            mk(
+                lr.key.clone(),
+                lr.value.clone(),
+                Some(mk(l.key.clone(), l.value.clone(), l.left.clone(), lr.left.clone())),
+                Some(mk(key, value, lr.right.clone(), right)),
+            )
+        }
+    } else if bf < -1 {
+        let r = right.unwrap();
+        if h(&r.right) >= h(&r.left) {
+            // Left rotation.
+            mk(
+                r.key.clone(),
+                r.value.clone(),
+                Some(mk(key, value, left, r.left.clone())),
+                r.right.clone(),
+            )
+        } else {
+            // Right-left.
+            let rl = r.left.as_ref().unwrap();
+            mk(
+                rl.key.clone(),
+                rl.value.clone(),
+                Some(mk(key, value, left, rl.left.clone())),
+                Some(mk(r.key.clone(), r.value.clone(), rl.right.clone(), r.right.clone())),
+            )
+        }
+    } else {
+        mk(key, value, left, right)
+    }
+}
+
+fn insert<K: Ord + Clone, V: Clone>(
+    link: &PLink<K, V>,
+    key: &K,
+    value: &V,
+) -> (Arc<PNode<K, V>>, bool) {
+    match link {
+        None => (mk(key.clone(), value.clone(), None, None), false),
+        Some(n) => match key.cmp(&n.key) {
+            std::cmp::Ordering::Less => {
+                let (l, had) = insert(&n.left, key, value);
+                (
+                    balance(n.key.clone(), n.value.clone(), Some(l), n.right.clone()),
+                    had,
+                )
+            }
+            std::cmp::Ordering::Greater => {
+                let (r, had) = insert(&n.right, key, value);
+                (
+                    balance(n.key.clone(), n.value.clone(), n.left.clone(), Some(r)),
+                    had,
+                )
+            }
+            std::cmp::Ordering::Equal => (
+                mk(key.clone(), value.clone(), n.left.clone(), n.right.clone()),
+                true,
+            ),
+        },
+    }
+}
+
+fn pop_min<K: Ord + Clone, V: Clone>(n: &Arc<PNode<K, V>>) -> (PLink<K, V>, (K, V)) {
+    match &n.left {
+        None => (n.right.clone(), (n.key.clone(), n.value.clone())),
+        Some(l) => {
+            let (rest, min) = pop_min(l);
+            (
+                Some(balance(n.key.clone(), n.value.clone(), rest, n.right.clone())),
+                min,
+            )
+        }
+    }
+}
+
+fn remove<K: Ord + Clone, V: Clone>(link: &PLink<K, V>, key: &K) -> (PLink<K, V>, Option<V>) {
+    match link {
+        None => (None, None),
+        Some(n) => match key.cmp(&n.key) {
+            std::cmp::Ordering::Less => {
+                let (l, old) = remove(&n.left, key);
+                if old.is_none() {
+                    return (link.clone(), None);
+                }
+                (
+                    Some(balance(n.key.clone(), n.value.clone(), l, n.right.clone())),
+                    old,
+                )
+            }
+            std::cmp::Ordering::Greater => {
+                let (r, old) = remove(&n.right, key);
+                if old.is_none() {
+                    return (link.clone(), None);
+                }
+                (
+                    Some(balance(n.key.clone(), n.value.clone(), n.left.clone(), r)),
+                    old,
+                )
+            }
+            std::cmp::Ordering::Equal => {
+                let old = Some(n.value.clone());
+                match (&n.left, &n.right) {
+                    (None, r) => (r.clone(), old),
+                    (l, None) => (l.clone(), old),
+                    (l, Some(r)) => {
+                        let (rest, (sk, sv)) = pop_min(r);
+                        (Some(balance(sk, sv, l.clone(), rest)), old)
+                    }
+                }
+            }
+        },
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> PAvl<K, V> {
+    pub fn new() -> Self {
+        PAvl { root: None, len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            cur = match key.cmp(&n.key) {
+                std::cmp::Ordering::Less => n.left.as_deref(),
+                std::cmp::Ordering::Greater => n.right.as_deref(),
+                std::cmp::Ordering::Equal => return Some(&n.value),
+            };
+        }
+        None
+    }
+
+    /// New tree with `key` set; `true` if it replaced an existing entry.
+    pub fn insert(&self, key: &K, value: &V) -> (Self, bool) {
+        let (root, had) = insert(&self.root, key, value);
+        (
+            PAvl { root: Some(root), len: self.len + usize::from(!had) },
+            had,
+        )
+    }
+
+    /// New tree without `key` (if present).
+    pub fn remove(&self, key: &K) -> (Self, Option<V>) {
+        let (root, old) = remove(&self.root, key);
+        let len = self.len - usize::from(old.is_some());
+        (PAvl { root, len }, old)
+    }
+
+    pub fn scan_from(&self, lo: &K, f: &mut dyn FnMut(&K, &V) -> bool) {
+        fn walk<K: Ord, V>(
+            link: &PLink<K, V>,
+            lo: &K,
+            f: &mut dyn FnMut(&K, &V) -> bool,
+        ) -> bool {
+            let Some(n) = link else { return true };
+            if n.key >= *lo {
+                if !walk(&n.left, lo, f) {
+                    return false;
+                }
+                if !f(&n.key, &n.value) {
+                    return false;
+                }
+            }
+            walk(&n.right, lo, f)
+        }
+        walk(&self.root, lo, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn persistence() {
+        let t0: PAvl<u64, u64> = PAvl::new();
+        let (t1, _) = t0.insert(&1, &10);
+        let (t2, _) = t1.insert(&2, &20);
+        let (t3, old) = t2.remove(&1);
+        assert_eq!(old, Some(10));
+        // Every version still readable.
+        assert_eq!(t0.get(&1), None);
+        assert_eq!(t1.get(&1), Some(&10));
+        assert_eq!(t2.get(&2), Some(&20));
+        assert_eq!(t3.get(&1), None);
+        assert_eq!(t3.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn matches_btreemap() {
+        let mut t: PAvl<u64, u64> = PAvl::new();
+        let mut model = BTreeMap::new();
+        let mut seed = 31337u64;
+        for i in 0..3000u64 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let k = seed % 128;
+            if seed & 3 == 0 {
+                let (nt, old) = t.remove(&k);
+                assert_eq!(old, model.remove(&k));
+                t = nt;
+            } else {
+                let (nt, had) = t.insert(&k, &i);
+                assert_eq!(had, model.insert(k, i).is_some());
+                t = nt;
+            }
+            assert_eq!(t.len(), model.len());
+        }
+        let mut out = vec![];
+        t.scan_from(&0, &mut |k, v| {
+            out.push((*k, *v));
+            true
+        });
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn clone_is_cheap_and_isolated() {
+        let mut t: PAvl<u64, u64> = PAvl::new();
+        for k in 0..100 {
+            t = t.insert(&k, &k).0;
+        }
+        let snap = t.clone();
+        for k in 0..100 {
+            t = t.remove(&k).0;
+        }
+        assert!(t.is_empty());
+        assert_eq!(snap.len(), 100);
+        assert_eq!(snap.get(&50), Some(&50));
+    }
+}

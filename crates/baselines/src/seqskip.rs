@@ -1,0 +1,310 @@
+//! A sequential skip list — the per-leaf container of CA-SL
+//! (Sagonas & Winblad [44]). Single-threaded; the CA tree provides the
+//! locking around it.
+
+const MAX_LEVEL: usize = 12;
+
+struct SkNode<K, V> {
+    key: K,
+    value: V,
+    next: Vec<Option<std::ptr::NonNull<SkNode<K, V>>>>,
+}
+
+/// A single-threaded skip list map.
+pub struct SeqSkipList<K, V> {
+    head: Vec<Option<std::ptr::NonNull<SkNode<K, V>>>>,
+    len: usize,
+    rng: u64,
+}
+
+// SAFETY: the container is used strictly under the CA tree's lock; raw
+// pointers never escape.
+unsafe impl<K: Send, V: Send> Send for SeqSkipList<K, V> {}
+unsafe impl<K: Sync, V: Sync> Sync for SeqSkipList<K, V> {}
+
+impl<K: Ord + Clone, V: Clone> Default for SeqSkipList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
+    pub fn new() -> Self {
+        SeqSkipList { head: vec![None; MAX_LEVEL], len: 0, rng: 0x9E3779B97F4A7C15 }
+    }
+
+    fn random_level(&mut self) -> usize {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        ((self.rng.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Predecessor links at each level for `key`.
+    fn find_preds(&mut self, key: &K) -> Vec<*mut Option<std::ptr::NonNull<SkNode<K, V>>>> {
+        let mut preds: Vec<*mut Option<std::ptr::NonNull<SkNode<K, V>>>> =
+            Vec::with_capacity(MAX_LEVEL);
+        let mut cur: *mut Option<std::ptr::NonNull<SkNode<K, V>>> = std::ptr::null_mut();
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut link: *mut Option<std::ptr::NonNull<SkNode<K, V>>> = if cur.is_null() {
+                &mut self.head[lvl]
+            } else {
+                // Continue from the predecessor found at the level above.
+                unsafe {
+                    match *cur {
+                        Some(mut n) => &mut n.as_mut().next[lvl],
+                        None => &mut self.head[lvl],
+                    }
+                }
+            };
+            unsafe {
+                while let Some(mut n) = *link {
+                    if n.as_ref().key < *key {
+                        cur = link;
+                        link = &mut n.as_mut().next[lvl];
+                    } else {
+                        break;
+                    }
+                }
+            }
+            preds.push(link);
+        }
+        preds.reverse(); // preds[lvl] = link at level lvl
+        preds
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut links = &self.head;
+        let mut found: Option<&SkNode<K, V>> = None;
+        for lvl in (0..MAX_LEVEL).rev() {
+            let mut link = &links[lvl];
+            unsafe {
+                while let Some(n) = link {
+                    let n = n.as_ref();
+                    match n.key.cmp(key) {
+                        std::cmp::Ordering::Less => {
+                            links = &n.next;
+                            link = &n.next[lvl];
+                        }
+                        std::cmp::Ordering::Equal => {
+                            found = Some(n);
+                            break;
+                        }
+                        std::cmp::Ordering::Greater => break,
+                    }
+                }
+            }
+            if found.is_some() {
+                break;
+            }
+        }
+        found.map(|n| &n.value)
+    }
+
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let preds = self.find_preds(&key);
+        // Check for an existing node at level 0.
+        unsafe {
+            if let Some(mut n) = *preds[0] {
+                if n.as_ref().key == key {
+                    return Some(std::mem::replace(&mut n.as_mut().value, value));
+                }
+            }
+        }
+        let level = self.random_level();
+        let node = Box::new(SkNode { key, value, next: vec![None; level] });
+        let node_ptr = std::ptr::NonNull::new(Box::into_raw(node)).unwrap();
+        for (lvl, link) in preds.iter().enumerate().take(level) {
+            unsafe {
+                let node = &mut *node_ptr.as_ptr();
+                node.next[lvl] = **link;
+                **link = Some(node_ptr);
+            }
+        }
+        self.len += 1;
+        None
+    }
+
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let preds = self.find_preds(key);
+        let target = unsafe {
+            match *preds[0] {
+                Some(n) if n.as_ref().key == *key => n,
+                _ => return None,
+            }
+        };
+        let height = unsafe { target.as_ref().next.len() };
+        for (lvl, link) in preds.iter().enumerate().take(height) {
+            unsafe {
+                if **link == Some(target) {
+                    **link = target.as_ref().next[lvl];
+                }
+            }
+        }
+        self.len -= 1;
+        let boxed = unsafe { Box::from_raw(target.as_ptr()) };
+        Some(boxed.value)
+    }
+
+    pub fn scan_from(&self, lo: &K, f: &mut dyn FnMut(&K, &V) -> bool) {
+        // Position at the first node >= lo via level 0 walk (cheap enough
+        // for container-sized lists).
+        let mut link = &self.head[0];
+        unsafe {
+            while let Some(n) = link {
+                let n = n.as_ref();
+                if n.key >= *lo {
+                    if !f(&n.key, &n.value) {
+                        return;
+                    }
+                }
+                link = &n.next[0];
+            }
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut link = &self.head[0];
+        unsafe {
+            while let Some(n) = link {
+                let n = n.as_ref();
+                out.push((n.key.clone(), n.value.clone()));
+                link = &n.next[0];
+            }
+        }
+        out
+    }
+
+    pub fn min_key(&self) -> Option<K> {
+        unsafe { self.head[0].map(|n| n.as_ref().key.clone()) }
+    }
+
+    pub fn split_in_half(mut self) -> (Self, Self, K) {
+        let entries = self.to_vec();
+        assert!(entries.len() >= 2);
+        let mid = entries.len() / 2;
+        let split_key = entries[mid].0.clone();
+        let mut left = SeqSkipList::new();
+        let mut right = SeqSkipList::new();
+        for (i, (k, v)) in entries.into_iter().enumerate() {
+            if i < mid {
+                left.insert(k, v);
+            } else {
+                right.insert(k, v);
+            }
+        }
+        // Drop self's nodes (clear) before returning the halves.
+        self.clear();
+        (left, right, split_key)
+    }
+
+    pub fn absorb_right(&mut self, mut other: Self) {
+        for (k, v) in other.to_vec() {
+            self.insert(k, v);
+        }
+        other.clear();
+    }
+
+    fn clear(&mut self) {
+        let mut link = self.head[0];
+        while let Some(n) = link {
+            unsafe {
+                let boxed = Box::from_raw(n.as_ptr());
+                link = boxed.next[0];
+            }
+        }
+        self.head = vec![None; MAX_LEVEL];
+        self.len = 0;
+    }
+}
+
+impl<K, V> Drop for SeqSkipList<K, V> {
+    fn drop(&mut self) {
+        let mut link = self.head[0];
+        while let Some(n) = link {
+            unsafe {
+                let boxed = Box::from_raw(n.as_ptr());
+                link = boxed.next[0];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = SeqSkipList::new();
+        assert_eq!(s.insert(5, 50), None);
+        assert_eq!(s.insert(5, 55), Some(50));
+        assert_eq!(s.get(&5), Some(&55));
+        assert_eq!(s.get(&6), None);
+        assert_eq!(s.remove(&5), Some(55));
+        assert_eq!(s.remove(&5), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn matches_btreemap() {
+        let mut s = SeqSkipList::new();
+        let mut model = BTreeMap::new();
+        let mut seed = 777u64;
+        for i in 0..5000u64 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let k = seed % 300;
+            if seed & 3 == 0 {
+                assert_eq!(s.remove(&k), model.remove(&k), "remove {k}");
+            } else {
+                assert_eq!(s.insert(k, i), model.insert(k, i), "insert {k}");
+            }
+        }
+        let got = s.to_vec();
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scan_and_split() {
+        let mut s = SeqSkipList::new();
+        for k in 0..50 {
+            s.insert(k, k);
+        }
+        let mut out = vec![];
+        s.scan_from(&40, &mut |k, _| {
+            out.push(*k);
+            true
+        });
+        assert_eq!(out, (40..50).collect::<Vec<_>>());
+        let (l, r, sk) = s.split_in_half();
+        assert_eq!(sk, 25);
+        assert_eq!(l.len(), 25);
+        assert_eq!(r.len(), 25);
+        let mut l = l;
+        l.absorb_right(r);
+        assert_eq!(l.len(), 50);
+    }
+
+    #[test]
+    fn no_leaks_on_drop() {
+        // Smoke test: drop a populated list (run under sanitizers in CI).
+        let mut s = SeqSkipList::new();
+        for k in 0..1000 {
+            s.insert(k, format!("v{k}"));
+        }
+        drop(s);
+    }
+}

@@ -1,0 +1,66 @@
+//! Batch-update latency: size × key-pattern sweep for the three
+//! batch-capable indices (the paper's 10-/100-op batch rows and the
+//! §4.3 headline comparison).
+//!
+//! Expected shape: sequential batches touch 1–2 nodes and are far
+//! cheaper per op than random batches; random batch cost grows with the
+//! number of distinct nodes touched (≈ batch size).
+
+#[global_allocator]
+static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use index_api::{Batch, BatchOp};
+use mkbench::{make_index_u64, IndexKind};
+
+use bench::{prefill, XorShift, KEY_SPACE};
+
+fn bench_batches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for size in [10usize, 100] {
+        group.throughput(Throughput::Elements(size as u64));
+        for pattern in ["seq", "rand"] {
+            for kind in [IndexKind::Jiffy, IndexKind::CaAvl, IndexKind::CaSl] {
+                let index = make_index_u64::<u64>(kind, KEY_SPACE);
+                prefill(&*index);
+                let mut rng = XorShift(0xBA7C);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{pattern}-{size}"), kind.name()),
+                    &index,
+                    |b, index| {
+                        b.iter(|| {
+                            let mut ops: Vec<BatchOp<u64, u64>> = Vec::with_capacity(size);
+                            if pattern == "seq" {
+                                let start = rng.next() % KEY_SPACE;
+                                for i in 0..size as u64 {
+                                    let k = (start + i) % KEY_SPACE;
+                                    if rng.next() & 1 == 0 {
+                                        ops.push(BatchOp::Put(k, k));
+                                    } else {
+                                        ops.push(BatchOp::Remove(k));
+                                    }
+                                }
+                            } else {
+                                for _ in 0..size {
+                                    let k = rng.next() % KEY_SPACE;
+                                    if rng.next() & 1 == 0 {
+                                        ops.push(BatchOp::Put(k, k));
+                                    } else {
+                                        ops.push(BatchOp::Remove(k));
+                                    }
+                                }
+                            }
+                            index.batch_update(Batch::new(ops));
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batches);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Version-clock ablation (paper §3.2 + footnote 3).
+//!
+//! Two measurements: (1) the raw cost of one clock read for each source
+//! (the paper quotes ~10 ns for `RDTSCP`); (2) contended multi-threaded
+//! reads, where the shared atomic counter serializes all cores — the
+//! bottleneck that made the counter-based Jiffy prototype "not scale
+//! past 4-8 threads".
+
+#[global_allocator]
+static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jiffy_clock::{AtomicClock, MonotonicClock, VersionClock};
+
+fn bench_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock-read");
+    group.sample_size(20);
+    #[cfg(target_arch = "x86_64")]
+    {
+        let tsc = jiffy_clock::TscClock::new();
+        group.bench_function("tsc", |b| b.iter(|| std::hint::black_box(tsc.now())));
+    }
+    let mono = MonotonicClock::new();
+    group.bench_function("monotonic", |b| b.iter(|| std::hint::black_box(mono.now())));
+    let counter = AtomicClock::new();
+    group.bench_function("atomic-counter", |b| {
+        b.iter(|| std::hint::black_box(counter.now()))
+    });
+    group.finish();
+}
+
+fn contended<C: VersionClock>(clock: Arc<C>, threads: usize, reads_per_thread: u64) {
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let clock = Arc::clone(&clock);
+            s.spawn(move || {
+                for _ in 0..reads_per_thread {
+                    std::hint::black_box(clock.now());
+                }
+            });
+        }
+    });
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock-contended");
+    group.sample_size(10);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    const READS: u64 = 100_000;
+    group.bench_with_input(
+        BenchmarkId::new("atomic-counter", threads),
+        &threads,
+        |b, &t| {
+            b.iter(|| contended(Arc::new(AtomicClock::new()), t, READS));
+        },
+    );
+    #[cfg(target_arch = "x86_64")]
+    group.bench_with_input(BenchmarkId::new("tsc", threads), &threads, |b, &t| {
+        b.iter(|| contended(Arc::new(jiffy_clock::TscClock::new()), t, READS));
+    });
+    group.bench_with_input(BenchmarkId::new("monotonic", threads), &threads, |b, &t| {
+        b.iter(|| contended(Arc::new(MonotonicClock::new()), t, READS));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single, bench_contended);
+criterion_main!(benches);

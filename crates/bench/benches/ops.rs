@@ -1,0 +1,55 @@
+//! Single-operation latency per index (the microscopic view of the
+//! paper's update-only and update-lookup scenarios, Figs. 5a/b–6a/b).
+//!
+//! Expected shape (paper §4.3): Jiffy's put/remove is somewhat more
+//! expensive than the in-place or single-CAS baselines (two CAS + copy
+//! per update, the price of multiversioning), while its lookups are
+//! competitive thanks to the in-revision hash index.
+
+#[global_allocator]
+static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+
+use bench::{bench_lineup, prefill, XorShift, KEY_SPACE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single-op");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (kind, index) in bench_lineup() {
+        prefill(&*index);
+        let mut rng = XorShift(0xDEC0DE);
+        group.bench_with_input(BenchmarkId::new("put", kind.name()), &index, |b, index| {
+            b.iter(|| {
+                let k = rng.next() % KEY_SPACE;
+                index.put(k, k);
+            })
+        });
+        let mut rng = XorShift(0xDEC0DE);
+        group.bench_with_input(BenchmarkId::new("get", kind.name()), &index, |b, index| {
+            b.iter(|| {
+                let k = rng.next() % KEY_SPACE;
+                std::hint::black_box(index.get(&k));
+            })
+        });
+        let mut rng = XorShift(0xDEC0DE);
+        group.bench_with_input(
+            BenchmarkId::new("put-remove", kind.name()),
+            &index,
+            |b, index| {
+                b.iter(|| {
+                    let k = rng.next() % KEY_SPACE;
+                    if k & 1 == 0 {
+                        index.put(k, k);
+                    } else {
+                        index.remove(&k);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Revision-layout ablation (paper §3.3.5): the in-revision hash index
+//! vs pure binary search, measured through whole-map lookups at revision
+//! sizes spanning the autoscaler's range, plus the copy cost of updates
+//! at different fixed revision sizes (§3.3.6's trade-off).
+
+#[global_allocator]
+static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jiffy::{JiffyConfig, JiffyMap};
+
+use bench::{XorShift, KEY_SPACE};
+
+fn map_with(fixed: usize, hash_index: bool) -> JiffyMap<u64, u64> {
+    let map = JiffyMap::with_config(JiffyConfig {
+        fixed_revision_size: Some(fixed),
+        disable_hash_index: !hash_index,
+        ..Default::default()
+    });
+    for k in (0..KEY_SPACE).step_by(2) {
+        map.put(k, k);
+    }
+    map
+}
+
+fn bench_lookup_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revision-lookup");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for size in [25usize, 100, 300] {
+        for hash in [true, false] {
+            let map = map_with(size, hash);
+            let label = if hash { "hash-index" } else { "binary-search" };
+            let mut rng = XorShift(0x1D);
+            group.bench_with_input(
+                BenchmarkId::new(format!("rev{size}"), label),
+                &map,
+                |b, map| {
+                    b.iter(|| {
+                        let k = rng.next() % KEY_SPACE;
+                        std::hint::black_box(map.get(&k));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_update_copy_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revision-update");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for size in [25usize, 100, 300] {
+        let map = map_with(size, true);
+        let mut rng = XorShift(0x2E);
+        group.bench_with_input(BenchmarkId::new("put", format!("rev{size}")), &map, |b, map| {
+            b.iter(|| {
+                let k = rng.next() % KEY_SPACE;
+                map.put(k, k);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup_layout, bench_update_copy_cost);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Range-scan latency vs scan length per index (the paper's short/long
+//! scan columns, Figs. 5c/d–6c/d).
+//!
+//! Expected shape: Jiffy, CA-imm and LFCA read large sorted runs and win
+//! on long scans; validate-and-restart (k-ary) and clone-based
+//! (SnapTree) approaches pay fixed costs per scan.
+
+#[global_allocator]
+static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+
+use bench::{bench_lineup, prefill, XorShift, KEY_SPACE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for len in [100usize, 10_000] {
+        group.throughput(Throughput::Elements(len as u64));
+        for (kind, index) in bench_lineup() {
+            prefill(&*index);
+            let mut rng = XorShift(0x5CA);
+            group.bench_with_input(
+                BenchmarkId::new(format!("len{len}"), kind.name()),
+                &index,
+                |b, index| {
+                    b.iter(|| {
+                        let lo = rng.next() % KEY_SPACE;
+                        let mut n = 0usize;
+                        index.scan_from(&lo, len, &mut |_, v| {
+                            std::hint::black_box(v);
+                            n += 1;
+                        });
+                        std::hint::black_box(n);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

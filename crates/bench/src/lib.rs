@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the Jiffy reproduction (see
+//! `benches/`). Each bench file maps to a piece of the paper's
+//! evaluation or a design-choice ablation; DESIGN.md §4 has the index.
+
+use std::sync::Arc;
+
+use index_api::OrderedIndex;
+use mkbench::{make_index_u64, IndexKind};
+
+/// Indices benchmarked head-to-head in the micro-benchmarks (a compact
+/// subset of the full figure lineup so `cargo bench` stays tractable).
+pub fn bench_lineup() -> Vec<(IndexKind, Arc<dyn OrderedIndex<u64, u64> + Send + Sync>)> {
+    [
+        IndexKind::Jiffy,
+        IndexKind::CaAvl,
+        IndexKind::CaImm,
+        IndexKind::Lfca,
+        IndexKind::Cslm,
+    ]
+    .into_iter()
+    .map(|k| (k, make_index_u64::<u64>(k, KEY_SPACE)))
+    .collect()
+}
+
+/// Key space used across the micro-benchmarks.
+pub const KEY_SPACE: u64 = 100_000;
+
+/// Prefill an index to 50% density.
+pub fn prefill(index: &dyn OrderedIndex<u64, u64>) {
+    for k in (0..KEY_SPACE).step_by(2) {
+        index.put(k, k);
+    }
+}
+
+/// Deterministic workload rng.
+pub struct XorShift(pub u64);
+
+impl XorShift {
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}

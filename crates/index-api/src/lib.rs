@@ -1,0 +1,162 @@
+//! The common ordered-index interface used by the benchmark harness and the
+//! cross-index conformance tests.
+//!
+//! The paper (§4.2) drives eight different indices through one
+//! microbenchmark; this crate is the Rust equivalent of that shared
+//! surface: `get` / `put` / `remove` / range scan / batch update. Indices
+//! that do not support consistent scans or atomic batches (e.g. the
+//! `ConcurrentSkipListMap` baseline) still implement the methods with their
+//! native, weaker semantics and advertise that through
+//! [`OrderedIndex::supports_consistent_scan`] /
+//! [`OrderedIndex::supports_atomic_batch`], exactly as the paper notes that
+//! Java CSLM "does not support either consistent range scans nor atomic
+//! batch updates".
+
+/// One operation inside a batch update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOp<K, V> {
+    /// Insert or overwrite `key` with `value`.
+    Put(K, V),
+    /// Delete `key` (a no-op if absent, but — per paper §3.3.3 item 5 — an
+    /// *observable* no-op: it must still order against concurrent batches).
+    Remove(K),
+}
+
+impl<K, V> BatchOp<K, V> {
+    /// The key this operation touches.
+    pub fn key(&self) -> &K {
+        match self {
+            BatchOp::Put(k, _) => k,
+            BatchOp::Remove(k) => k,
+        }
+    }
+}
+
+/// A sorted, deduplicated batch of update operations.
+///
+/// The paper's batch update is a *set* of put/remove operations executed
+/// atomically; keys inside one batch are unique (a batch maps each key to
+/// one final outcome). `Batch::new` sorts and deduplicates (last write to a
+/// key wins) so every index receives a canonical form.
+#[derive(Clone, Debug)]
+pub struct Batch<K, V> {
+    ops: Vec<BatchOp<K, V>>,
+}
+
+impl<K: Ord, V> Batch<K, V> {
+    /// Build a canonical batch: ops sorted by key ascending, one op per key
+    /// (the last occurrence in `ops` wins, like repeated map writes).
+    pub fn new(mut ops: Vec<BatchOp<K, V>>) -> Self {
+        // Stable sort, then keep the last op for each key.
+        ops.reverse();
+        ops.sort_by(|a, b| a.key().cmp(b.key()));
+        ops.dedup_by(|next, first| next.key() == first.key());
+        Batch { ops }
+    }
+
+    /// Ops sorted by key, ascending.
+    pub fn ops(&self) -> &[BatchOp<K, V>] {
+        &self.ops
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    pub fn into_ops(self) -> Vec<BatchOp<K, V>> {
+        self.ops
+    }
+}
+
+/// A concurrent ordered key-value map ("ordered index" in the paper).
+///
+/// All methods take `&self`: implementations synchronize internally and are
+/// shared across threads by reference (`&T` / `Arc<T>`).
+pub trait OrderedIndex<K: Ord + Clone, V: Clone>: Send + Sync {
+    /// Get the most recent value for `key`.
+    fn get(&self, key: &K) -> Option<V>;
+
+    /// Insert or overwrite `key`.
+    fn put(&self, key: K, value: V);
+
+    /// Remove `key`. Returns `true` if the key was present.
+    fn remove(&self, key: &K) -> bool;
+
+    /// Visit up to `n` entries with key `>= lo`, in ascending key order.
+    /// Consistency is implementation-defined; see
+    /// [`supports_consistent_scan`](OrderedIndex::supports_consistent_scan).
+    fn scan_from(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V));
+
+    /// Apply a batch of updates. Atomicity is implementation-defined; see
+    /// [`supports_atomic_batch`](OrderedIndex::supports_atomic_batch).
+    fn batch_update(&self, batch: Batch<K, V>);
+
+    /// Whether `scan_from` observes a single linearizable snapshot.
+    fn supports_consistent_scan(&self) -> bool {
+        true
+    }
+
+    /// Whether `batch_update` is atomic (all-or-nothing to readers).
+    fn supports_atomic_batch(&self) -> bool {
+        true
+    }
+
+    /// Short, stable identifier used in benchmark tables ("jiffy",
+    /// "ca-avl", ...).
+    fn name(&self) -> &'static str;
+
+    /// Collect up to `n` entries from `lo` into a vector (convenience
+    /// wrapper over [`scan_from`](OrderedIndex::scan_from)).
+    fn scan_collect(&self, lo: &K, n: usize) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(n.min(1024));
+        self.scan_from(lo, n, &mut |k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_sorts_and_dedups_last_wins() {
+        let b = Batch::new(vec![
+            BatchOp::Put(3u32, "a"),
+            BatchOp::Put(1, "b"),
+            BatchOp::Put(3, "c"),
+            BatchOp::Remove(2),
+        ]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(
+            b.ops(),
+            &[BatchOp::Put(1, "b"), BatchOp::Remove(2), BatchOp::Put(3, "c")]
+        );
+    }
+
+    #[test]
+    fn batch_empty() {
+        let b: Batch<u32, u32> = Batch::new(vec![]);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn batch_single_key_many_writes() {
+        let b = Batch::new(vec![
+            BatchOp::Put(7u32, 1u32),
+            BatchOp::Remove(7),
+            BatchOp::Put(7, 3),
+        ]);
+        assert_eq!(b.ops(), &[BatchOp::Put(7, 3)]);
+    }
+
+    #[test]
+    fn batch_op_key_accessor() {
+        assert_eq!(*BatchOp::Put(5u32, ()).key(), 5);
+        assert_eq!(*BatchOp::<u32, ()>::Remove(9).key(), 9);
+    }
+}

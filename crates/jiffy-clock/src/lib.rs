@@ -1,0 +1,250 @@
+//! Version-number clocks for Jiffy (paper §3.2).
+//!
+//! Jiffy tags every update with a version number drawn from a cheap,
+//! machine-wide, monotonically non-decreasing counter. The paper reads the
+//! x86_64 Time Stamp Counter (via `System.nanoTime()` on the JVM); the key
+//! properties it relies on are:
+//!
+//! 1. reading is very cheap (no system call, no shared cache line),
+//! 2. values never decrease, across *all* threads,
+//! 3. resolution is high enough that two back-to-back reads on one thread
+//!    almost always differ (so the `wait_until` loop in Algorithm 1 is
+//!    almost never taken).
+//!
+//! This crate provides three interchangeable implementations:
+//!
+//! * [`TscClock`] — raw `RDTSC` on x86_64 (the paper's choice). Requires an
+//!   invariant TSC (`constant_tsc nonstop_tsc`), which every x86_64 server
+//!   since ~2008 provides.
+//! * [`MonotonicClock`] — `CLOCK_MONOTONIC` through [`std::time::Instant`].
+//!   On Linux this is a vDSO read (~20 ns, no syscall trap) and is itself
+//!   TSC-derived; it is the portable fallback and the default off x86_64.
+//! * [`AtomicClock`] — a single `fetch_add` counter shared by all threads.
+//!   This is **not** meant for production: it exists to reproduce the
+//!   paper's footnote 3 ablation ("the first version of Jiffy that relied
+//!   on an atomic counter to generate version numbers did not scale past
+//!   4–8 threads").
+//!
+//! All clocks return `u64` ticks normalized so that the first read of a
+//! given clock instance is small and positive; Jiffy stores versions as
+//! `i64` (negative = optimistic/pending), so normalized ticks must stay
+//! below `i64::MAX`, which they do for centuries of uptime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A source of version numbers. Implementations must be cheap and
+/// *globally* monotone: if a read on thread A happens-before a read on
+/// thread B, then B's value must be `>=` A's value.
+pub trait VersionClock: Send + Sync + 'static {
+    /// Read the current tick count.
+    fn now(&self) -> u64;
+
+    /// Human-readable name used in benchmark output.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's clock: the CPU Time Stamp Counter, normalized to the value
+/// observed when the clock was created (mirroring Jiffy's subtraction of
+/// the `System.nanoTime()` value recorded at index creation, §3.3.2).
+#[cfg(target_arch = "x86_64")]
+pub struct TscClock {
+    start: u64,
+}
+
+#[cfg(target_arch = "x86_64")]
+impl TscClock {
+    pub fn new() -> Self {
+        TscClock { start: Self::raw() }
+    }
+
+    #[inline]
+    fn raw() -> u64 {
+        // SAFETY: RDTSC is unprivileged and always available on x86_64.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl Default for TscClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl VersionClock for TscClock {
+    #[inline]
+    fn now(&self) -> u64 {
+        // `wrapping_sub` guards against the (never observed in practice)
+        // case of another socket's TSC being slightly behind `start`.
+        Self::raw().wrapping_sub(self.start).min(i64::MAX as u64 - 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "tsc"
+    }
+}
+
+/// `CLOCK_MONOTONIC`-based clock: nanoseconds since clock creation.
+///
+/// Used as the default on non-x86_64 targets and available everywhere for
+/// comparison benchmarks. Rust guarantees `Instant` is monotone; on Linux
+/// the reads are vDSO calls that do not enter the kernel.
+pub struct MonotonicClock {
+    start: Instant,
+}
+
+impl MonotonicClock {
+    pub fn new() -> Self {
+        MonotonicClock { start: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VersionClock for MonotonicClock {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "monotonic"
+    }
+}
+
+/// The single shared atomic counter Jiffy's first prototype used (paper
+/// §3.2, footnote 3). Every read is a `fetch_add(1)` on one cache line, so
+/// all cores serialize on it — the contention bottleneck the paper's TSC
+/// design removes. Kept for the `clock` ablation experiment (A1).
+pub struct AtomicClock {
+    counter: AtomicU64,
+}
+
+impl AtomicClock {
+    pub fn new() -> Self {
+        // Start at 1 so the first read is non-zero, like the other clocks.
+        AtomicClock { counter: AtomicU64::new(1) }
+    }
+}
+
+impl Default for AtomicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VersionClock for AtomicClock {
+    #[inline]
+    fn now(&self) -> u64 {
+        self.counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn name(&self) -> &'static str {
+        "atomic-counter"
+    }
+}
+
+/// The default clock for the current target: TSC on x86_64, monotonic
+/// elsewhere.
+#[cfg(target_arch = "x86_64")]
+pub type DefaultClock = TscClock;
+/// The default clock for the current target: TSC on x86_64, monotonic
+/// elsewhere.
+#[cfg(not(target_arch = "x86_64"))]
+pub type DefaultClock = MonotonicClock;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn assert_monotone_single_thread<C: VersionClock>(clock: &C) {
+        let mut prev = clock.now();
+        for _ in 0..10_000 {
+            let cur = clock.now();
+            assert!(cur >= prev, "{} went backwards: {} -> {}", clock.name(), prev, cur);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        assert_monotone_single_thread(&MonotonicClock::new());
+    }
+
+    #[test]
+    fn atomic_clock_is_strictly_increasing() {
+        let c = AtomicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b > a);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn tsc_clock_is_monotone() {
+        assert_monotone_single_thread(&TscClock::new());
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn tsc_clock_advances() {
+        let c = TscClock::new();
+        let a = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(c.now() > a);
+    }
+
+    #[test]
+    fn default_clock_constructible() {
+        let c = DefaultClock::default();
+        let _ = c.now();
+    }
+
+    /// Cross-thread monotonicity: a value handed from thread A to thread B
+    /// (establishing happens-before) must not exceed B's subsequent read.
+    fn assert_cross_thread_monotone<C: VersionClock>(clock: Arc<C>) {
+        let (tx, rx) = std::sync::mpsc::channel::<u64>();
+        let c2 = Arc::clone(&clock);
+        let producer = std::thread::spawn(move || {
+            for _ in 0..2_000 {
+                tx.send(c2.now()).unwrap();
+            }
+        });
+        for v in rx {
+            let mine = clock.now();
+            assert!(mine >= v, "cross-thread regression: got {mine} after seeing {v}");
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn monotonic_cross_thread() {
+        assert_cross_thread_monotone(Arc::new(MonotonicClock::new()));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn tsc_cross_thread() {
+        assert_cross_thread_monotone(Arc::new(TscClock::new()));
+    }
+
+    #[test]
+    fn atomic_cross_thread() {
+        assert_cross_thread_monotone(Arc::new(AtomicClock::new()));
+    }
+
+    #[test]
+    fn normalized_values_fit_i64() {
+        let c = DefaultClock::default();
+        for _ in 0..1000 {
+            assert!(c.now() < i64::MAX as u64);
+        }
+    }
+}

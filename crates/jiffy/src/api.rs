@@ -1,0 +1,34 @@
+//! [`OrderedIndex`] implementation so Jiffy plugs into the shared
+//! benchmark harness and conformance tests.
+
+use index_api::{Batch, OrderedIndex};
+use jiffy_clock::VersionClock;
+
+use crate::inner::{MapKey, MapValue};
+use crate::JiffyMap;
+
+impl<K: MapKey, V: MapValue, C: VersionClock> OrderedIndex<K, V> for JiffyMap<K, V, C> {
+    fn get(&self, key: &K) -> Option<V> {
+        JiffyMap::get(self, key)
+    }
+
+    fn put(&self, key: K, value: V) {
+        JiffyMap::put(self, key, value);
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        JiffyMap::remove(self, key).is_some()
+    }
+
+    fn scan_from(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V)) {
+        JiffyMap::scan_from(self, lo, n, sink)
+    }
+
+    fn batch_update(&self, batch: Batch<K, V>) {
+        JiffyMap::batch(self, batch)
+    }
+
+    fn name(&self) -> &'static str {
+        "jiffy"
+    }
+}

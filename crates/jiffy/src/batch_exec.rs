@@ -1,0 +1,200 @@
+//! Batch update execution (paper §3.3.3).
+//!
+//! A batch proceeds strictly from the highest key towards the lowest
+//! (rule 3 of §3.1). For each *group* — the maximal run of remaining ops
+//! that fall into one node's key range — the executor installs a single
+//! revision reflecting all of them (item 2), then advances the
+//! descriptor's `progress` with a CAS. Any thread that encounters one of
+//! the batch's pending revisions helps by re-entering this loop (item 4);
+//! the final version is attempted only once every op is installed.
+//!
+//! Invariants making helping safe:
+//!
+//! * a node hosting one of the batch's pending revisions is *frozen*: no
+//!   revision can stack on a pending head (rule 2), so neither splits nor
+//!   merges can move its boundaries until the batch completes;
+//! * therefore, if a helper finds the batch's own pending revision at the
+//!   node covering the current key, that group is already installed and
+//!   the helper only needs to advance `progress`;
+//! * removes of absent keys still produce a revision (item 5) — skipping
+//!   them could lose a remove against a concurrent batch that finishes
+//!   with a lower final version.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam_epoch::{self as epoch, Owned};
+use jiffy_clock::VersionClock;
+
+use crate::autoscale::{self, UpdateKind};
+use crate::batch::BatchDescriptor;
+use crate::inner::{JiffyInner, MapKey, MapValue};
+use crate::node::{NodeKey, RevKind, RevStats, Revision, TermInfo, TermOp};
+use crate::version::{finalize_cell, VersionRef};
+
+impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
+    /// Execute a batch update atomically. Returns once the batch's final
+    /// version is published (its linearization point).
+    pub(crate) fn batch_update(&self, ops_ascending: Vec<index_api::BatchOp<K, V>>) {
+        if ops_ascending.is_empty() {
+            return;
+        }
+        let desc = Arc::new(BatchDescriptor::new(&self.clock, ops_ascending));
+        self.help_batch(&desc);
+        self.bump_update_tick();
+    }
+
+    /// Drive `desc` to completion from wherever it currently stands.
+    /// Callable by the initiating thread and by any helper.
+    ///
+    /// Pins the epoch *per group iteration*, not per batch: a batch
+    /// spanning hundreds of nodes defers hundreds of replaced revisions,
+    /// and a single long pin would stall epoch advancement and let the
+    /// garbage backlog grow without bound.
+    pub(crate) fn help_batch(&self, desc: &Arc<BatchDescriptor<K, V>>) {
+        let with_index = !self.config.disable_hash_index;
+        loop {
+            if desc.is_finalized() {
+                return;
+            }
+            let guard = &epoch::pin();
+            let i = desc.progress();
+            if i >= desc.len() {
+                // Everything installed: publish the final version.
+                finalize_cell(&self.clock, desc.version_cell());
+                return;
+            }
+            let key = desc.ops()[i].key();
+            let node_s = self.find_node_for_key(key, guard);
+            let node = unsafe { node_s.deref() };
+            let next_snapshot = node.next.load(Ordering::Acquire, guard);
+            let head_s = node.head.load(Ordering::Acquire, guard);
+            if node.is_terminated() {
+                continue;
+            }
+            let head = unsafe { head_s.deref() };
+            if head.is_merge_terminator() {
+                self.help_merge_terminator(node_s, head_s, guard);
+                continue;
+            }
+            if head.is_pending() {
+                let ours = head
+                    .batch_descriptor()
+                    .map(|d| Arc::ptr_eq(d, desc))
+                    .unwrap_or(false);
+                if ours {
+                    // This group is already installed here. Finish any
+                    // structure change it drove, then advance progress.
+                    match &head.kind {
+                        RevKind::LeftSplit(_) => self.help_split(node_s, head_s, guard),
+                        RevKind::Merge(_) => self.complete_merge(head_s, guard),
+                        _ => {}
+                    }
+                    let (start, end) = head.batch_span;
+                    debug_assert!(start <= i && i < end.max(start + 1));
+                    if end > i {
+                        let _ = desc.advance(i, end);
+                    }
+                    continue;
+                }
+                self.help_pending_update(node_s, head_s, guard);
+                continue;
+            }
+            if node.next.load(Ordering::Acquire, guard) != next_snapshot {
+                continue;
+            }
+
+            // Install this group.
+            let j = desc.group_end(i, &node.key);
+            debug_assert!(j > i, "the located node must cover the current key");
+            let deltas = desc.group_deltas(i, j);
+            let new_data = head.data.apply_deltas(&deltas, with_index);
+            let len_after = new_data.len();
+            let now = self.now_secs();
+            let stats = autoscale::fold_update(head.stats.load(), head.stats.update_gap(now));
+            let can_merge = node.key != NodeKey::NegInf;
+            let kind = autoscale::decide(&self.config, &head.stats, len_after, can_merge);
+            let len_delta = len_after as isize - head.data.len() as isize;
+            match kind {
+                UpdateKind::Split if len_after >= 2 => {
+                    match self.install_split(
+                        node_s,
+                        head_s,
+                        new_data,
+                        0, // version comes from the descriptor
+                        Some(desc.clone()),
+                        (i, j),
+                        stats,
+                        now,
+                        guard,
+                    ) {
+                        Some(lsr_s) => {
+                            self.add_len(len_delta);
+                            self.help_split(node_s, lsr_s, guard);
+                            let _ = desc.advance(i, j);
+                            self.perform_gc(node_s, guard);
+                        }
+                        None => continue,
+                    }
+                }
+                UpdateKind::Merge => {
+                    let mterm = Owned::new(Revision {
+                        vref: VersionRef::Batch(desc.clone()),
+                        data: crate::revision::RevData::empty(),
+                        next: crossbeam_epoch::Atomic::null(),
+                        kind: RevKind::MergeTerminator(TermInfo {
+                            op: TermOp::Batch {
+                                group_start: i,
+                                _marker: std::marker::PhantomData,
+                            },
+                            merge_rev: crossbeam_epoch::Atomic::null(),
+                            cleanup_claimed: AtomicBool::new(false),
+                        }),
+                        stats: RevStats::new(stats.0, stats.1, now),
+                        batch_span: (i, i),
+                    });
+                    mterm.next.store(head_s, Ordering::Relaxed);
+                    match node.head.compare_exchange(
+                        head_s,
+                        mterm,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    ) {
+                        Ok(mterm_s) => {
+                            // The merge folds in the predecessor's group
+                            // and advances progress itself.
+                            let _ = self.help_merge_terminator(node_s, mterm_s, guard);
+                        }
+                        Err(e) => drop(e.new),
+                    }
+                }
+                _ => {
+                    let rev = Owned::new(Revision {
+                        vref: VersionRef::Batch(desc.clone()),
+                        data: new_data,
+                        next: crossbeam_epoch::Atomic::null(),
+                        kind: RevKind::Regular,
+                        stats: RevStats::new(stats.0, stats.1, now),
+                        batch_span: (i, j),
+                    });
+                    rev.next.store(head_s, Ordering::Relaxed);
+                    match node.head.compare_exchange(
+                        head_s,
+                        rev,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    ) {
+                        Ok(_) => {
+                            self.add_len(len_delta);
+                            let _ = desc.advance(i, j);
+                            self.perform_gc(node_s, guard);
+                        }
+                        Err(e) => drop(e.new),
+                    }
+                }
+            }
+        }
+    }
+}

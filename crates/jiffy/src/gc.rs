@@ -1,0 +1,77 @@
+//! Jiffy's inner garbage collector (paper §3.3.4, Fig. 2d).
+//!
+//! After an update, the revision list is "cut short": walking from the
+//! head, the first finalized revision whose version is at or below the
+//! minimum registered snapshot version (the *keep point*) is the oldest
+//! revision any current or future reader can select — everything behind
+//! it is unreachable garbage.
+//!
+//! The cut itself is a CAS of the keep point's `next` edge to null; the
+//! winner walks the severed chain and defers destruction of each revision
+//! (following owning edges only — see `node.rs` for the ownership
+//! discipline that makes branched lists reclaimable exactly once).
+//! Readers pinned before the cut are protected by the epoch; readers
+//! arriving after can never walk past the keep point, because the first
+//! finalized revision `<= their snapshot` lies at or above it.
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{Guard, Shared};
+use jiffy_clock::VersionClock;
+
+use crate::inner::{defer_destroy_chain, JiffyInner, MapKey, MapValue};
+use crate::node::Node;
+
+impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
+    /// Truncate obsolete revisions at `node_s` (Algorithm 1 line 34).
+    pub(crate) fn perform_gc<'g>(&self, node_s: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+        let mut min = self.gc_floor();
+        let node = unsafe { node_s.deref() };
+        let mut rev_s = node.head.load(Ordering::Acquire, guard);
+        // Find the keep point: first finalized revision with version <= min.
+        let mut depth = 0usize;
+        let mut refreshed = false;
+        let keep = loop {
+            if rev_s.is_null() {
+                return; // nothing old enough to cut
+            }
+            let rev = unsafe { rev_s.deref() };
+            let v = rev.version();
+            if v >= 0 && v <= min {
+                break rev;
+            }
+            // A long walk means the cached floor lags far behind this
+            // node's update rate (hot-node append patterns): pay for one
+            // registry scan to pull the floor forward and re-evaluate.
+            depth += 1;
+            if depth > 8 && !refreshed {
+                refreshed = true;
+                let fresh = self.snapshots.min_version(&self.clock);
+                self.cached_min.fetch_max(fresh, Ordering::AcqRel);
+                min = self.gc_floor();
+                if v >= 0 && v <= min {
+                    break rev;
+                }
+            }
+            // Walk the spine only; branches hang off their merge revision
+            // and are reclaimed when it is.
+            rev_s = rev.next.load(Ordering::Acquire, guard);
+        };
+        // Cut the spine behind the keep point. The swap atomically
+        // *claims* the severed chain: exactly one cutter sees the
+        // non-null tail, and the chain walker claims every further edge
+        // the same way (see `defer_destroy_chain` on why).
+        let tail = keep.next.swap(Shared::null(), Ordering::AcqRel, guard);
+        if !tail.is_null() && keep.owns_next() {
+            unsafe { defer_destroy_chain(tail, guard) };
+        }
+        // A merge revision at the keep point also owns its right branch;
+        // once it is itself at/below the floor, no reader will descend.
+        if let Some(mi) = keep.as_merge() {
+            let rtail = mi.right_next.swap(Shared::null(), Ordering::AcqRel, guard);
+            if !rtail.is_null() {
+                unsafe { defer_destroy_chain(rtail, guard) };
+            }
+        }
+    }
+}

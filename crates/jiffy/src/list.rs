@@ -1,0 +1,368 @@
+//! Skip-list traversal and structure maintenance (paper §3.1, §3.3.1).
+//!
+//! Invariants relied on throughout:
+//!
+//! * the level-0 list is the authoritative structure; index levels
+//!   (towers) are best-effort shortcuts, fixed up lazily, exactly as in
+//!   `ConcurrentSkipListMap`, whose index-level scheme the paper adopts;
+//! * traversals never *stand on* a temp split node: encountering one as a
+//!   successor triggers helping (rule 1 of §3.1), after which the chain
+//!   contains either the real new node or no trace of the split;
+//! * a temp split node's `next` pointer is immutable after publication —
+//!   nobody unlinks terminated nodes *from* a temp. This closes the
+//!   resurrection hazard where a helper would publish the new node with a
+//!   stale successor that another thread had meanwhile unlinked;
+//! * terminated nodes stay traversable (their `next` is preserved) and are
+//!   unlinked opportunistically by every traversal (`findNodeForKey ...
+//!   unlinks terminated nodes`, §3.3.2).
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{Guard, Shared};
+use jiffy_clock::VersionClock;
+
+use crate::inner::{JiffyInner, MapKey, MapValue};
+use crate::node::{Node, NodeKey, MAX_HEIGHT};
+
+impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
+    /// Find the node whose key range covers `key`. The returned node is
+    /// never a temp split node (those are helped away en route); it may
+    /// have become terminated by the time the caller looks — callers
+    /// revalidate and retry.
+    pub(crate) fn find_node_for_key<'g>(&self, key: &K, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+        let pred = self.tower_descend(key, false, guard);
+        self.walk_level0(pred, key, guard)
+    }
+
+    /// Descend the index levels. With `strict`, stop at nodes whose key is
+    /// strictly below `key` (predecessor search); otherwise allow equal
+    /// keys (floor search). Unlinks index entries to terminated nodes.
+    fn tower_descend<'g>(
+        &self,
+        key: &K,
+        strict: bool,
+        guard: &'g Guard,
+    ) -> Shared<'g, Node<K, V>> {
+        let mut pred_s = self.base_node(guard);
+        for level in (1..MAX_HEIGHT).rev() {
+            loop {
+                let pred = unsafe { pred_s.deref() };
+                if level > pred.tower_height() {
+                    break; // this node does not reach the level; descend
+                }
+                let curr_s = pred.tower[level - 1].load(Ordering::Acquire, guard);
+                if curr_s.is_null() {
+                    break;
+                }
+                let curr = unsafe { curr_s.deref() };
+                if curr.is_terminated() {
+                    // Unlink the index entry and re-read.
+                    let succ = if level <= curr.tower_height() {
+                        curr.tower[level - 1].load(Ordering::Acquire, guard)
+                    } else {
+                        Shared::null()
+                    };
+                    let _ = pred.tower[level - 1].compare_exchange(
+                        curr_s,
+                        succ,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    );
+                    continue;
+                }
+                let advance = match (&curr.key, strict) {
+                    (NodeKey::NegInf, _) => true,
+                    (NodeKey::Key(k), false) => k <= key,
+                    (NodeKey::Key(k), true) => k < key,
+                };
+                if advance {
+                    pred_s = curr_s;
+                } else {
+                    break;
+                }
+            }
+        }
+        pred_s
+    }
+
+    /// Level-0 walk from `start` to the floor node for `key`, helping temp
+    /// split nodes and unlinking terminated nodes on the way.
+    fn walk_level0<'g>(
+        &self,
+        start: Shared<'g, Node<K, V>>,
+        key: &K,
+        guard: &'g Guard,
+    ) -> Shared<'g, Node<K, V>> {
+        let mut node_s = start;
+        loop {
+            let node = unsafe { node_s.deref() };
+            let next_s = node.next.load(Ordering::Acquire, guard);
+            if next_s.is_null() {
+                return node_s;
+            }
+            let next = unsafe { next_s.deref() };
+            if next.is_temp_split() {
+                self.help_temp_split_node(node_s, next_s, guard);
+                continue; // re-read node.next
+            }
+            if next.is_terminated() {
+                // Unlink (never from a temp: we never stand on temps).
+                let succ = next.next.load(Ordering::Acquire, guard);
+                let _ = node.next.compare_exchange(
+                    next_s,
+                    succ,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                );
+                continue;
+            }
+            if next.key.le(key) {
+                node_s = next_s;
+            } else {
+                return node_s;
+            }
+        }
+    }
+
+    /// Find the live level-0 predecessor of `target` (`pred.next ==
+    /// target`). Returns `None` once `target` is unlinked (used as the
+    /// completion condition by merge helpers). Helps temp split nodes and
+    /// unlinks terminated nodes (including a terminated `target`).
+    pub(crate) fn find_pred<'g>(
+        &self,
+        target_s: Shared<'g, Node<K, V>>,
+        guard: &'g Guard,
+    ) -> Option<Shared<'g, Node<K, V>>> {
+        let target = unsafe { target_s.deref() };
+        let tkey = target
+            .key
+            .as_key()
+            .expect("the base node has no predecessor and never merges");
+        let mut node_s = self.tower_descend(tkey, true, guard);
+        loop {
+            let node = unsafe { node_s.deref() };
+            let next_s = node.next.load(Ordering::Acquire, guard);
+            if next_s.is_null() {
+                return None;
+            }
+            let next = unsafe { next_s.deref() };
+            if next.is_temp_split() {
+                self.help_temp_split_node(node_s, next_s, guard);
+                continue;
+            }
+            if next.is_terminated() {
+                let succ = next.next.load(Ordering::Acquire, guard);
+                let _ = node.next.compare_exchange(
+                    next_s,
+                    succ,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    guard,
+                );
+                continue;
+            }
+            if next_s == target_s {
+                return Some(node_s);
+            }
+            match &next.key {
+                NodeKey::NegInf => unreachable!("base node cannot be a successor"),
+                NodeKey::Key(k) if k < tkey => node_s = next_s,
+                // A live node at/past the target's key that is not the
+                // target: the target has been unlinked.
+                _ => return None,
+            }
+        }
+    }
+
+    /// Link a freshly published node into the index levels (tower heights
+    /// `1..=node.tower_height()`). Cooperates with concurrent termination:
+    /// after every successful link the terminated flag is re-checked, and
+    /// the linker undoes its own work if the node died (see the unlink
+    /// protocol in `unlink_tower`).
+    pub(crate) fn link_tower<'g>(&self, node_s: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+        let node = unsafe { node_s.deref() };
+        let h = node.tower_height();
+        if h == 0 {
+            return;
+        }
+        let key = match node.key.as_key() {
+            Some(k) => k,
+            None => return,
+        };
+        for level in 1..=h {
+            loop {
+                if node.is_terminated() {
+                    self.unlink_tower(node_s, guard);
+                    return;
+                }
+                let (pred_s, succ_s) = self.tower_position(key, level, node_s, guard);
+                let pred = unsafe { pred_s.deref() };
+                node.tower[level - 1].store(succ_s, Ordering::Release);
+                if pred.tower[level - 1]
+                    .compare_exchange(succ_s, node_s, Ordering::AcqRel, Ordering::Acquire, guard)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        if node.is_terminated() {
+            self.unlink_tower(node_s, guard);
+        }
+    }
+
+    /// Pred/succ pair for inserting `node` (with key `key`) at `level`.
+    /// Skips `node` itself and unlinks terminated entries.
+    fn tower_position<'g>(
+        &self,
+        key: &K,
+        level: usize,
+        node_s: Shared<'g, Node<K, V>>,
+        guard: &'g Guard,
+    ) -> (Shared<'g, Node<K, V>>, Shared<'g, Node<K, V>>) {
+        let mut pred_s = self.base_node(guard);
+        let mut lvl = MAX_HEIGHT;
+        while lvl >= level {
+            loop {
+                let pred = unsafe { pred_s.deref() };
+                if lvl > pred.tower_height() {
+                    break;
+                }
+                let curr_s = pred.tower[lvl - 1].load(Ordering::Acquire, guard);
+                if curr_s.is_null() {
+                    break;
+                }
+                if curr_s == node_s {
+                    // Already linked here (an older attempt of ours):
+                    // treat the node's own successor as the bound.
+                    break;
+                }
+                let curr = unsafe { curr_s.deref() };
+                if curr.is_terminated() {
+                    let succ = if lvl <= curr.tower_height() {
+                        curr.tower[lvl - 1].load(Ordering::Acquire, guard)
+                    } else {
+                        Shared::null()
+                    };
+                    let _ = pred.tower[lvl - 1].compare_exchange(
+                        curr_s,
+                        succ,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    );
+                    continue;
+                }
+                let advance = match &curr.key {
+                    NodeKey::NegInf => true,
+                    NodeKey::Key(k) => k < key,
+                };
+                if advance {
+                    pred_s = curr_s;
+                } else {
+                    break;
+                }
+            }
+            if lvl == level {
+                break;
+            }
+            lvl -= 1;
+        }
+        let pred = unsafe { pred_s.deref() };
+        let succ_s = pred.tower[level - 1].load(Ordering::Acquire, guard);
+        (pred_s, succ_s)
+    }
+
+    /// Remove `node` from every index level it might be linked at. Called
+    /// by merge completion (before the node's destruction is deferred) and
+    /// by a linker that lost the race with termination.
+    pub(crate) fn unlink_tower<'g>(&self, node_s: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+        let node = unsafe { node_s.deref() };
+        let h = node.tower_height();
+        if h == 0 {
+            return;
+        }
+        let key = match node.key.as_key() {
+            Some(k) => k,
+            None => return,
+        };
+        for level in (1..=h).rev() {
+            'retry: loop {
+                // Walk the level looking for an edge into `node`.
+                let mut pred_s = self.tower_descend_to_level(key, level, guard);
+                loop {
+                    let pred = unsafe { pred_s.deref() };
+                    if level > pred.tower_height() {
+                        break 'retry;
+                    }
+                    let curr_s = pred.tower[level - 1].load(Ordering::Acquire, guard);
+                    if curr_s.is_null() {
+                        break 'retry; // not linked at this level
+                    }
+                    if curr_s == node_s {
+                        let succ = node.tower[level - 1].load(Ordering::Acquire, guard);
+                        if pred.tower[level - 1]
+                            .compare_exchange(
+                                curr_s,
+                                succ,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                                guard,
+                            )
+                            .is_ok()
+                        {
+                            break 'retry;
+                        }
+                        continue 'retry;
+                    }
+                    let curr = unsafe { curr_s.deref() };
+                    let advance = match &curr.key {
+                        NodeKey::NegInf => true,
+                        NodeKey::Key(k) => k <= key,
+                    };
+                    if advance {
+                        pred_s = curr_s;
+                    } else {
+                        break 'retry; // passed the key: not linked here
+                    }
+                }
+            }
+        }
+    }
+
+    /// Descend to `level` taking strictly-smaller keys (helper for
+    /// `unlink_tower`; does not unlink on the way to keep it cheap).
+    fn tower_descend_to_level<'g>(
+        &self,
+        key: &K,
+        level: usize,
+        guard: &'g Guard,
+    ) -> Shared<'g, Node<K, V>> {
+        let mut pred_s = self.base_node(guard);
+        for lvl in ((level + 1)..MAX_HEIGHT).rev() {
+            loop {
+                let pred = unsafe { pred_s.deref() };
+                if lvl > pred.tower_height() {
+                    break;
+                }
+                let curr_s = pred.tower[lvl - 1].load(Ordering::Acquire, guard);
+                if curr_s.is_null() {
+                    break;
+                }
+                let curr = unsafe { curr_s.deref() };
+                let advance = match &curr.key {
+                    NodeKey::NegInf => true,
+                    NodeKey::Key(k) => k < key,
+                };
+                if advance && !curr.is_terminated() {
+                    pred_s = curr_s;
+                } else {
+                    break;
+                }
+            }
+        }
+        pred_s
+    }
+}

@@ -1,0 +1,364 @@
+//! The public `JiffyMap` API.
+
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+use jiffy_clock::{DefaultClock, VersionClock};
+
+use crate::config::JiffyConfig;
+use crate::inner::{JiffyInner, MapKey, MapValue};
+use crate::snapshot::SnapSlot;
+
+/// A lock-free, linearizable ordered key-value map with atomic batch
+/// updates and consistent snapshots — the Rust reproduction of *Jiffy*
+/// (Kobus, Kokociński, Wojciechowski; PPoPP 2022).
+///
+/// All operations take `&self` and may be called from any number of
+/// threads concurrently (share the map via `Arc` or scoped borrows).
+///
+/// ```
+/// use jiffy::JiffyMap;
+///
+/// let map = JiffyMap::new();
+/// map.put(3, "three");
+/// map.put(1, "one");
+/// assert_eq!(map.get(&3), Some("three"));
+///
+/// // Atomic multi-key update:
+/// map.batch(jiffy::Batch::new(vec![
+///     jiffy::BatchOp::Put(2, "two"),
+///     jiffy::BatchOp::Remove(1),
+/// ]));
+///
+/// // Consistent snapshot + range scan:
+/// let snap = map.snapshot();
+/// let keys: Vec<i32> = snap.range(&0, usize::MAX).into_iter().map(|(k, _)| k).collect();
+/// assert_eq!(keys, vec![2, 3]);
+/// ```
+pub struct JiffyMap<K, V, C: VersionClock = DefaultClock> {
+    inner: JiffyInner<K, V, C>,
+}
+
+impl<K: MapKey, V: MapValue> JiffyMap<K, V, DefaultClock> {
+    /// An empty map with the default configuration and clock.
+    pub fn new() -> Self {
+        Self::with_config(JiffyConfig::default())
+    }
+
+    /// An empty map with a custom configuration.
+    pub fn with_config(config: JiffyConfig) -> Self {
+        Self::with_clock_and_config(DefaultClock::default(), config)
+    }
+}
+
+impl<K: MapKey, V: MapValue> Default for JiffyMap<K, V, DefaultClock> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: MapKey, V: MapValue, C: VersionClock> JiffyMap<K, V, C> {
+    /// An empty map with a custom version clock (used by the clock
+    /// ablation benchmarks; see [`jiffy_clock`]).
+    pub fn with_clock_and_config(clock: C, config: JiffyConfig) -> Self {
+        JiffyMap { inner: JiffyInner::new(clock, config) }
+    }
+
+    /// Insert or overwrite; returns the previous value if any.
+    pub fn put(&self, key: K, value: V) -> Option<V> {
+        self.inner.put(key, value)
+    }
+
+    /// Remove; returns the previous value if the key was present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.inner.remove(key)
+    }
+
+    /// The most recent value for `key`.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.inner.get(key)
+    }
+
+    /// Whether `key` is currently present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Apply a batch of put/remove operations atomically: readers (and
+    /// snapshots) observe either none or all of them.
+    pub fn batch(&self, batch: index_api::Batch<K, V>) {
+        self.inner.batch_update(batch.into_ops());
+    }
+
+    /// Acquire a consistent snapshot of the map. O(1); never blocks or
+    /// slows down concurrent updates (§3.3.4). The snapshot pins history:
+    /// hold it only as long as needed, or [`Snapshot::refresh`] it.
+    pub fn snapshot(&self) -> Snapshot<'_, K, V, C> {
+        let v0 = self.inner.clock.now() as i64;
+        let slot = self.inner.snapshots.register(v0);
+        // Re-read after the registration is visible so the GC can never
+        // have cut past our version (§3.3.4's "refresh immediately").
+        let version = self.inner.clock.now() as i64;
+        slot.refresh(version);
+        Snapshot { map: self, slot, version }
+    }
+
+    /// Visit up to `n` entries with key `>= lo` (ascending) from a fresh
+    /// snapshot. Convenience for [`Snapshot::scan_from`].
+    pub fn scan_from(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V)) {
+        self.snapshot().scan_from(lo, n, sink)
+    }
+
+    /// Approximate number of entries (maintained with relaxed counters;
+    /// exact under quiescence, drift-free but unordered under contention).
+    pub fn len_approx(&self) -> usize {
+        self.inner.len_estimate().max(0) as usize
+    }
+
+    /// Whether the map is (approximately) empty.
+    pub fn is_empty_approx(&self) -> bool {
+        self.len_approx() == 0
+    }
+
+    /// Structural telemetry for experiments: `(nodes, entries,
+    /// mean_head_revision_size, max_revision_list_depth)`.
+    pub fn debug_stats(&self) -> MapStats {
+        let guard = &crossbeam_epoch::pin();
+        let mut nodes = 0usize;
+        let mut entries = 0usize;
+        let mut depth_max = 0usize;
+        let mut node_s = self.inner.base_node(guard);
+        while !node_s.is_null() {
+            let node = unsafe { node_s.deref() };
+            let next = node.next.load(Ordering::Acquire, guard);
+            if !node.is_terminated() && !node.is_temp_split() {
+                nodes += 1;
+                let mut rev_s = node.head.load(Ordering::Acquire, guard);
+                let mut depth = 0usize;
+                let mut first_len: Option<usize> = None;
+                while !rev_s.is_null() && depth < 64 {
+                    let rev = unsafe { rev_s.deref() };
+                    if first_len.is_none() && rev.version() >= 0 {
+                        first_len = Some(rev.data.len());
+                    }
+                    depth += 1;
+                    rev_s = rev.next.load(Ordering::Acquire, guard);
+                }
+                entries += first_len.unwrap_or(0);
+                depth_max = depth_max.max(depth);
+            }
+            node_s = next;
+        }
+        MapStats {
+            nodes,
+            entries,
+            mean_revision_size: if nodes > 0 { entries as f64 / nodes as f64 } else { 0.0 },
+            max_revision_depth: depth_max,
+        }
+    }
+}
+
+/// Structural statistics returned by [`JiffyMap::debug_stats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MapStats {
+    /// Live skip-list nodes (including the base node).
+    pub nodes: usize,
+    /// Entries summed over the newest finalized revision of each node.
+    pub entries: usize,
+    /// `entries / nodes` — the quantity the §3.3.6 policy steers.
+    pub mean_revision_size: f64,
+    /// Deepest revision list observed (paper §3.3.4: "revision lists
+    /// contain at most 3-4 revisions at a time, and usually only 2").
+    pub max_revision_depth: usize,
+}
+
+impl<K: MapKey, V: MapValue, C: VersionClock> fmt::Debug for JiffyMap<K, V, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JiffyMap").field("len_approx", &self.len_approx()).finish()
+    }
+}
+
+/// A consistent, read-only view of a [`JiffyMap`] at one instant.
+///
+/// Acquiring a snapshot is O(1) and wait-free; it never blocks updates.
+/// While held, it pins history: the internal GC keeps every revision the
+/// snapshot might read. Dropping (or [`refresh`](Snapshot::refresh)-ing)
+/// releases that history.
+pub struct Snapshot<'a, K: MapKey, V: MapValue, C: VersionClock> {
+    map: &'a JiffyMap<K, V, C>,
+    slot: &'a SnapSlot,
+    version: i64,
+}
+
+impl<'a, K: MapKey, V: MapValue, C: VersionClock> Snapshot<'a, K, V, C> {
+    /// The snapshot version (a clock reading; monotonically related to
+    /// operation linearization order).
+    pub fn version(&self) -> i64 {
+        self.version
+    }
+
+    /// The value of `key` at this snapshot.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.map.inner.get_at(key, self.version)
+    }
+
+    /// Visit up to `n` entries with key `>= lo`, ascending.
+    pub fn scan_from(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V)) {
+        if n == 0 {
+            return;
+        }
+        let mut left = n;
+        self.map.inner.scan_at(lo, self.version, &mut |k, v| {
+            sink(k, v);
+            left -= 1;
+            left > 0
+        });
+    }
+
+    /// Collect up to `n` entries with key `>= lo`.
+    pub fn range(&self, lo: &K, n: usize) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        self.scan_from(lo, n, &mut |k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+
+    /// Collect the entries in `[lo, hi)`.
+    pub fn range_bounded(&self, lo: &K, hi: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        self.map.inner.scan_at(lo, self.version, &mut |k, v| {
+            if k >= hi {
+                return false;
+            }
+            out.push((k.clone(), v.clone()));
+            true
+        });
+        out
+    }
+
+    /// Exact number of entries at this snapshot (O(n): scans).
+    pub fn len(&self) -> usize {
+        let mut n = 0usize;
+        if let Some(first) = self.first_key() {
+            self.map.inner.scan_at(&first, self.version, &mut |_, _| {
+                n += 1;
+                true
+            });
+        }
+        n
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.first_key().is_none()
+    }
+
+    fn first_key(&self) -> Option<K> {
+        // Scan from the base node's range start: walk from the smallest
+        // representable position by starting at the base node. We emulate
+        // "-inf" by scanning from the first node's first entry.
+        let mut first = None;
+        self.map.inner.scan_min(self.version, &mut |k, _| {
+            first = Some(k.clone());
+            false
+        });
+        first
+    }
+
+    /// Iterate all entries of the snapshot, ascending (chunked
+    /// internally; consistent across the whole iteration).
+    pub fn iter(&self) -> crate::iter::SnapshotIter<'_, 'a, K, V, C> {
+        crate::iter::SnapshotIter::new(self, None)
+    }
+
+    /// Iterate entries with key `>= lo`, ascending.
+    pub fn iter_from(&self, lo: &K) -> crate::iter::SnapshotIter<'_, 'a, K, V, C> {
+        crate::iter::SnapshotIter::new(self, Some(lo.clone()))
+    }
+
+    /// Collect up to `n` entries from the start of the key space
+    /// (iterator support; the public `range` APIs need a lower bound).
+    pub(crate) fn scan_min_into(&self, n: usize, out: &mut Vec<(K, V)>) {
+        if n == 0 {
+            return;
+        }
+        self.map.inner.scan_min(self.version, &mut |k, v| {
+            out.push((k.clone(), v.clone()));
+            out.len() < n
+        });
+    }
+
+    /// Advance the snapshot to "now", releasing pinned history.
+    pub fn refresh(&mut self) {
+        let v = self.map.inner.clock.now() as i64;
+        self.slot.refresh(v);
+        self.version = v;
+    }
+}
+
+impl<'a, K: MapKey, V: MapValue, C: VersionClock> Drop for Snapshot<'a, K, V, C> {
+    fn drop(&mut self) {
+        self.slot.release();
+    }
+}
+
+impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
+    /// Scan from the beginning of the key space (snapshot `len()` /
+    /// iteration support; there is no "-inf" key to pass to `scan_at`).
+    pub(crate) fn scan_min(&self, snap: i64, sink: &mut dyn FnMut(&K, &V) -> bool) {
+        // The base node's range starts at -inf: resolve it directly, then
+        // continue with the ordinary keyed scan from the successor's key.
+        let guard = &crossbeam_epoch::pin();
+        let resume_at: Option<K>;
+        let mut stopped = false;
+        loop {
+            let base_s = self.base_node(guard);
+            let base = unsafe { base_s.deref() };
+            let next_snapshot = base.next.load(Ordering::Acquire, guard);
+            let head_s = base.head.load(Ordering::Acquire, guard);
+            if !next_snapshot.is_null() && unsafe { next_snapshot.deref() }.is_temp_split() {
+                self.help_temp_split_node(base_s, next_snapshot, guard);
+                continue;
+            }
+            let head = unsafe { head_s.deref() };
+            if head.is_merge_terminator() {
+                self.help_merge_terminator(base_s, head_s, guard);
+                continue;
+            }
+            if base.next.load(Ordering::Acquire, guard) != next_snapshot {
+                continue;
+            }
+            let upper: Option<K> = if next_snapshot.is_null() {
+                None
+            } else {
+                unsafe { next_snapshot.deref() }.key.as_key().cloned()
+            };
+            self.resolve_window(
+                base_s,
+                head_s,
+                snap,
+                None,
+                upper.as_ref(),
+                &mut |k, v| {
+                    let cont = sink(k, v);
+                    if !cont {
+                        stopped = true;
+                    }
+                    cont
+                },
+                guard,
+            );
+            resume_at = upper;
+            break;
+        }
+        if stopped {
+            return;
+        }
+        if let Some(k) = resume_at {
+            self.scan_at(&k, snap, sink);
+        }
+    }
+}
+
+// SAFETY: `Snapshot` only reads; the map reference and slot are Sync.
+unsafe impl<'a, K: MapKey, V: MapValue, C: VersionClock> Send for Snapshot<'a, K, V, C> {}
+unsafe impl<'a, K: MapKey, V: MapValue, C: VersionClock> Sync for Snapshot<'a, K, V, C> {}

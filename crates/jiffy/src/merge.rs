@@ -1,0 +1,244 @@
+//! The node merge protocol (paper §3.3.1, Figure 4).
+//!
+//! Merging node *o* into its predecessor (towards lower keys, rule §3.1):
+//!
+//! 1. CAS a *merge terminator* onto *o*'s revision list — from here no
+//!    revision can ever be added to *o* (so no split of *o* either);
+//! 2. find the live predecessor *k*, completing any pending operation
+//!    there first (possibly a whole cascade of merges — cascades run
+//!    towards lower keys and bottom out at the base node, which never
+//!    merges, so they terminate);
+//! 3. build a *merge revision* containing the union of *k*'s head and the
+//!    terminator's successor (with the triggering remove / batch group
+//!    applied) and CAS it in as *k*'s head. The merge revision joins the
+//!    two revision lists: `next` continues *k*'s history, `right_next`
+//!    continues *o*'s;
+//! 4. CAS-adopt the installed merge revision into the terminator
+//!    (`merge_rev`), making the merge idempotent for helpers;
+//! 5. mark *o* terminated, unlink it from the tower and the level-0 list;
+//! 6. finalize the version (plain remove) or advance the batch progress
+//!    (batch group); the single winner of that step defers destruction of
+//!    *o* and the terminator.
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{Guard, Owned, Shared};
+use jiffy_clock::VersionClock;
+
+use crate::inner::{JiffyInner, MapKey, MapValue};
+use crate::node::{MergeInfo, Node, RevKind, RevStats, Revision, TermOp};
+use crate::version::{finalize_cell, VersionRef};
+
+impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
+    /// Drive the merge initiated by `mterm_s` (head of `o_s`) to
+    /// completion. Returns the merge revision.
+    pub(crate) fn help_merge_terminator<'g>(
+        &self,
+        o_s: Shared<'g, Node<K, V>>,
+        mterm_s: Shared<'g, Revision<K, V>>,
+        guard: &'g Guard,
+    ) -> Shared<'g, Revision<K, V>> {
+        let o = unsafe { o_s.deref() };
+        let mterm = unsafe { mterm_s.deref() };
+        let ti = mterm.as_terminator().expect("help_merge_terminator takes a terminator");
+
+        // Phase 1: ensure a merge revision is installed and adopted.
+        let mut mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
+        while mr_s.is_null() {
+            let Some(pred_s) = self.find_pred(o_s, guard) else {
+                // `o` unreachable pre-adoption can only mean another
+                // helper raced ahead; re-read and retry.
+                mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
+                continue;
+            };
+            let pred = unsafe { pred_s.deref() };
+            if pred.is_terminated() {
+                mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
+                continue;
+            }
+            let phead_s = pred.head.load(Ordering::Acquire, guard);
+            let phead = unsafe { phead_s.deref() };
+            if let Some(pmi) = phead.as_merge() {
+                if pmi.mterm.load(Ordering::Acquire, guard) == mterm_s {
+                    // A merge revision for *our* terminator is already in
+                    // (its installer stalled before adopting): adopt it.
+                    let _ = ti.merge_rev.compare_exchange(
+                        Shared::null(),
+                        phead_s,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    );
+                    mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
+                    continue;
+                }
+            }
+            if phead.is_merge_terminator() {
+                // The predecessor is itself being merged away: complete
+                // that merge first (cascade towards lower keys).
+                self.help_merge_terminator(pred_s, phead_s, guard);
+                mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
+                continue;
+            }
+            if phead.is_pending() {
+                self.help_pending_update(pred_s, phead_s, guard);
+                mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
+                continue;
+            }
+
+            // Build the merge revision from the two finalized heads.
+            let right_head_s = mterm.next.load(Ordering::Acquire, guard);
+            let right_head = unsafe { right_head_s.deref() };
+            let with_index = !self.config.disable_hash_index;
+            let right_key = o
+                .key
+                .as_key()
+                .expect("the base node never carries a merge terminator")
+                .clone();
+
+            let (data, vref, coverage_end, span) = match &ti.op {
+                TermOp::Remove { key } => {
+                    let combined =
+                        phead.data.concat(&right_head.data.with_remove(key, with_index), with_index);
+                    let cell = match &mterm.vref {
+                        VersionRef::Shared(c) => c.clone(),
+                        _ => unreachable!("remove terminators use a shared cell"),
+                    };
+                    (combined, VersionRef::Shared(cell), 0, (0, 0))
+                }
+                TermOp::Batch { group_start, .. } => {
+                    let desc = mterm
+                        .batch_descriptor()
+                        .expect("batch terminators carry the descriptor")
+                        .clone();
+                    // The merge folds in the predecessor's key group too
+                    // (§3.3.3: merges proceed towards lower keys, so the
+                    // combined revision absorbs everything down to the
+                    // predecessor's node key).
+                    let end = desc.group_end(*group_start, &pred.key);
+                    let deltas = desc.group_deltas(*group_start, end);
+                    let combined = phead
+                        .data
+                        .concat(&right_head.data, with_index)
+                        .apply_deltas(&deltas, with_index);
+                    (combined, VersionRef::Batch(desc), end, (*group_start, end))
+                }
+            };
+
+            let now = self.now_secs();
+            let (pl, pu) =
+                crate::autoscale::fold_update(phead.stats.load(), phead.stats.update_gap(now));
+            let mr = Owned::new(Revision {
+                vref,
+                data,
+                next: crossbeam_epoch::Atomic::null(),
+                kind: RevKind::Merge(MergeInfo {
+                    right_key,
+                    right_node: crossbeam_epoch::Atomic::null(),
+                    right_next: crossbeam_epoch::Atomic::null(),
+                    mterm: crossbeam_epoch::Atomic::null(),
+                    coverage_end,
+                }),
+                stats: RevStats::new(pl, pu, now),
+                batch_span: span,
+            });
+            mr.next.store(phead_s, Ordering::Relaxed);
+            if let RevKind::Merge(mi) = &mr.kind {
+                mi.right_node.store(o_s, Ordering::Relaxed);
+                mi.right_next.store(right_head_s, Ordering::Relaxed);
+                mi.mterm.store(mterm_s, Ordering::Relaxed);
+            }
+            match pred.head.compare_exchange(
+                phead_s,
+                mr,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            ) {
+                Ok(published) => {
+                    let _ = ti.merge_rev.compare_exchange(
+                        Shared::null(),
+                        published,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    );
+                    // Entry accounting: union minus both sources.
+                    let delta = unsafe { published.deref() }.data.len() as isize
+                        - (phead.data.len() + right_head.data.len()) as isize;
+                    self.add_len(delta);
+                }
+                Err(e) => drop(e.new),
+            }
+            mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
+        }
+
+        // Phase 2.
+        self.complete_merge(mr_s, guard);
+        mr_s
+    }
+
+    /// Phases 4-6 for an already-installed merge revision: adopt,
+    /// terminate, unlink, finalize/advance. Idempotent; safe to call from
+    /// any helper that encounters a pending merge revision.
+    pub(crate) fn complete_merge<'g>(
+        &self,
+        mr_s: Shared<'g, Revision<K, V>>,
+        guard: &'g Guard,
+    ) {
+        let mr = unsafe { mr_s.deref() };
+        let mi = mr.as_merge().expect("complete_merge takes a merge revision");
+        let mterm_s = mi.mterm.load(Ordering::Acquire, guard);
+        let mterm = unsafe { mterm_s.deref() };
+        let ti = mterm.as_terminator().expect("merge revision references its terminator");
+        // Adopt (no-op if already adopted; a different adopted revision is
+        // impossible because installation is serialized on pred.head).
+        let _ = ti.merge_rev.compare_exchange(
+            Shared::null(),
+            mr_s,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            guard,
+        );
+        debug_assert_eq!(ti.merge_rev.load(Ordering::Acquire, guard), mr_s);
+
+        let o_s = mi.right_node.load(Ordering::Acquire, guard);
+        let o = unsafe { o_s.deref() };
+        o.terminated.store(true, Ordering::SeqCst);
+        self.unlink_tower(o_s, guard);
+        // Unlink from level 0: find_pred unlinks terminated targets as it
+        // walks; loop until `o` is unreachable.
+        while self.find_pred(o_s, guard).is_some() {
+            std::hint::spin_loop();
+        }
+
+        // Final step: make the merge visible — publish the final version
+        // (plain remove) or hand the baton back to the batch executor by
+        // advancing the descriptor's progress past this group.
+        match &mr.vref {
+            VersionRef::Batch(desc) => {
+                let _ = desc.advance(mr.batch_span.0, mi.coverage_end);
+            }
+            _ => {
+                finalize_cell(&self.clock, mr.vref.cell());
+            }
+        }
+        // One-shot cleanup: exactly one helper (each of which has itself
+        // verified the node is fully unlinked) defers destruction of the
+        // node shell and the terminator.
+        if self.claim_merge_cleanup(ti) {
+            unsafe {
+                guard.defer_destroy(o_s);
+                guard.defer_destroy(mterm_s);
+            }
+        }
+    }
+
+    /// Claim the one-shot cleanup of a (non-batch) merge: the terminator's
+    /// `cleanup_claimed` flag is CAS-won by exactly one helper.
+    fn claim_merge_cleanup(&self, ti: &crate::node::TermInfo<K, V>) -> bool {
+        ti.cleanup_claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}

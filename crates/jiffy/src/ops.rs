@@ -1,0 +1,341 @@
+//! Single-key update operations (paper Algorithm 1) and the generic
+//! helping dispatcher.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam_epoch::{self as epoch, Guard, Owned, Shared};
+use jiffy_clock::VersionClock;
+
+use crate::autoscale::{self, UpdateKind};
+use crate::inner::{JiffyInner, MapKey, MapValue};
+use crate::node::{Node, NodeKey, RevKind, RevStats, Revision, SplitInfo, TermInfo, TermOp};
+use crate::version::{finalize_cell, optimistic_version, VersionCell, VersionRef};
+
+/// Result of locating the node responsible for a key, with a stable
+/// (finalized, non-terminator) head and a validated successor snapshot.
+pub(crate) struct Located<'g, K, V> {
+    pub(crate) node: Shared<'g, Node<K, V>>,
+    pub(crate) head: Shared<'g, Revision<K, V>>,
+}
+
+impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
+    /// The checks of Algorithm 1 lines 4-16: find the node for `key`, help
+    /// any pending operation/structure change, and return once the head is
+    /// finalized and the neighbourhood validated.
+    pub(crate) fn locate_for_update<'g>(&self, key: &K, guard: &'g Guard) -> Located<'g, K, V> {
+        loop {
+            let node_s = self.find_node_for_key(key, guard);
+            let node = unsafe { node_s.deref() };
+            let next_snapshot = node.next.load(Ordering::Acquire, guard);
+            let head_s = node.head.load(Ordering::Acquire, guard);
+            if node.is_terminated() {
+                continue;
+            }
+            debug_assert!(!head_s.is_null(), "every node has a revision list head");
+            let head = unsafe { head_s.deref() };
+            if head.is_merge_terminator() {
+                self.help_merge_terminator(node_s, head_s, guard);
+                continue;
+            }
+            if head.is_pending() {
+                self.help_pending_update(node_s, head_s, guard);
+                continue;
+            }
+            if node.next.load(Ordering::Acquire, guard) != next_snapshot {
+                continue; // a split or merge happened underneath us
+            }
+            return Located { node: node_s, head: head_s };
+        }
+    }
+
+    /// Complete another thread's in-flight update found at the head of
+    /// `node_s` (`helpPendingUpdate`). On return the revision's version is
+    /// final (and any structure change it drove is complete).
+    pub(crate) fn help_pending_update<'g>(
+        &self,
+        node_s: Shared<'g, Node<K, V>>,
+        rev_s: Shared<'g, Revision<K, V>>,
+        guard: &'g Guard,
+    ) {
+        let rev = unsafe { rev_s.deref() };
+        match &rev.kind {
+            RevKind::MergeTerminator(_) => {
+                self.help_merge_terminator(node_s, rev_s, guard);
+            }
+            RevKind::Merge(_) => {
+                self.complete_merge(rev_s, guard);
+                if let Some(desc) = rev.batch_descriptor() {
+                    let desc = desc.clone();
+                    self.help_batch(&desc);
+                }
+            }
+            RevKind::LeftSplit(_) => {
+                self.help_split(node_s, rev_s, guard);
+                match rev.batch_descriptor() {
+                    Some(desc) => {
+                        let desc = desc.clone();
+                        self.help_batch(&desc);
+                    }
+                    None => {
+                        finalize_cell(&self.clock, rev.vref.cell());
+                    }
+                }
+            }
+            RevKind::RightSplit(_) => {
+                // Structure is necessarily complete (this node exists);
+                // only the version remains.
+                match rev.batch_descriptor() {
+                    Some(desc) => {
+                        let desc = desc.clone();
+                        self.help_batch(&desc);
+                    }
+                    None => {
+                        finalize_cell(&self.clock, rev.vref.cell());
+                    }
+                }
+            }
+            RevKind::Regular => match rev.batch_descriptor() {
+                Some(desc) => {
+                    let desc = desc.clone();
+                    self.help_batch(&desc);
+                }
+                None => {
+                    finalize_cell(&self.clock, rev.vref.cell());
+                }
+            },
+        }
+    }
+
+    /// `put(key, value)`: insert or overwrite. Returns the previous value.
+    pub(crate) fn put(&self, key: K, value: V) -> Option<V> {
+        let guard = &epoch::pin();
+        let with_index = !self.config.disable_hash_index;
+        let (published_s, node_s, old);
+        loop {
+            let loc = self.locate_for_update(&key, guard);
+            let node = unsafe { loc.node.deref() };
+            let head = unsafe { loc.head.deref() };
+            let prev = head.data.get(&key).cloned();
+            let len_after = head.data.len() + usize::from(prev.is_none());
+            let opt_ver = optimistic_version(&self.clock);
+            let now = self.now_secs();
+            let stats = autoscale::fold_update(head.stats.load(), head.stats.update_gap(now));
+            // A put only grows the revision: it never merges (Alg. 1).
+            let kind = autoscale::decide(&self.config, &head.stats, len_after, false);
+            if kind == UpdateKind::Split && len_after >= 2 {
+                let full = head.data.with_put(key.clone(), value.clone(), with_index);
+                match self.install_split(loc.node, loc.head, full, opt_ver, None, (0, 0), stats, now, guard)
+                {
+                    Some(lsr_s) => {
+                        self.help_split(loc.node, lsr_s, guard);
+                        if prev.is_none() {
+                            self.add_len(1);
+                        }
+                        published_s = lsr_s;
+                        node_s = loc.node;
+                        old = prev;
+                        break;
+                    }
+                    None => continue,
+                }
+            }
+            let data = head.data.with_put(key.clone(), value.clone(), with_index);
+            let rev = Owned::new(Revision {
+                vref: VersionRef::Inline(VersionCell::with_value(opt_ver)),
+                data,
+                next: crossbeam_epoch::Atomic::null(),
+                kind: RevKind::Regular,
+                stats: RevStats::new(stats.0, stats.1, now),
+                batch_span: (0, 0),
+            });
+            rev.next.store(loc.head, Ordering::Relaxed);
+            match node.head.compare_exchange(
+                loc.head,
+                rev,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            ) {
+                Ok(published) => {
+                    if prev.is_none() {
+                        self.add_len(1);
+                    }
+                    published_s = published;
+                    node_s = loc.node;
+                    old = prev;
+                    break;
+                }
+                Err(e) => drop(e.new),
+            }
+        }
+        let published = unsafe { published_s.deref() };
+        finalize_cell(&self.clock, published.vref.cell());
+        self.perform_gc(node_s, guard);
+        self.bump_update_tick();
+        old
+    }
+
+    /// `remove(key)`: delete. Returns the previous value (or `None`
+    /// without touching the structure, Alg. 1 line 39).
+    pub(crate) fn remove(&self, key: &K) -> Option<V> {
+        let guard = &epoch::pin();
+        let with_index = !self.config.disable_hash_index;
+        let (gc_node_s, finalize_rev_s, old);
+        loop {
+            let loc = self.locate_for_update(key, guard);
+            let node = unsafe { loc.node.deref() };
+            let head = unsafe { loc.head.deref() };
+            let Some(prev) = head.data.get(key).cloned() else {
+                return None;
+            };
+            let len_after = head.data.len() - 1;
+            let opt_ver = optimistic_version(&self.clock);
+            let now = self.now_secs();
+            let stats = autoscale::fold_update(head.stats.load(), head.stats.update_gap(now));
+            let can_merge = node.key != NodeKey::NegInf;
+            let kind = autoscale::decide(&self.config, &head.stats, len_after, can_merge);
+            match kind {
+                UpdateKind::Merge => {
+                    let cell = Arc::new(VersionCell::with_value(opt_ver));
+                    let mterm = Owned::new(Revision {
+                        vref: VersionRef::Shared(cell),
+                        data: crate::revision::RevData::empty(),
+                        next: crossbeam_epoch::Atomic::null(),
+                        kind: RevKind::MergeTerminator(TermInfo {
+                            op: TermOp::Remove { key: key.clone() },
+                            merge_rev: crossbeam_epoch::Atomic::null(),
+                            cleanup_claimed: AtomicBool::new(false),
+                        }),
+                        stats: RevStats::new(stats.0, stats.1, now),
+                        batch_span: (0, 0),
+                    });
+                    // Non-owning edge to the node's (finalized) history.
+                    mterm.next.store(loc.head, Ordering::Relaxed);
+                    match node.head.compare_exchange(
+                        loc.head,
+                        mterm,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    ) {
+                        Ok(mterm_s) => {
+                            // Entry accounting happens when the merge
+                            // revision is installed (its content delta
+                            // already reflects this remove).
+                            let mr_s = self.help_merge_terminator(loc.node, mterm_s, guard);
+                            // GC runs at the node that now hosts the data.
+                            gc_node_s = self.find_node_for_key(key, guard);
+                            finalize_rev_s = mr_s;
+                            old = prev;
+                            break;
+                        }
+                        Err(e) => drop(e.new),
+                    }
+                }
+                UpdateKind::Split | UpdateKind::Regular => {
+                    // (A remove can shrink below the split threshold only
+                    // through races; treat Split as Regular.)
+                    let data = head.data.with_remove(key, with_index);
+                    let rev = Owned::new(Revision {
+                        vref: VersionRef::Inline(VersionCell::with_value(opt_ver)),
+                        data,
+                        next: crossbeam_epoch::Atomic::null(),
+                        kind: RevKind::Regular,
+                        stats: RevStats::new(stats.0, stats.1, now),
+                        batch_span: (0, 0),
+                    });
+                    rev.next.store(loc.head, Ordering::Relaxed);
+                    match node.head.compare_exchange(
+                        loc.head,
+                        rev,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    ) {
+                        Ok(published) => {
+                            self.add_len(-1);
+                            gc_node_s = loc.node;
+                            finalize_rev_s = published;
+                            old = prev;
+                            break;
+                        }
+                        Err(e) => drop(e.new),
+                    }
+                }
+            }
+        }
+        let rev = unsafe { finalize_rev_s.deref() };
+        finalize_cell(&self.clock, rev.vref.cell());
+        self.perform_gc(gc_node_s, guard);
+        self.bump_update_tick();
+        Some(old)
+    }
+
+    /// Build a split pair from `full` (the post-update entries), install
+    /// the left half as `node`'s head. Returns the published left split
+    /// revision, or `None` if the head CAS lost. `batch` carries the
+    /// descriptor for batch-driven splits.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn install_split<'g>(
+        &self,
+        node_s: Shared<'g, Node<K, V>>,
+        expected_head: Shared<'g, Revision<K, V>>,
+        full: crate::revision::RevData<K, V>,
+        opt_ver: i64,
+        batch: Option<Arc<crate::batch::BatchDescriptor<K, V>>>,
+        span: (usize, usize),
+        stats: (f32, f32),
+        now: f32,
+        guard: &'g Guard,
+    ) -> Option<Shared<'g, Revision<K, V>>> {
+        debug_assert!(full.len() >= 2);
+        let with_index = !self.config.disable_hash_index;
+        let node = unsafe { node_s.deref() };
+        let (ldata, rdata, split_key) = full.split_halves(with_index);
+        let info = Arc::new(SplitInfo { split_key, right: crossbeam_epoch::Atomic::null() });
+        let (lvref, rvref): (VersionRef<K, V>, VersionRef<K, V>) = match &batch {
+            Some(d) => (VersionRef::Batch(d.clone()), VersionRef::Batch(d.clone())),
+            None => {
+                let cell = Arc::new(VersionCell::with_value(opt_ver));
+                (VersionRef::Shared(cell.clone()), VersionRef::Shared(cell))
+            }
+        };
+        let rsr = Owned::new(Revision {
+            vref: rvref,
+            data: rdata,
+            next: crossbeam_epoch::Atomic::null(),
+            kind: RevKind::RightSplit(info.clone()),
+            stats: RevStats::new(stats.0, stats.1, now),
+            batch_span: span,
+        });
+        // Non-owning duplicate of the pre-split history edge.
+        rsr.next.store(expected_head, Ordering::Relaxed);
+        let rsr_s = rsr.into_shared(guard);
+        info.right.store(rsr_s, Ordering::Relaxed);
+        let lsr = Owned::new(Revision {
+            vref: lvref,
+            data: ldata,
+            next: crossbeam_epoch::Atomic::null(),
+            kind: RevKind::LeftSplit(info),
+            stats: RevStats::new(stats.0, stats.1, now),
+            batch_span: span,
+        });
+        lsr.next.store(expected_head, Ordering::Relaxed);
+        match node.head.compare_exchange(
+            expected_head,
+            lsr,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            guard,
+        ) {
+            Ok(published) => Some(published),
+            Err(e) => {
+                drop(e.new);
+                // rsr was never visible to anyone else: reclaim directly.
+                drop(unsafe { rsr_s.into_owned() });
+                None
+            }
+        }
+    }
+}

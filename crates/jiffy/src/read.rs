@@ -1,0 +1,118 @@
+//! Lookup operations (paper Algorithm 2).
+//!
+//! `get` (newest) walks the revision list for the first *finalized*
+//! revision; `get_at` (snapshot) applies the §3.2 rules:
+//!
+//! * `|v| > s` — skip the revision (its final version will exceed `s`);
+//! * `v >= 0 && v <= s` — this is the revision to read;
+//! * `v < 0 && -v <= s` — help complete the update, then re-evaluate.
+//!
+//! Skipping a merge revision descends into the branch that covers the
+//! key (`key >= right_key` → right branch), which keeps the merged
+//! node's history reachable even before/without the merge being visible.
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{self as epoch, Guard, Shared};
+use jiffy_clock::VersionClock;
+
+use crate::autoscale::fold_read;
+use crate::inner::{JiffyInner, MapKey, MapValue};
+use crate::node::{Node, Revision};
+
+impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
+    /// Locate the node for a read: helps structure modifications (temp
+    /// split nodes inside the traversal, merge terminators here) but not
+    /// regular pending updates, per Algorithm 2.
+    pub(crate) fn locate_for_read<'g>(
+        &self,
+        key: &K,
+        guard: &'g Guard,
+    ) -> (Shared<'g, Node<K, V>>, Shared<'g, Revision<K, V>>) {
+        loop {
+            let node_s = self.find_node_for_key(key, guard);
+            let node = unsafe { node_s.deref() };
+            let next_snapshot = node.next.load(Ordering::Acquire, guard);
+            let head_s = node.head.load(Ordering::Acquire, guard);
+            if node.is_terminated() {
+                continue;
+            }
+            let head = unsafe { head_s.deref() };
+            if head.is_merge_terminator() {
+                self.help_merge_terminator(node_s, head_s, guard);
+                continue;
+            }
+            if node.next.load(Ordering::Acquire, guard) != next_snapshot {
+                continue;
+            }
+            return (node_s, head_s);
+        }
+    }
+
+    /// Get the most recent value for `key` (`get`, Algorithm 2 lines 1-2,
+    /// 25-34).
+    pub(crate) fn get(&self, key: &K) -> Option<V> {
+        let guard = &epoch::pin();
+        let (_, head_s) = self.locate_for_read(key, guard);
+        self.note_read(head_s, guard);
+        let mut rev_s = head_s;
+        loop {
+            if rev_s.is_null() {
+                return None;
+            }
+            let rev = unsafe { rev_s.deref() };
+            if rev.version() >= 0 {
+                return rev.data.get(key).cloned();
+            }
+            // Pending: skip, choosing the branch that covers the key.
+            rev_s = match rev.as_merge() {
+                Some(mi) if mi.right_key <= *key => mi.right_next.load(Ordering::Acquire, guard),
+                _ => rev.next.load(Ordering::Acquire, guard),
+            };
+        }
+    }
+
+    /// Get the value for `key` as of snapshot version `snap`
+    /// (`get(key, snapVersion)`, Algorithm 2 lines 3-24, 35-52).
+    pub(crate) fn get_at(&self, key: &K, snap: i64) -> Option<V> {
+        debug_assert!(snap >= 0);
+        let guard = &epoch::pin();
+        let (node_s, head_s) = self.locate_for_read(key, guard);
+        self.note_read(head_s, guard);
+        let mut rev_s = head_s;
+        loop {
+            if rev_s.is_null() {
+                return None;
+            }
+            let rev = unsafe { rev_s.deref() };
+            let mut v = rev.version();
+            if v < 0 && -v <= snap {
+                // The update is concurrent but may linearize before the
+                // snapshot: help it and re-read (only heads can be
+                // pending, so `node_s` is the right helping context).
+                self.help_pending_update(node_s, rev_s, guard);
+                v = rev.version();
+            }
+            if v >= 0 && v <= snap {
+                return rev.data.get(key).cloned();
+            }
+            // |v| > snap: skip.
+            rev_s = match rev.as_merge() {
+                Some(mi) if mi.right_key <= *key => mi.right_next.load(Ordering::Acquire, guard),
+                _ => rev.next.load(Ordering::Acquire, guard),
+            };
+        }
+    }
+
+    /// Fold read-side autoscaler statistics into the head revision once
+    /// every `reads_per_stats_update` reads (§3.3.6). The weight is the
+    /// node's read gap, so the EMAs track per-node time shares.
+    pub(crate) fn note_read<'g>(&self, head_s: Shared<'g, Revision<K, V>>, _guard: &'g Guard) {
+        if self.read_fold_due() {
+            let head = unsafe { head_s.deref() };
+            let now = self.now_secs();
+            let (p, u) = fold_read(head.stats.load(), head.stats.read_gap(now));
+            head.stats.store(p, u);
+        }
+    }
+}

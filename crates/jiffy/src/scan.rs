@@ -1,0 +1,166 @@
+//! Snapshot range scans (paper §3.3.4).
+//!
+//! A range scan always runs against a snapshot version. It walks the
+//! level-0 list from the node covering the start key, resolving each
+//! node's revision list at the snapshot and emitting entries inside the
+//! node's *window* — `[max(lo, node.key), successor.key)` at observation
+//! time. Windows partition the keyspace, so concurrent splits/merges can
+//! neither duplicate nor lose entries: any revision created after the
+//! snapshot has a version above it and is filtered out, and pre-snapshot
+//! data stays reachable through split/merge revision branches.
+//!
+//! When the resolution walk has to *skip* a merge revision (its version
+//! exceeds the snapshot), the merged node's history is only reachable
+//! through the revision's two branches; the resolver recurses into both
+//! with the window split at `right_key` — this materializes the paper's
+//! "bulk revision" ("constructed by recursively traversing all
+//! successors of all the encountered merge revisions").
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{self as epoch, Guard, Shared};
+use jiffy_clock::VersionClock;
+
+use crate::inner::{JiffyInner, MapKey, MapValue};
+use crate::node::{NodeKey, Revision};
+
+impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
+    /// Visit entries with key `>= lo` at snapshot `snap`, ascending, until
+    /// `sink` returns `false` or the key space is exhausted.
+    pub(crate) fn scan_at(&self, lo: &K, snap: i64, sink: &mut dyn FnMut(&K, &V) -> bool) {
+        debug_assert!(snap >= 0);
+        let guard = &epoch::pin();
+        let mut cursor: K = lo.clone();
+        'nodes: loop {
+            // Locate the node covering the cursor, with a validated
+            // successor (the Algorithm 2 line 14 re-check, which here also
+            // pins the emission window).
+            let (node_s, head_s, upper) = loop {
+                let node_s = self.find_node_for_key(&cursor, guard);
+                let node = unsafe { node_s.deref() };
+                let next_snapshot = node.next.load(Ordering::Acquire, guard);
+                let head_s = node.head.load(Ordering::Acquire, guard);
+                if node.is_terminated() {
+                    continue;
+                }
+                if !next_snapshot.is_null() && unsafe { next_snapshot.deref() }.is_temp_split() {
+                    // Help and re-read so the window bound is a real node.
+                    self.help_temp_split_node(node_s, next_snapshot, guard);
+                    continue;
+                }
+                let head = unsafe { head_s.deref() };
+                if head.is_merge_terminator() {
+                    self.help_merge_terminator(node_s, head_s, guard);
+                    continue;
+                }
+                if node.next.load(Ordering::Acquire, guard) != next_snapshot {
+                    continue;
+                }
+                let upper: Option<K> = if next_snapshot.is_null() {
+                    None
+                } else {
+                    match &unsafe { next_snapshot.deref() }.key {
+                        NodeKey::Key(k) => Some(k.clone()),
+                        NodeKey::NegInf => unreachable!("base node is never a successor"),
+                    }
+                };
+                break (node_s, head_s, upper);
+            };
+            self.note_read(head_s, guard);
+
+            // Emit this node's window: [cursor, upper).
+            let mut keep_going = true;
+            self.resolve_window(
+                node_s,
+                head_s,
+                snap,
+                Some(&cursor),
+                upper.as_ref(),
+                &mut |k, v| {
+                    keep_going = sink(k, v);
+                    keep_going
+                },
+                guard,
+            );
+            if !keep_going {
+                return;
+            }
+            match upper {
+                Some(u) => cursor = u,
+                None => break 'nodes,
+            }
+        }
+    }
+
+    /// Resolve a revision list at `snap` within the window
+    /// `[lo, hi)` (`lo` inclusive if `Some`, `hi` exclusive if `Some`) and
+    /// emit the entries ascending. Returns `false` if the sink stopped.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn resolve_window<'g>(
+        &self,
+        node_s: Shared<'g, crate::node::Node<K, V>>,
+        rev_start: Shared<'g, Revision<K, V>>,
+        snap: i64,
+        lo: Option<&K>,
+        hi: Option<&K>,
+        sink: &mut dyn FnMut(&K, &V) -> bool,
+        guard: &'g Guard,
+    ) -> bool {
+        // Degenerate window.
+        if let (Some(l), Some(h)) = (lo, hi) {
+            if l >= h {
+                return true;
+            }
+        }
+        let mut rev_s = rev_start;
+        loop {
+            if rev_s.is_null() {
+                return true;
+            }
+            let rev = unsafe { rev_s.deref() };
+            let mut v = rev.version();
+            if v < 0 && -v <= snap {
+                self.help_pending_update(node_s, rev_s, guard);
+                v = rev.version();
+            }
+            if v >= 0 && v <= snap {
+                // Found the revision for this window: emit its entries.
+                let data = &rev.data;
+                let start = lo.map_or(0, |l| data.lower_bound(l));
+                for i in start..data.len() {
+                    let (k, val) = data.entry(i);
+                    if let Some(h) = hi {
+                        if k >= h {
+                            break;
+                        }
+                    }
+                    if !sink(k, val) {
+                        return false;
+                    }
+                }
+                return true;
+            }
+            // |v| > snap: skip, splitting the window at merge joins.
+            if let Some(mi) = rev.as_merge() {
+                let rk = &mi.right_key;
+                let left_next = rev.next.load(Ordering::Acquire, guard);
+                let right_next = mi.right_next.load(Ordering::Acquire, guard);
+                // Left part: [lo, min(hi, right_key)).
+                let left_hi = match hi {
+                    Some(h) if h <= rk => Some(h),
+                    _ => Some(rk),
+                };
+                if !self.resolve_window(node_s, left_next, snap, lo, left_hi, sink, guard) {
+                    return false;
+                }
+                // Right part: [max(lo, right_key), hi).
+                let right_lo = match lo {
+                    Some(l) if l >= rk => Some(l),
+                    _ => Some(rk),
+                };
+                return self.resolve_window(node_s, right_next, snap, right_lo, hi, sink, guard);
+            }
+            rev_s = rev.next.load(Ordering::Acquire, guard);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Snapshot registration (paper §3.3.4).
+//!
+//! A thread that wants a consistent view registers in a shared lock-free
+//! list, publishing its *snapshot version* (a clock read). Jiffy's inner
+//! garbage collector scans the list for the minimum registered version to
+//! learn which revisions can never be read again.
+//!
+//! The registry uses the classic hazard-record scheme: slots are pushed
+//! once and *reused* (claimed with a CAS on an `active` flag), never
+//! unlinked — so registration is lock-free, there is no ABA, and the list
+//! length is bounded by the peak number of simultaneously live snapshots.
+//!
+//! Safety of the min computation: a scanner may miss a slot that is being
+//! claimed concurrently, but any snapshot registered after the scan began
+//! gets a version no lower than the clock at that moment, so a stale
+//! minimum is always a *conservative* (lower) bound — it can only retain
+//! extra garbage, never free something a reader needs. For the same
+//! reason a reused slot's stale version (visible for an instant before the
+//! claimer stores its own) is harmless: it is older, hence lower.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+use jiffy_clock::VersionClock;
+
+/// One registration slot. Slots live until the registry is dropped.
+pub(crate) struct SnapSlot {
+    version: AtomicI64,
+    active: AtomicBool,
+    next: *mut SnapSlot,
+}
+
+// SAFETY: slots are plain atomics + an immutable next pointer; shared
+// across threads by design.
+unsafe impl Send for SnapSlot {}
+unsafe impl Sync for SnapSlot {}
+
+impl SnapSlot {
+    #[inline]
+    pub(crate) fn version(&self) -> i64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Refresh the published snapshot version (a plain store; §3.3.4 notes
+    /// this "does not even require a CAS"). Must not decrease while held.
+    #[inline]
+    pub(crate) fn refresh(&self, version: i64) {
+        debug_assert!(version >= 0);
+        self.version.store(version, Ordering::Release);
+    }
+
+    /// Release the slot for reuse by a future snapshot.
+    #[inline]
+    pub(crate) fn release(&self) {
+        self.active.store(false, Ordering::Release);
+    }
+}
+
+/// The lock-free snapshot list.
+pub(crate) struct SnapRegistry {
+    head: std::sync::atomic::AtomicPtr<SnapSlot>,
+}
+
+impl SnapRegistry {
+    pub(crate) fn new() -> Self {
+        SnapRegistry { head: std::sync::atomic::AtomicPtr::new(std::ptr::null_mut()) }
+    }
+
+    /// Register a snapshot at `version`; returns the claimed slot.
+    pub(crate) fn register(&self, version: i64) -> &SnapSlot {
+        debug_assert!(version >= 0);
+        // First, try to reuse an inactive slot.
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            let slot = unsafe { &*cur };
+            if !slot.active.load(Ordering::Relaxed)
+                && slot
+                    .active
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                // Claimed. A concurrent min-scan may briefly observe the
+                // previous (older = lower = safe) version.
+                slot.refresh(version);
+                return slot;
+            }
+            cur = slot.next;
+        }
+        // No free slot: push a new one (version set before publication).
+        let slot = Box::into_raw(Box::new(SnapSlot {
+            version: AtomicI64::new(version),
+            active: AtomicBool::new(true),
+            next: std::ptr::null_mut(),
+        }));
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            unsafe { (*slot).next = head };
+            if self
+                .head
+                .compare_exchange(head, slot, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return unsafe { &*slot };
+            }
+        }
+    }
+
+    /// Minimum registered snapshot version; `now` (a fresh clock read) if
+    /// no snapshot is active. The result is a safe lower bound per the
+    /// module-level argument.
+    pub(crate) fn min_version<C: VersionClock>(&self, clock: &C) -> i64 {
+        let mut min: Option<i64> = None;
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            let slot = unsafe { &*cur };
+            if slot.active.load(Ordering::Acquire) {
+                let v = slot.version();
+                min = Some(min.map_or(v, |m: i64| m.min(v)));
+            }
+            cur = slot.next;
+        }
+        min.unwrap_or_else(|| clock.now() as i64)
+    }
+
+    /// Number of slots ever allocated (for tests/telemetry).
+    #[allow(dead_code)] // exercised by unit tests
+    pub(crate) fn slot_count(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            n += 1;
+            cur = unsafe { (*cur).next };
+        }
+        n
+    }
+}
+
+impl Drop for SnapRegistry {
+    fn drop(&mut self) {
+        let mut cur = *self.head.get_mut();
+        while !cur.is_null() {
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jiffy_clock::AtomicClock;
+
+    #[test]
+    fn register_and_min() {
+        let clock = AtomicClock::new();
+        let reg = SnapRegistry::new();
+        let a = reg.register(100);
+        let b = reg.register(50);
+        assert_eq!(reg.min_version(&clock), 50);
+        b.release();
+        assert_eq!(reg.min_version(&clock), 100);
+        a.release();
+        // No active snapshots: min falls back to "now".
+        let now_floor = clock.now() as i64;
+        assert!(reg.min_version(&clock) >= now_floor);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let reg = SnapRegistry::new();
+        let a = reg.register(1);
+        a.release();
+        let _b = reg.register(2);
+        assert_eq!(reg.slot_count(), 1, "released slot must be reused");
+        let _c = reg.register(3);
+        assert_eq!(reg.slot_count(), 2);
+    }
+
+    #[test]
+    fn refresh_advances_version() {
+        let clock = AtomicClock::new();
+        let reg = SnapRegistry::new();
+        let s = reg.register(10);
+        assert_eq!(reg.min_version(&clock), 10);
+        s.refresh(500);
+        assert_eq!(s.version(), 500);
+        assert_eq!(reg.min_version(&clock), 500);
+    }
+
+    #[test]
+    fn concurrent_register_release() {
+        use std::sync::Arc;
+        let reg = Arc::new(SnapRegistry::new());
+        let mut handles = vec![];
+        for t in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    let s = reg.register(t * 1000 + i);
+                    assert!(s.version() >= 0);
+                    s.release();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Bounded by peak concurrency, not total registrations.
+        assert!(reg.slot_count() <= 8, "slots: {}", reg.slot_count());
+    }
+
+    #[test]
+    fn min_over_many() {
+        let clock = AtomicClock::new();
+        let reg = SnapRegistry::new();
+        let slots: Vec<_> = (0..10).map(|i| reg.register(1000 - i)).collect();
+        assert_eq!(reg.min_version(&clock), 991);
+        for s in slots {
+            s.release();
+        }
+    }
+}

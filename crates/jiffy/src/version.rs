@@ -1,0 +1,220 @@
+//! Version numbers (paper §3.2).
+//!
+//! Every update operation — and every revision it creates — carries two
+//! version numbers over its lifetime:
+//!
+//! * an *optimistic* version `v = -(t + 1)` where `t` is a clock read taken
+//!   when the update starts. It is negative, which tells concurrent threads
+//!   the update is still pending, and its magnitude is a lower bound on the
+//!   final version;
+//! * a *final* version `v' = max(clock.now(), |v|)`, assigned exactly once
+//!   with a CAS. Assigning it is the linearization point of the update.
+//!
+//! The invariant `v' >= |v|` lets snapshot readers skip any revision whose
+//! version magnitude exceeds the snapshot version without helping it
+//! (§3.2). Before publishing `v'` the writer spins until the clock has
+//! advanced past it (`wait_until`, Algorithm 1 line 66; with a TSC-grade
+//! clock the loop body never executes in practice).
+//!
+//! Revisions created by a *batch update* do not own a version cell: they
+//! all read the version through the shared [`BatchDescriptor`]
+//! (§3.3.3 item 1), so the whole batch becomes visible atomically. The two
+//! halves of a *split* likewise share one cell, as do a merge terminator
+//! and its merge revision.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use jiffy_clock::VersionClock;
+
+use crate::batch::BatchDescriptor;
+
+/// Version of the pre-populated initial revision of the base node. Zero is
+/// "finalized" (non-negative) and is `<=` every snapshot version, so an
+/// empty map is visible at any snapshot.
+pub(crate) const INITIAL_VERSION: i64 = 0;
+
+/// A single CAS-able version slot shared between the parts of one logical
+/// update (a split pair, or a merge terminator + merge revision).
+#[derive(Debug)]
+pub(crate) struct VersionCell {
+    v: AtomicI64,
+}
+
+impl VersionCell {
+    pub(crate) fn new_optimistic<C: VersionClock>(clock: &C) -> Self {
+        VersionCell { v: AtomicI64::new(optimistic_version(clock)) }
+    }
+
+    pub(crate) fn with_value(v: i64) -> Self {
+        VersionCell { v: AtomicI64::new(v) }
+    }
+
+    #[inline]
+    pub(crate) fn load(&self) -> i64 {
+        self.v.load(Ordering::Acquire)
+    }
+
+    /// Set the final version if not already set; returns the version that
+    /// ended up in the cell (ours or the winner's). Mirrors the paper's
+    /// `trySetVersion` (Algorithm 1 lines 59-65).
+    pub(crate) fn try_finalize(&self, fin: i64) -> i64 {
+        debug_assert!(fin > 0);
+        let cur = self.v.load(Ordering::Acquire);
+        if cur >= 0 {
+            return cur;
+        }
+        match self.v.compare_exchange(cur, fin, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => fin,
+            Err(actual) => {
+                debug_assert!(actual >= 0, "version can only change pending -> final");
+                actual
+            }
+        }
+    }
+}
+
+/// Compute the optimistic (pending) version for a new update: `-(t + 1)`.
+#[inline]
+pub(crate) fn optimistic_version<C: VersionClock>(clock: &C) -> i64 {
+    let t = clock.now() as i64;
+    -(t + 1)
+}
+
+/// Busy-wait until the clock reaches `version` (Algorithm 1, `waitUntil`).
+/// With TSC/monotonic clocks `fin = max(now, |opt|)` already satisfies
+/// this, so the loop body essentially never runs; it exists to uphold the
+/// snapshot invariant even on coarse clocks.
+#[inline]
+pub(crate) fn wait_until<C: VersionClock>(clock: &C, version: i64) {
+    while (clock.now() as i64) < version {
+        std::hint::spin_loop();
+    }
+}
+
+/// Compute + publish the final version for `cell`: `max(now, |opt|)`,
+/// wait for the clock, CAS. Returns the final version now in the cell.
+pub(crate) fn finalize_cell<C: VersionClock>(clock: &C, cell: &VersionCell) -> i64 {
+    let cur = cell.load();
+    if cur >= 0 {
+        return cur;
+    }
+    let fin = (clock.now() as i64).max(-cur);
+    wait_until(clock, fin);
+    cell.try_finalize(fin)
+}
+
+/// Where a revision's version number lives (§3.3.3 item 1: batch revisions
+/// read it "indirectly through the batch descriptor").
+pub(crate) enum VersionRef<K, V> {
+    /// The revision owns its version (regular put/remove revisions).
+    Inline(VersionCell),
+    /// Shared with the other half of a split, or between a merge
+    /// terminator and its merge revision.
+    Shared(Arc<VersionCell>),
+    /// Shared by every revision of one batch update.
+    Batch(Arc<BatchDescriptor<K, V>>),
+}
+
+impl<K, V> VersionRef<K, V> {
+    #[inline]
+    pub(crate) fn load(&self) -> i64 {
+        self.cell().load()
+    }
+
+    #[inline]
+    pub(crate) fn cell(&self) -> &VersionCell {
+        match self {
+            VersionRef::Inline(c) => c,
+            VersionRef::Shared(c) => c,
+            VersionRef::Batch(d) => d.version_cell(),
+        }
+    }
+
+    /// The batch descriptor, if this revision belongs to a batch update.
+    pub(crate) fn batch(&self) -> Option<&Arc<BatchDescriptor<K, V>>> {
+        match self {
+            VersionRef::Batch(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for VersionRef<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VersionRef::Inline(c) => write!(f, "Inline({})", c.load()),
+            VersionRef::Shared(c) => write!(f, "Shared({})", c.load()),
+            VersionRef::Batch(d) => write!(f, "Batch({})", d.version_cell().load()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jiffy_clock::{AtomicClock, MonotonicClock};
+
+    #[test]
+    fn optimistic_is_negative() {
+        let c = MonotonicClock::new();
+        for _ in 0..100 {
+            assert!(optimistic_version(&c) < 0);
+        }
+    }
+
+    #[test]
+    fn finalize_respects_invariant() {
+        let c = AtomicClock::new();
+        let cell = VersionCell::new_optimistic(&c);
+        let opt = cell.load();
+        assert!(opt < 0);
+        let fin = finalize_cell(&c, &cell);
+        assert!(fin >= -opt, "final {fin} must be >= |optimistic| {}", -opt);
+        assert_eq!(cell.load(), fin);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let c = AtomicClock::new();
+        let cell = VersionCell::new_optimistic(&c);
+        let fin1 = finalize_cell(&c, &cell);
+        let fin2 = finalize_cell(&c, &cell);
+        assert_eq!(fin1, fin2);
+    }
+
+    #[test]
+    fn try_finalize_first_writer_wins() {
+        let cell = VersionCell::with_value(-100);
+        assert_eq!(cell.try_finalize(150), 150);
+        assert_eq!(cell.try_finalize(999), 150);
+        assert_eq!(cell.load(), 150);
+    }
+
+    #[test]
+    fn concurrent_finalize_single_winner() {
+        use std::sync::Arc;
+        let clock = Arc::new(AtomicClock::new());
+        for _ in 0..50 {
+            let cell = Arc::new(VersionCell::new_optimistic(&*clock));
+            let mut handles = vec![];
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                let clock = Arc::clone(&clock);
+                handles.push(std::thread::spawn(move || finalize_cell(&*clock, &cell)));
+            }
+            let results: Vec<i64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // All helpers must agree on the final version.
+            assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+            assert_eq!(cell.load(), results[0]);
+        }
+    }
+
+    #[test]
+    fn wait_until_terminates() {
+        let c = AtomicClock::new();
+        let target = c.now() as i64 + 50;
+        wait_until(&c, target); // AtomicClock advances on every read
+        assert!(c.now() as i64 >= target);
+    }
+}

@@ -1,0 +1,404 @@
+//! Sequential model-equivalence tests: a `JiffyMap` driven through large
+//! operation sequences must agree with `BTreeMap` at every step, across
+//! configurations that force frequent node splits and merges.
+
+use std::collections::BTreeMap;
+
+use jiffy::{Batch, BatchOp, JiffyConfig, JiffyMap};
+
+fn tiny_config() -> JiffyConfig {
+    // Tiny revisions: every handful of updates triggers a split or merge,
+    // exercising the structure-modification machinery hard.
+    JiffyConfig {
+        min_revision_size: 2,
+        max_revision_size: 8,
+        fixed_revision_size: Some(4),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn put_get_roundtrip_small() {
+    let map: JiffyMap<u64, u64> = JiffyMap::new();
+    assert_eq!(map.get(&1), None);
+    assert_eq!(map.put(1, 100), None);
+    assert_eq!(map.get(&1), Some(100));
+    assert_eq!(map.put(1, 200), Some(100));
+    assert_eq!(map.get(&1), Some(200));
+    assert_eq!(map.remove(&1), Some(200));
+    assert_eq!(map.get(&1), None);
+    assert_eq!(map.remove(&1), None);
+}
+
+#[test]
+fn ascending_inserts_trigger_splits() {
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    for k in 0..2000 {
+        map.put(k, k * 7);
+    }
+    let stats = map.debug_stats();
+    assert!(stats.nodes > 10, "splits should have created nodes: {stats:?}");
+    assert_eq!(stats.entries, 2000);
+    for k in 0..2000 {
+        assert_eq!(map.get(&k), Some(k * 7), "key {k}");
+    }
+    assert_eq!(map.get(&2000), None);
+    assert_eq!(map.len_approx(), 2000);
+}
+
+#[test]
+fn descending_and_interleaved_inserts() {
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    for k in (0..1000).rev() {
+        map.put(k, k);
+    }
+    for k in (1000..2000).step_by(2) {
+        map.put(k, k);
+    }
+    for k in 0..1000 {
+        assert_eq!(map.get(&k), Some(k));
+    }
+    for k in (1000..2000).step_by(2) {
+        assert_eq!(map.get(&k), Some(k));
+        assert_eq!(map.get(&(k + 1)), None);
+    }
+}
+
+#[test]
+fn removals_trigger_merges() {
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    for k in 0..1000 {
+        map.put(k, k);
+    }
+    let nodes_before = map.debug_stats().nodes;
+    for k in 0..1000 {
+        if k % 4 != 0 {
+            assert_eq!(map.remove(&k), Some(k), "key {k}");
+        }
+    }
+    let stats = map.debug_stats();
+    assert!(
+        stats.nodes < nodes_before,
+        "merges should shrink the index: {} -> {}",
+        nodes_before,
+        stats.nodes
+    );
+    for k in 0..1000 {
+        let expect = if k % 4 == 0 { Some(k) } else { None };
+        assert_eq!(map.get(&k), expect, "key {k}");
+    }
+    assert_eq!(map.len_approx(), 250);
+}
+
+#[test]
+fn remove_everything_leaves_empty_map() {
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    for round in 0..3 {
+        for k in 0..300 {
+            map.put(k, k + round);
+        }
+        for k in 0..300 {
+            assert_eq!(map.remove(&k), Some(k + round));
+        }
+        for k in 0..300 {
+            assert_eq!(map.get(&k), None);
+        }
+        assert_eq!(map.len_approx(), 0);
+    }
+}
+
+#[test]
+fn random_ops_match_btreemap() {
+    let mut seed = 0x853c_49e6_748f_ea9bu64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for i in 0..20_000u64 {
+        let r = rng();
+        let key = r % 512; // small key space: heavy overwrite/removal churn
+        match (r >> 32) % 3 {
+            0 | 1 => {
+                assert_eq!(map.put(key, i), model.insert(key, i), "put {key} @ {i}");
+            }
+            _ => {
+                assert_eq!(map.remove(&key), model.remove(&key), "remove {key} @ {i}");
+            }
+        }
+        if i % 1024 == 0 {
+            for k in (0..512).step_by(37) {
+                assert_eq!(map.get(&k), model.get(&k).copied(), "get {k} @ {i}");
+            }
+        }
+    }
+    // Full final sweep.
+    for k in 0..512 {
+        assert_eq!(map.get(&k), model.get(&k).copied(), "final get {k}");
+    }
+    let snap = map.snapshot();
+    let scanned = snap.range(&0, usize::MAX);
+    let expected: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(scanned, expected, "final scan must equal model");
+}
+
+#[test]
+fn batch_updates_match_btreemap() {
+    let mut seed = 0x2545_F491_4F6C_DD1Du64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for round in 0..400u64 {
+        let n = 1 + (rng() % 64) as usize;
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r = rng();
+            let key = r % 400;
+            if (r >> 32) % 4 == 0 {
+                ops.push(BatchOp::Remove(key));
+            } else {
+                ops.push(BatchOp::Put(key, round));
+            }
+        }
+        let batch = Batch::new(ops);
+        // Mirror the canonical batch into the model.
+        for op in batch.ops() {
+            match op {
+                BatchOp::Put(k, v) => {
+                    model.insert(*k, *v);
+                }
+                BatchOp::Remove(k) => {
+                    model.remove(k);
+                }
+            }
+        }
+        map.batch(batch);
+        if round % 32 == 0 {
+            for k in (0..400).step_by(11) {
+                assert_eq!(map.get(&k), model.get(&k).copied(), "get {k} round {round}");
+            }
+        }
+    }
+    let snap = map.snapshot();
+    let scanned = snap.range(&0, usize::MAX);
+    let expected: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(scanned, expected);
+}
+
+#[test]
+fn batch_remove_of_absent_keys_is_ok() {
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    map.batch(Batch::new(vec![BatchOp::Remove(5), BatchOp::Remove(99)]));
+    assert_eq!(map.get(&5), None);
+    map.put(5, 1);
+    map.batch(Batch::new(vec![BatchOp::Remove(5), BatchOp::Put(6, 2)]));
+    assert_eq!(map.get(&5), None);
+    assert_eq!(map.get(&6), Some(2));
+}
+
+#[test]
+fn large_batches_spanning_many_nodes() {
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    for k in 0..1024 {
+        map.put(k, 0);
+    }
+    // One batch touching every 3rd key across the whole index.
+    let ops: Vec<BatchOp<u64, u64>> =
+        (0..1024).step_by(3).map(|k| BatchOp::Put(k, k + 1)).collect();
+    map.batch(Batch::new(ops));
+    for k in 0..1024 {
+        let expect = if k % 3 == 0 { k + 1 } else { 0 };
+        assert_eq!(map.get(&k), Some(expect), "key {k}");
+    }
+}
+
+#[test]
+fn scans_with_bounds_and_limits() {
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    for k in (0..500).map(|i| i * 2) {
+        map.put(k, k);
+    }
+    let snap = map.snapshot();
+    // Limit.
+    let first10 = snap.range(&0, 10);
+    assert_eq!(first10.len(), 10);
+    assert_eq!(first10[0], (0, 0));
+    assert_eq!(first10[9], (18, 18));
+    // Start between keys.
+    let mid = snap.range(&101, 5);
+    assert_eq!(mid[0], (102, 102));
+    // Bounded range.
+    let bounded = snap.range_bounded(&100, &120);
+    assert_eq!(
+        bounded.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118]
+    );
+    // Past the end.
+    assert!(snap.range(&10_000, 10).is_empty());
+    // Exact count.
+    assert_eq!(snap.len(), 500);
+}
+
+#[test]
+fn snapshot_isolation_from_later_updates() {
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    for k in 0..100 {
+        map.put(k, 1);
+    }
+    let snap = map.snapshot();
+    for k in 0..100 {
+        map.put(k, 2);
+    }
+    map.remove(&50);
+    map.put(1000, 9);
+    // The snapshot still sees the old world.
+    for k in 0..100 {
+        assert_eq!(snap.get(&k), Some(1), "snapshot key {k}");
+    }
+    assert_eq!(snap.get(&1000), None);
+    assert_eq!(snap.len(), 100);
+    // The live map sees the new world.
+    assert_eq!(map.get(&50), None);
+    assert_eq!(map.get(&0), Some(2));
+    assert_eq!(map.get(&1000), Some(9));
+}
+
+#[test]
+fn snapshot_refresh_advances_view() {
+    let map: JiffyMap<u64, u64> = JiffyMap::new();
+    map.put(1, 1);
+    let mut snap = map.snapshot();
+    map.put(1, 2);
+    assert_eq!(snap.get(&1), Some(1));
+    snap.refresh();
+    assert_eq!(snap.get(&1), Some(2));
+}
+
+#[test]
+fn snapshot_survives_splits_and_merges() {
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(tiny_config());
+    for k in 0..400 {
+        map.put(k, k);
+    }
+    let snap = map.snapshot();
+    // Restructure heavily underneath the snapshot.
+    for k in 0..400 {
+        if k % 2 == 0 {
+            map.remove(&k);
+        }
+    }
+    for k in 400..800 {
+        map.put(k, k);
+    }
+    assert_eq!(snap.len(), 400, "snapshot must still see all 400 original entries");
+    for k in (0..400).step_by(23) {
+        assert_eq!(snap.get(&k), Some(k));
+    }
+    let all = snap.range(&0, usize::MAX);
+    assert_eq!(all.len(), 400);
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan must be sorted");
+}
+
+#[test]
+fn batches_are_atomic_under_snapshots() {
+    let map: JiffyMap<u64, i64> = JiffyMap::with_config(tiny_config());
+    for k in 0..64 {
+        map.put(k, 0);
+    }
+    // Each batch moves 10 units from key a to key b; total stays 0.
+    for i in 0..200 {
+        let a = i % 64;
+        let b = (i * 7 + 3) % 64;
+        if a == b {
+            continue;
+        }
+        let va = map.get(&a).unwrap();
+        let vb = map.get(&b).unwrap();
+        map.batch(Batch::new(vec![BatchOp::Put(a, va - 10), BatchOp::Put(b, vb + 10)]));
+        let snap = map.snapshot();
+        let sum: i64 = snap.range(&0, usize::MAX).iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, 0, "batch atomicity violated at iteration {i}");
+    }
+}
+
+#[test]
+fn string_keys_and_values() {
+    let map: JiffyMap<String, String> = JiffyMap::with_config(tiny_config());
+    for i in 0..300 {
+        map.put(format!("key-{i:04}"), format!("value-{i}"));
+    }
+    assert_eq!(map.get(&"key-0042".to_string()), Some("value-42".to_string()));
+    let snap = map.snapshot();
+    let r = snap.range(&"key-0100".to_string(), 3);
+    assert_eq!(r[0].0, "key-0100");
+    assert_eq!(r[2].0, "key-0102");
+}
+
+#[test]
+fn zero_and_max_keys() {
+    let map: JiffyMap<u64, u64> = JiffyMap::new();
+    map.put(0, 10);
+    map.put(u64::MAX, 20);
+    assert_eq!(map.get(&0), Some(10));
+    assert_eq!(map.get(&u64::MAX), Some(20));
+    let snap = map.snapshot();
+    assert_eq!(snap.range(&0, 10).len(), 2);
+}
+
+#[test]
+fn fixed_revision_size_is_respected() {
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(JiffyConfig::fixed(16));
+    for k in 0..2000 {
+        map.put(k, k);
+    }
+    let stats = map.debug_stats();
+    // Mean head revision size should hover near the fixed target (within
+    // the split/merge hysteresis band).
+    assert!(
+        stats.mean_revision_size <= 32.0 + 1.0,
+        "revisions too large: {stats:?}"
+    );
+    assert!(stats.nodes >= 2000 / 33, "too few nodes: {stats:?}");
+}
+
+#[test]
+fn disable_hash_index_still_correct() {
+    let cfg = JiffyConfig { disable_hash_index: true, ..tiny_config() };
+    let map: JiffyMap<u64, u64> = JiffyMap::with_config(cfg);
+    for k in 0..500 {
+        map.put(k, k * 3);
+    }
+    for k in 0..500 {
+        assert_eq!(map.get(&k), Some(k * 3));
+    }
+    for k in 0..500 {
+        if k % 2 == 0 {
+            map.remove(&k);
+        }
+    }
+    for k in 0..500 {
+        let expect = if k % 2 == 0 { None } else { Some(k * 3) };
+        assert_eq!(map.get(&k), expect);
+    }
+}
+
+#[test]
+fn empty_map_operations() {
+    let map: JiffyMap<u64, u64> = JiffyMap::new();
+    assert_eq!(map.get(&0), None);
+    assert_eq!(map.remove(&0), None);
+    let snap = map.snapshot();
+    assert!(snap.is_empty());
+    assert_eq!(snap.len(), 0);
+    assert!(snap.range(&0, 100).is_empty());
+    map.batch(Batch::new(vec![]));
+    assert_eq!(map.len_approx(), 0);
+}

@@ -1,0 +1,197 @@
+//! Property-based tests on Jiffy's core data structures and invariants.
+
+use std::collections::BTreeMap;
+
+use jiffy::{Batch, BatchOp, JiffyConfig, JiffyMap};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Batch(Vec<(u16, Option<u32>)>),
+    Snapshot,
+    ScanAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Put(k % 300, v)),
+        3 => any::<u16>().prop_map(|k| Op::Remove(k % 300)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 300)),
+        2 => proptest::collection::vec((any::<u16>(), proptest::option::of(any::<u32>())), 1..24)
+            .prop_map(|v| Op::Batch(v.into_iter().map(|(k, o)| (k % 300, o)).collect())),
+        1 => Just(Op::Snapshot),
+        1 => Just(Op::ScanAll),
+    ]
+}
+
+fn configs() -> Vec<JiffyConfig> {
+    vec![
+        // Pathologically small revisions: maximum structure churn.
+        JiffyConfig {
+            min_revision_size: 2,
+            max_revision_size: 6,
+            fixed_revision_size: Some(2),
+            ..Default::default()
+        },
+        // Mid-size fixed revisions.
+        JiffyConfig::fixed(16),
+        // Adaptive with the hash index disabled.
+        JiffyConfig {
+            min_revision_size: 4,
+            max_revision_size: 32,
+            disable_hash_index: true,
+            ..Default::default()
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Arbitrary op sequences match BTreeMap under every configuration,
+    /// and snapshots taken at arbitrary points stay frozen.
+    #[test]
+    fn model_equivalence_across_configs(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        for config in configs() {
+            let map: JiffyMap<u16, u32> = JiffyMap::with_config(config);
+            let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+            let mut snaps: Vec<(jiffy::Snapshot<'_, u16, u32, _>, BTreeMap<u16, u32>)> = vec![];
+            for op in &ops {
+                match op {
+                    Op::Put(k, v) => {
+                        prop_assert_eq!(map.put(*k, *v), model.insert(*k, *v));
+                    }
+                    Op::Remove(k) => {
+                        prop_assert_eq!(map.remove(k), model.remove(k));
+                    }
+                    Op::Get(k) => {
+                        prop_assert_eq!(map.get(k), model.get(k).copied());
+                    }
+                    Op::Batch(entries) => {
+                        let bops: Vec<BatchOp<u16, u32>> = entries
+                            .iter()
+                            .map(|(k, v)| match v {
+                                Some(v) => BatchOp::Put(*k, *v),
+                                None => BatchOp::Remove(*k),
+                            })
+                            .collect();
+                        let batch = Batch::new(bops);
+                        for op in batch.ops() {
+                            match op {
+                                BatchOp::Put(k, v) => {
+                                    model.insert(*k, *v);
+                                }
+                                BatchOp::Remove(k) => {
+                                    model.remove(k);
+                                }
+                            }
+                        }
+                        map.batch(batch);
+                    }
+                    Op::Snapshot => {
+                        if snaps.len() < 4 {
+                            snaps.push((map.snapshot(), model.clone()));
+                        }
+                    }
+                    Op::ScanAll => {
+                        let snap = map.snapshot();
+                        let got: Vec<(u16, u32)> = snap.iter().collect();
+                        let want: Vec<(u16, u32)> =
+                            model.iter().map(|(k, v)| (*k, *v)).collect();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            // Every retained snapshot still equals its model of record.
+            for (snap, snap_model) in &snaps {
+                let got: Vec<(u16, u32)> = snap.iter().collect();
+                let want: Vec<(u16, u32)> = snap_model.iter().map(|(k, v)| (*k, *v)).collect();
+                prop_assert_eq!(got, want, "snapshot drifted");
+            }
+            // Structural sanity: entry accounting and ordered iteration.
+            prop_assert_eq!(map.len_approx(), model.len());
+            let stats = map.debug_stats();
+            prop_assert_eq!(stats.entries, model.len());
+        }
+    }
+
+    /// `len_approx` is exact under single-threaded use, whatever the mix
+    /// of puts, removes, and batches.
+    #[test]
+    fn len_accounting_is_exact_sequentially(
+        ops in proptest::collection::vec(op_strategy(), 1..150)
+    ) {
+        let map: JiffyMap<u16, u32> = JiffyMap::with_config(JiffyConfig::fixed(4));
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    map.put(*k, *v);
+                    model.insert(*k, *v);
+                }
+                Op::Remove(k) => {
+                    map.remove(k);
+                    model.remove(k);
+                }
+                Op::Batch(entries) => {
+                    let bops: Vec<BatchOp<u16, u32>> = entries
+                        .iter()
+                        .map(|(k, v)| match v {
+                            Some(v) => BatchOp::Put(*k, *v),
+                            None => BatchOp::Remove(*k),
+                        })
+                        .collect();
+                    let batch = Batch::new(bops);
+                    for op in batch.ops() {
+                        match op {
+                            BatchOp::Put(k, v) => {
+                                model.insert(*k, *v);
+                            }
+                            BatchOp::Remove(k) => {
+                                model.remove(k);
+                            }
+                        }
+                    }
+                    map.batch(batch);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(map.len_approx(), model.len());
+        }
+    }
+
+    /// Range queries agree with the model for arbitrary bounds.
+    #[test]
+    fn range_bounds_match_model(
+        keys in proptest::collection::btree_set(any::<u16>(), 0..150),
+        lo in any::<u16>(),
+        hi in any::<u16>(),
+        n in 0usize..50,
+    ) {
+        let map: JiffyMap<u16, u16> = JiffyMap::with_config(JiffyConfig::fixed(4));
+        for k in &keys {
+            map.put(*k, k.wrapping_mul(3));
+        }
+        let snap = map.snapshot();
+        // range(lo, n)
+        let got = snap.range(&lo, n);
+        let want: Vec<(u16, u16)> = keys
+            .iter()
+            .filter(|k| **k >= lo)
+            .take(n)
+            .map(|k| (*k, k.wrapping_mul(3)))
+            .collect();
+        prop_assert_eq!(got, want);
+        // range_bounded(lo, hi)
+        let got = snap.range_bounded(&lo, &hi);
+        let want: Vec<(u16, u16)> = keys
+            .iter()
+            .filter(|k| **k >= lo && **k < hi)
+            .map(|k| (*k, k.wrapping_mul(3)))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,329 @@
+//! A Wing–Gong style linearizability checker for map histories.
+//!
+//! The Jiffy paper argues linearizability of all operations (§3.4); the
+//! test suite records small concurrent histories (invocation/response
+//! timestamps per operation) against a `JiffyMap` and asks this checker
+//! whether a valid linearization exists.
+//!
+//! The checker enumerates linearization orders with memoized DFS: at each
+//! step it may fire any *minimal* pending operation (one whose invocation
+//! precedes every unfired operation's response), applying it to a model
+//! map and pruning on return-value mismatches. State memoization hashes
+//! `(fired-set, model-state)` to avoid rework. Histories of a few dozen
+//! operations check in milliseconds; the suite keeps them small.
+
+use std::collections::{BTreeMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// An operation on an ordered map with integer keys/values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `put(k, v)` (no return value observed).
+    Put(u64, u64),
+    /// `remove(k)` returning whether the key was present.
+    Remove(u64, bool),
+    /// `get(k)` returning the observed value.
+    Get(u64, Option<u64>),
+    /// An atomic batch of `(key, Some(v) = put / None = remove)` pairs.
+    Batch(Vec<(u64, Option<u64>)>),
+    /// A range scan from `lo` observing exactly `entries` (ascending)
+    /// among keys in `[lo, hi]`.
+    Scan(u64, u64, Vec<(u64, u64)>),
+}
+
+/// One completed operation in a history.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Invocation timestamp (any monotonic scale shared by threads).
+    pub invoke: u64,
+    /// Response timestamp (must be `>= invoke`).
+    pub respond: u64,
+    pub op: Op,
+}
+
+/// Outcome of checking a history.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// A linearization exists; the witness is a firing order (indices
+    /// into the history).
+    Linearizable(Vec<usize>),
+    /// No linearization exists.
+    NotLinearizable,
+    /// The search exceeded `max_states` explored states.
+    Inconclusive,
+}
+
+fn model_hash(model: &BTreeMap<u64, u64>) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for (k, v) in model {
+        k.hash(&mut h);
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Apply `op` to the model if its observed return values are consistent;
+/// `None` means the op cannot fire in this state.
+fn try_apply(model: &BTreeMap<u64, u64>, op: &Op) -> Option<BTreeMap<u64, u64>> {
+    match op {
+        Op::Put(k, v) => {
+            let mut m = model.clone();
+            m.insert(*k, *v);
+            Some(m)
+        }
+        Op::Remove(k, observed) => {
+            let present = model.contains_key(k);
+            if present != *observed {
+                return None;
+            }
+            let mut m = model.clone();
+            m.remove(k);
+            Some(m)
+        }
+        Op::Get(k, observed) => {
+            if model.get(k).copied() != *observed {
+                return None;
+            }
+            Some(model.clone())
+        }
+        Op::Batch(ops) => {
+            let mut m = model.clone();
+            for (k, v) in ops {
+                match v {
+                    Some(v) => {
+                        m.insert(*k, *v);
+                    }
+                    None => {
+                        m.remove(k);
+                    }
+                }
+            }
+            Some(m)
+        }
+        Op::Scan(lo, hi, observed) => {
+            let actual: Vec<(u64, u64)> =
+                model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            if actual != *observed {
+                return None;
+            }
+            Some(model.clone())
+        }
+    }
+}
+
+/// Check a history for linearizability (histories up to 64 events).
+pub fn check(history: &[Event]) -> Outcome {
+    check_bounded(history, 5_000_000)
+}
+
+/// Check with an explicit bound on explored states.
+pub fn check_bounded(history: &[Event], max_states: usize) -> Outcome {
+    let n = history.len();
+    assert!(n <= 64, "history too long for the bitmask representation");
+    for e in history {
+        assert!(e.respond >= e.invoke, "response before invocation");
+    }
+    let mut seen: HashSet<(u64, u64)> = HashSet::new();
+    let mut states_explored = 0usize;
+    let mut witness: Vec<usize> = Vec::with_capacity(n);
+
+    fn dfs(
+        history: &[Event],
+        fired: u64,
+        model: &BTreeMap<u64, u64>,
+        seen: &mut HashSet<(u64, u64)>,
+        states: &mut usize,
+        max_states: usize,
+        witness: &mut Vec<usize>,
+    ) -> Result<bool, ()> {
+        let n = history.len();
+        if fired == (1u64 << n) - 1 || (n == 64 && fired == u64::MAX) {
+            return Ok(true);
+        }
+        *states += 1;
+        if *states > max_states {
+            return Err(());
+        }
+        if !seen.insert((fired, model_hash(model))) {
+            return Ok(false);
+        }
+        // The earliest response among unfired ops bounds which ops are
+        // minimal: an op may fire next only if its invocation precedes
+        // every unfired op's response.
+        let min_respond = history
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| fired & (1 << i) == 0)
+            .map(|(_, e)| e.respond)
+            .min()
+            .unwrap();
+        for i in 0..n {
+            if fired & (1 << i) != 0 {
+                continue;
+            }
+            let e = &history[i];
+            if e.invoke > min_respond {
+                continue; // not minimal: something must respond first
+            }
+            if let Some(next) = try_apply(model, &e.op) {
+                witness.push(i);
+                if dfs(history, fired | (1 << i), &next, seen, states, max_states, witness)? {
+                    return Ok(true);
+                }
+                witness.pop();
+            }
+        }
+        Ok(false)
+    }
+
+    match dfs(
+        history,
+        0,
+        &BTreeMap::new(),
+        &mut seen,
+        &mut states_explored,
+        max_states,
+        &mut witness,
+    ) {
+        Ok(true) => Outcome::Linearizable(witness),
+        Ok(false) => Outcome::NotLinearizable,
+        Err(()) => Outcome::Inconclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(invoke: u64, respond: u64, op: Op) -> Event {
+        Event { invoke, respond, op }
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = vec![
+            ev(0, 1, Op::Put(1, 10)),
+            ev(2, 3, Op::Get(1, Some(10))),
+            ev(4, 5, Op::Remove(1, true)),
+            ev(6, 7, Op::Get(1, None)),
+        ];
+        assert!(matches!(check(&h), Outcome::Linearizable(_)));
+    }
+
+    #[test]
+    fn stale_read_is_not_linearizable() {
+        // get(1)=None strictly AFTER put(1,10) completed: impossible.
+        let h = vec![ev(0, 1, Op::Put(1, 10)), ev(2, 3, Op::Get(1, None))];
+        assert_eq!(check(&h), Outcome::NotLinearizable);
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either() {
+        // get overlaps the put: both None and Some(10) are fine.
+        for observed in [None, Some(10)] {
+            let h = vec![ev(0, 10, Op::Put(1, 10)), ev(1, 2, Op::Get(1, observed))];
+            assert!(
+                matches!(check(&h), Outcome::Linearizable(_)),
+                "observed {observed:?} should linearize"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_return_values_constrain_order() {
+        // Two concurrent removes of the same key: exactly one may win.
+        let h = vec![
+            ev(0, 1, Op::Put(5, 1)),
+            ev(2, 6, Op::Remove(5, true)),
+            ev(3, 7, Op::Remove(5, true)),
+        ];
+        assert_eq!(check(&h), Outcome::NotLinearizable);
+        let h2 = vec![
+            ev(0, 1, Op::Put(5, 1)),
+            ev(2, 6, Op::Remove(5, true)),
+            ev(3, 7, Op::Remove(5, false)),
+        ];
+        assert!(matches!(check(&h2), Outcome::Linearizable(_)));
+    }
+
+    #[test]
+    fn torn_batch_is_not_linearizable() {
+        // Batch writes (1,1) and (2,1) atomically; a later scan observing
+        // only one of them is a violation.
+        let h = vec![
+            ev(0, 1, Op::Batch(vec![(1, Some(1)), (2, Some(1))])),
+            ev(2, 3, Op::Scan(1, 2, vec![(1, 1)])),
+        ];
+        assert_eq!(check(&h), Outcome::NotLinearizable);
+        let h2 = vec![
+            ev(0, 1, Op::Batch(vec![(1, Some(1)), (2, Some(1))])),
+            ev(2, 3, Op::Scan(1, 2, vec![(1, 1), (2, 1)])),
+        ];
+        assert!(matches!(check(&h2), Outcome::Linearizable(_)));
+    }
+
+    #[test]
+    fn concurrent_batch_scan_sees_all_or_nothing() {
+        // Scan concurrent with the batch: may see both keys or neither.
+        for observed in [vec![], vec![(1, 1), (2, 1)]] {
+            let h = vec![
+                ev(0, 10, Op::Batch(vec![(1, Some(1)), (2, Some(1))])),
+                ev(1, 2, Op::Scan(1, 2, observed.clone())),
+            ];
+            assert!(
+                matches!(check(&h), Outcome::Linearizable(_)),
+                "scan {observed:?} should linearize"
+            );
+        }
+        // Half-visible batch: violation.
+        let h = vec![
+            ev(0, 10, Op::Batch(vec![(1, Some(1)), (2, Some(1))])),
+            ev(1, 2, Op::Scan(1, 2, vec![(2, 1)])),
+        ];
+        assert_eq!(check(&h), Outcome::NotLinearizable);
+    }
+
+    #[test]
+    fn real_time_order_is_respected() {
+        // put(1,1) -> put(1,2) sequentially; a later get may not return 1.
+        let h = vec![
+            ev(0, 1, Op::Put(1, 1)),
+            ev(2, 3, Op::Put(1, 2)),
+            ev(4, 5, Op::Get(1, Some(1))),
+        ];
+        assert_eq!(check(&h), Outcome::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_puts_allow_both_final_values() {
+        for final_v in [1u64, 2] {
+            let h = vec![
+                ev(0, 10, Op::Put(1, 1)),
+                ev(0, 10, Op::Put(1, 2)),
+                ev(20, 21, Op::Get(1, Some(final_v))),
+            ];
+            assert!(matches!(check(&h), Outcome::Linearizable(_)), "final {final_v}");
+        }
+    }
+
+    #[test]
+    fn witness_is_a_valid_permutation() {
+        let h = vec![
+            ev(0, 1, Op::Put(1, 10)),
+            ev(2, 3, Op::Put(2, 20)),
+            ev(4, 5, Op::Scan(0, 9, vec![(1, 10), (2, 20)])),
+        ];
+        let Outcome::Linearizable(w) = check(&h) else { panic!("should linearize") };
+        let mut sorted = w.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn inconclusive_on_tiny_budget() {
+        let h: Vec<Event> = (0..20)
+            .map(|i| ev(0, 100, Op::Put(i % 3, i)))
+            .collect();
+        assert_eq!(check_bounded(&h, 1), Outcome::Inconclusive);
+    }
+}

@@ -1,0 +1,17 @@
+//! The paper's custom microbenchmark (§4.2) as a reusable harness.
+//!
+//! Threads have fixed roles (update / lookup / scan); updates are plain
+//! put/remove or 10-/100-op batches (sequential or random); keys come
+//! from a uniform or Zipfian(0.99) distribution over a configurable key
+//! space; the dataset is prefilled to ~50 % density (the paper's 10 M
+//! entries over 20 M keys). Throughput is reported in basic operations
+//! per second: "a scan over 10 key-value entries counts as 10 get
+//! operations", and a batch of `B` updates counts as `B`.
+
+pub mod registry;
+pub mod report;
+pub mod runner;
+
+pub use registry::{indices_for_figure, make_index_u32, make_index_u64, IndexKind};
+pub use report::{write_csv, Measurement, Row};
+pub use runner::{run_scenario, BenchKey, RunConfig};

@@ -1,0 +1,347 @@
+//! `mkbench` — regenerate the paper's evaluation (Figures 5–10 plus the
+//! §4.3 headline numbers and the design ablations).
+//!
+//! ```text
+//! mkbench figure <5..=10> [--threads 1,2,4] [--secs 0.5] [--keys 100000] [--out results/figN.csv]
+//! mkbench speedup        [--threads N] [--secs S] [--keys K]     # §4.3: Jiffy vs CA-AVL/CA-SL, 100-op random batches
+//! mkbench autoscale      [--secs S] [--keys K]                   # §4.3: revision sizes under write-only vs update-lookup
+//! mkbench ablation clock|hash|revsize [--threads ...] [--secs S] # A1/A2/A3
+//! ```
+//!
+//! Absolute numbers depend on the machine; the *shapes* (who wins, by
+//! roughly what factor, where lock-based batching collapses) are the
+//! reproduction targets — see EXPERIMENTS.md.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Epoch-based reclamation frees garbage on whichever thread collects it;
+/// under glibc malloc those cross-thread frees serialize on the owning
+/// arena's lock and flatten write scalability (the JVM's GC gives the
+/// paper this for free). mimalloc handles cross-thread frees without
+/// arena locks — see DESIGN.md §6.
+#[global_allocator]
+static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+
+use mkbench::{
+    indices_for_figure, make_index_u32, make_index_u64, run_scenario, IndexKind, Measurement,
+    Row, RunConfig,
+};
+use workload::{figure_scenarios, BatchMode, KeyDist, KvShape, Scenario, ThreadMix};
+
+struct Args {
+    threads: Vec<usize>,
+    secs: f64,
+    warmup: f64,
+    keys: u64,
+    out: Option<String>,
+    indices: Option<Vec<IndexKind>>,
+}
+
+fn parse_flags(rest: &[String]) -> Args {
+    let mut args = Args {
+        threads: vec![1, 2, 4],
+        secs: 0.5,
+        warmup: 0.75,
+        keys: 100_000,
+        out: None,
+        indices: None,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--threads" => {
+                i += 1;
+                args.threads = rest[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--threads takes e.g. 1,2,4"))
+                    .collect();
+            }
+            "--secs" => {
+                i += 1;
+                args.secs = rest[i].parse().expect("--secs takes a float");
+            }
+            "--warmup" => {
+                i += 1;
+                args.warmup = rest[i].parse().expect("--warmup takes a float");
+            }
+            "--keys" => {
+                i += 1;
+                args.keys = rest[i].parse().expect("--keys takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                args.out = Some(rest[i].clone());
+            }
+            "--indices" => {
+                i += 1;
+                args.indices = Some(
+                    rest[i]
+                        .split(',')
+                        .map(|s| IndexKind::parse(s).unwrap_or_else(|| panic!("unknown index {s}")))
+                        .collect(),
+                );
+            }
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn cfg_for(args: &Args, threads: usize) -> RunConfig {
+    RunConfig {
+        threads,
+        duration: Duration::from_secs_f64(args.secs),
+        warmup: Duration::from_secs_f64(args.warmup),
+        key_space: args.keys,
+        prefill_density: 0.5,
+        seed: 0xC0FFEE,
+    }
+}
+
+/// Run one scenario cell for one index at one thread count.
+fn run_cell(
+    shape: KvShape,
+    kind: IndexKind,
+    scenario: &Scenario,
+    cfg: &RunConfig,
+) -> Measurement {
+    match shape {
+        // 16 B keys / 100 B values: u64-derived keys with Arc'd payloads
+        // (footnote 7: reference semantics keep copies payload-independent).
+        KvShape::K16V100 => {
+            let idx = make_index_u64::<std::sync::Arc<[u8]>>(kind, cfg.key_space);
+            run_scenario(idx, scenario, cfg)
+        }
+        KvShape::K4V4 => {
+            let idx = make_index_u32::<u32>(kind, cfg.key_space);
+            run_scenario(idx, scenario, cfg)
+        }
+    }
+}
+
+fn cmd_figure(figure: u8, args: &Args) {
+    let spec = figure_scenarios(figure).expect("figures 5-10");
+    let mut rows: Vec<Row> = Vec::new();
+    for scenario in spec.scenarios() {
+        let batch_row = scenario.batch != BatchMode::Single;
+        let lineup = args
+            .indices
+            .clone()
+            .unwrap_or_else(|| indices_for_figure(spec.with_kiwi, batch_row));
+        for kind in lineup {
+            for &threads in &args.threads {
+                let cfg = cfg_for(args, threads);
+                let m = run_cell(spec.shape, kind, &scenario, &cfg);
+                eprintln!(
+                    "[fig{figure}] {} {} t={threads}: {:.3} Mops/s (upd {:.3})",
+                    scenario.id,
+                    kind.name(),
+                    m.total_mops,
+                    m.update_mops
+                );
+                rows.push(Row {
+                    scenario: scenario.id.clone(),
+                    index: kind.name().to_string(),
+                    threads,
+                    m,
+                });
+            }
+        }
+    }
+    println!("{}", mkbench::report::render_table(&rows));
+    if let Some(out) = &args.out {
+        mkbench::write_csv(std::path::Path::new(out), &rows).expect("write csv");
+        eprintln!("wrote {out}");
+    }
+}
+
+/// §4.3 headline: large random batches, Jiffy vs the lock-based CA trees.
+fn cmd_speedup(args: &Args) {
+    let threads = *args.threads.iter().max().unwrap();
+    let cfg = cfg_for(args, threads);
+    let scenario = Scenario::new(
+        KvShape::K4V4,
+        KeyDist::Uniform,
+        ThreadMix::UPDATE_ONLY,
+        0,
+        BatchMode::BatchRand { size: 100 },
+    );
+    let mut results = Vec::new();
+    for kind in [IndexKind::Jiffy, IndexKind::CaAvl, IndexKind::CaSl] {
+        let m = run_cell(KvShape::K4V4, kind, &scenario, &cfg);
+        println!("{:<8} {:.3} Mops/s", kind.name(), m.total_mops);
+        results.push((kind, m.total_mops));
+    }
+    let jiffy = results[0].1;
+    for (kind, mops) in &results[1..] {
+        println!(
+            "speedup jiffy vs {}: {:.2}x  (paper: 4.9x-7.4x for random 100-op batches)",
+            kind.name(),
+            jiffy / mops.max(1e-9)
+        );
+    }
+}
+
+/// §4.3 revision-size observation: the autoscaler should choose small
+/// revisions in write-only workloads and larger ones with many readers.
+fn cmd_autoscale(args: &Args) {
+    let secs = args.secs.max(2.0);
+    for (label, mix) in [
+        ("write-only", ThreadMix::UPDATE_ONLY),
+        ("update-lookup (25/75)", ThreadMix::UPDATE_LOOKUP),
+    ] {
+        let map = Arc::new(jiffy::JiffyMap::<u64, u64>::new());
+        for k in 0..args.keys / 2 {
+            map.put(k * 2, k);
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let roles = mix.assign(*args.threads.iter().max().unwrap());
+        std::thread::scope(|s| {
+            for (tid, role) in roles.iter().enumerate() {
+                let map = Arc::clone(&map);
+                let stop = &stop;
+                let keys = args.keys;
+                let role = *role;
+                s.spawn(move || {
+                    let mut gen =
+                        workload::KeyGen::new(KeyDist::Uniform, keys, tid as u64 + 1);
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let k = gen.next_key();
+                        match role {
+                            workload::Role::Update => {
+                                if gen.next_raw() & 1 == 0 {
+                                    map.put(k, k);
+                                } else {
+                                    map.remove(&k);
+                                }
+                            }
+                            _ => {
+                                std::hint::black_box(map.get(&k));
+                            }
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_secs_f64(secs));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        let stats = map.debug_stats();
+        println!(
+            "{label:<24} nodes={:<6} entries={:<8} mean revision size = {:.1} (paper: ~35 write-only vs ~130 update-lookup)",
+            stats.nodes, stats.entries, stats.mean_revision_size
+        );
+    }
+}
+
+fn cmd_ablation(which: &str, args: &Args) {
+    match which {
+        "clock" => {
+            // A1: TSC-style clock vs shared atomic counter, update-only.
+            let scenario = Scenario::new(
+                KvShape::K4V4,
+                KeyDist::Uniform,
+                ThreadMix::UPDATE_ONLY,
+                0,
+                BatchMode::Single,
+            );
+            println!("# A1 clock ablation (update-only): versions via TSC vs shared counter");
+            for &threads in &args.threads {
+                let cfg = cfg_for(args, threads);
+                let tsc = run_cell(KvShape::K4V4, IndexKind::Jiffy, &scenario, &cfg);
+                let atomic =
+                    run_cell(KvShape::K4V4, IndexKind::JiffyAtomicClock, &scenario, &cfg);
+                println!(
+                    "t={threads}: jiffy(tsc) {:.3} Mops/s, jiffy(atomic-counter) {:.3} Mops/s ({:.2}x)",
+                    tsc.total_mops,
+                    atomic.total_mops,
+                    tsc.total_mops / atomic.total_mops.max(1e-9)
+                );
+            }
+        }
+        "hash" => {
+            // A2: in-revision hash index vs pure binary search, read-heavy.
+            let scenario = Scenario::new(
+                KvShape::K4V4,
+                KeyDist::Uniform,
+                ThreadMix::UPDATE_LOOKUP,
+                0,
+                BatchMode::Single,
+            );
+            println!("# A2 hash-index ablation (25% update / 75% lookup)");
+            for &threads in &args.threads {
+                let cfg = cfg_for(args, threads);
+                let with = run_cell(KvShape::K4V4, IndexKind::Jiffy, &scenario, &cfg);
+                let without = run_cell(KvShape::K4V4, IndexKind::JiffyNoHash, &scenario, &cfg);
+                println!(
+                    "t={threads}: hash-index {:.3} Mops/s, binary-search {:.3} Mops/s ({:.2}x)",
+                    with.total_mops,
+                    without.total_mops,
+                    with.total_mops / without.total_mops.max(1e-9)
+                );
+            }
+        }
+        "revsize" => {
+            // A3: fixed revision sizes vs the adaptive policy, two mixes.
+            println!("# A3 revision-size ablation");
+            for (label, mix, scan) in [
+                ("update-only", ThreadMix::UPDATE_ONLY, 0usize),
+                ("mixed+scans", ThreadMix::MIXED, 100),
+            ] {
+                let scenario =
+                    Scenario::new(KvShape::K4V4, KeyDist::Uniform, mix, scan, BatchMode::Single);
+                let threads = *args.threads.iter().max().unwrap();
+                let cfg = cfg_for(args, threads);
+                print!("{label:<12}");
+                for kind in [
+                    IndexKind::JiffyFixed(8),
+                    IndexKind::JiffyFixed(64),
+                    IndexKind::JiffyFixed(256),
+                    IndexKind::Jiffy,
+                ] {
+                    let m = run_cell(KvShape::K4V4, kind, &scenario, &cfg);
+                    let tag = match kind {
+                        IndexKind::JiffyFixed(n) => format!("fixed{n}"),
+                        _ => "adaptive".into(),
+                    };
+                    print!("  {tag}={:.3}", m.total_mops);
+                }
+                println!(" (Mops/s)");
+            }
+        }
+        other => panic!("unknown ablation {other} (clock|hash|revsize)"),
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("usage: mkbench <figure N|speedup|autoscale|ablation WHICH> [flags]");
+        std::process::exit(2);
+    };
+    match cmd.as_str() {
+        "figure" => {
+            let n: u8 = argv.get(1).and_then(|s| s.parse().ok()).expect("figure number 5-10");
+            let args = parse_flags(&argv[2..]);
+            cmd_figure(n, &args);
+        }
+        "speedup" => {
+            let args = parse_flags(&argv[1..]);
+            cmd_speedup(&args);
+        }
+        "autoscale" => {
+            let args = parse_flags(&argv[1..]);
+            cmd_autoscale(&args);
+        }
+        "ablation" => {
+            let which = argv.get(1).expect("ablation name").clone();
+            let args = parse_flags(&argv[2..]);
+            cmd_ablation(&which, &args);
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+}

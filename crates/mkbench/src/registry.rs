@@ -1,0 +1,242 @@
+//! Index factory: build any of the paper's indices behind the common
+//! [`OrderedIndex`] trait, for either key shape.
+
+use std::sync::Arc;
+
+use baselines::catree::{AvlContainer, ImmContainer, SkipContainer};
+use baselines::snaptree::RangePartitioner;
+use baselines::{CaTree, Cslm, KaryTree, Kiwi, LfcaTree, SnapTree};
+use index_api::OrderedIndex;
+use jiffy::{AtomicClock, JiffyConfig, JiffyMap};
+use workload::Value;
+
+/// Every index of the paper's evaluation (plus the Jiffy ablation
+/// variants used by the A1/A2 experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    Jiffy,
+    /// Jiffy with the atomic-counter clock (ablation A1, §3.2 fn. 3).
+    JiffyAtomicClock,
+    /// Jiffy without the in-revision hash index (ablation A2, §3.3.5).
+    JiffyNoHash,
+    /// Jiffy with a fixed revision size (ablation A3, §3.3.6).
+    JiffyFixed(usize),
+    SnapTree,
+    KAry,
+    CaAvl,
+    CaSl,
+    CaImm,
+    Lfca,
+    Kiwi,
+    Cslm,
+}
+
+impl IndexKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Jiffy => "jiffy",
+            IndexKind::JiffyAtomicClock => "jiffy-atomic",
+            IndexKind::JiffyNoHash => "jiffy-nohash",
+            IndexKind::JiffyFixed(_) => "jiffy-fixed",
+            IndexKind::SnapTree => "snaptree",
+            IndexKind::KAry => "k-ary",
+            IndexKind::CaAvl => "ca-avl",
+            IndexKind::CaSl => "ca-sl",
+            IndexKind::CaImm => "ca-imm",
+            IndexKind::Lfca => "lfca",
+            IndexKind::Kiwi => "kiwi",
+            IndexKind::Cslm => "cslm",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<IndexKind> {
+        Some(match s {
+            "jiffy" => IndexKind::Jiffy,
+            "jiffy-atomic" => IndexKind::JiffyAtomicClock,
+            "jiffy-nohash" => IndexKind::JiffyNoHash,
+            "snaptree" => IndexKind::SnapTree,
+            "k-ary" | "kary" => IndexKind::KAry,
+            "ca-avl" => IndexKind::CaAvl,
+            "ca-sl" => IndexKind::CaSl,
+            "ca-imm" => IndexKind::CaImm,
+            "lfca" => IndexKind::Lfca,
+            "kiwi" => IndexKind::Kiwi,
+            "cslm" => IndexKind::Cslm,
+            other => {
+                let fixed = other.strip_prefix("jiffy-fixed")?;
+                return fixed.parse().ok().map(IndexKind::JiffyFixed);
+            }
+        })
+    }
+
+    /// Whether the index supports atomic batch updates (which indices
+    /// appear in the paper's batch rows).
+    pub fn supports_batches(&self) -> bool {
+        matches!(
+            self,
+            IndexKind::Jiffy
+                | IndexKind::JiffyAtomicClock
+                | IndexKind::JiffyNoHash
+                | IndexKind::JiffyFixed(_)
+                | IndexKind::CaAvl
+                | IndexKind::CaSl
+        )
+    }
+}
+
+fn nohash_config() -> JiffyConfig {
+    JiffyConfig { disable_hash_index: true, ..Default::default() }
+}
+
+/// Build an index over `u64` keys (used for the 16 B/100 B shape, whose
+/// `Key16` keys wrap a u64; benchmarks use u64 directly plus 100 B
+/// values to keep comparisons apples-to-apples across all indices).
+pub fn make_index_u64<V: Value>(
+    kind: IndexKind,
+    key_space: u64,
+) -> Arc<dyn OrderedIndex<u64, V> + Send + Sync> {
+    match kind {
+        IndexKind::Jiffy => Arc::new(JiffyMap::<u64, V>::new()),
+        IndexKind::JiffyAtomicClock => Arc::new(JiffyMap::<u64, V, AtomicClock>::
+            with_clock_and_config(AtomicClock::new(), JiffyConfig::default())),
+        IndexKind::JiffyNoHash => Arc::new(JiffyMap::<u64, V>::with_config(nohash_config())),
+        IndexKind::JiffyFixed(n) => {
+            Arc::new(JiffyMap::<u64, V>::with_config(JiffyConfig::fixed(n)))
+        }
+        IndexKind::SnapTree => Arc::new(SnapTree::<u64, V, _>::with_partitioner(
+            64,
+            RangePartitioner { key_space },
+        )),
+        IndexKind::KAry => Arc::new(KaryTree::<u64, V>::new()),
+        IndexKind::CaAvl => Arc::new(CaTree::<u64, V, AvlContainer<u64, V>>::new()),
+        IndexKind::CaSl => Arc::new(CaTree::<u64, V, SkipContainer<u64, V>>::new()),
+        IndexKind::CaImm => Arc::new(CaTree::<u64, V, ImmContainer<u64, V>>::new()),
+        IndexKind::Lfca => Arc::new(LfcaTree::<u64, V>::new()),
+        IndexKind::Kiwi => Arc::new(Kiwi::<u64, V>::new()),
+        IndexKind::Cslm => Arc::new(Cslm::<u64, V>::new()),
+    }
+}
+
+/// Build an index over `u32` keys (the 4 B/4 B shape; the only shape the
+/// paper runs KiWi with).
+pub fn make_index_u32<V: Value>(
+    kind: IndexKind,
+    key_space: u64,
+) -> Arc<dyn OrderedIndex<u32, V> + Send + Sync> {
+    match kind {
+        IndexKind::Jiffy => Arc::new(JiffyMap::<u32, V>::new()),
+        IndexKind::JiffyAtomicClock => Arc::new(JiffyMap::<u32, V, AtomicClock>::
+            with_clock_and_config(AtomicClock::new(), JiffyConfig::default())),
+        IndexKind::JiffyNoHash => Arc::new(JiffyMap::<u32, V>::with_config(nohash_config())),
+        IndexKind::JiffyFixed(n) => {
+            Arc::new(JiffyMap::<u32, V>::with_config(JiffyConfig::fixed(n)))
+        }
+        IndexKind::SnapTree => Arc::new(SnapTree::<u32, V, _>::with_partitioner(
+            64,
+            RangePartitioner { key_space },
+        )),
+        IndexKind::KAry => Arc::new(KaryTree::<u32, V>::new()),
+        IndexKind::CaAvl => Arc::new(CaTree::<u32, V, AvlContainer<u32, V>>::new()),
+        IndexKind::CaSl => Arc::new(CaTree::<u32, V, SkipContainer<u32, V>>::new()),
+        IndexKind::CaImm => Arc::new(CaTree::<u32, V, ImmContainer<u32, V>>::new()),
+        IndexKind::Lfca => Arc::new(LfcaTree::<u32, V>::new()),
+        IndexKind::Kiwi => Arc::new(Kiwi::<u32, V>::new()),
+        IndexKind::Cslm => Arc::new(Cslm::<u32, V>::new()),
+    }
+}
+
+/// The index line-up of one figure (paper §4.1): KiWi appears only in the
+/// 4 B figures; batch rows only include batch-capable indices plus the
+/// lock-free references.
+pub fn indices_for_figure(with_kiwi: bool, batch_row: bool) -> Vec<IndexKind> {
+    if batch_row {
+        // The paper's batch plots: Jiffy vs CA-AVL vs CA-SL.
+        vec![IndexKind::Jiffy, IndexKind::CaAvl, IndexKind::CaSl]
+    } else {
+        let mut v = vec![
+            IndexKind::Jiffy,
+            IndexKind::SnapTree,
+            IndexKind::KAry,
+            IndexKind::CaAvl,
+            IndexKind::CaSl,
+            IndexKind::CaImm,
+            IndexKind::Lfca,
+            IndexKind::Cslm,
+        ];
+        if with_kiwi {
+            v.push(IndexKind::Kiwi);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for kind in [
+            IndexKind::Jiffy,
+            IndexKind::SnapTree,
+            IndexKind::KAry,
+            IndexKind::CaAvl,
+            IndexKind::CaSl,
+            IndexKind::CaImm,
+            IndexKind::Lfca,
+            IndexKind::Kiwi,
+            IndexKind::Cslm,
+        ] {
+            assert_eq!(IndexKind::parse(kind.name()), Some(kind), "{kind:?}");
+        }
+        assert_eq!(IndexKind::parse("jiffy-fixed64"), Some(IndexKind::JiffyFixed(64)));
+        assert_eq!(IndexKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_index_constructs_and_works_u64() {
+        for kind in [
+            IndexKind::Jiffy,
+            IndexKind::JiffyAtomicClock,
+            IndexKind::JiffyNoHash,
+            IndexKind::JiffyFixed(32),
+            IndexKind::SnapTree,
+            IndexKind::KAry,
+            IndexKind::CaAvl,
+            IndexKind::CaSl,
+            IndexKind::CaImm,
+            IndexKind::Lfca,
+            IndexKind::Kiwi,
+            IndexKind::Cslm,
+        ] {
+            let idx = make_index_u64::<u32>(kind, 1000);
+            idx.put(5, 50);
+            assert_eq!(idx.get(&5), Some(50), "{kind:?}");
+            assert!(idx.remove(&5), "{kind:?}");
+            assert_eq!(idx.get(&5), None, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn every_index_constructs_and_works_u32() {
+        for kind in [IndexKind::Jiffy, IndexKind::Kiwi, IndexKind::CaAvl, IndexKind::Cslm] {
+            let idx = make_index_u32::<u32>(kind, 1000);
+            idx.put(7, 70);
+            assert_eq!(idx.get(&7), Some(70), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn batch_capable_set_matches_paper() {
+        assert!(IndexKind::Jiffy.supports_batches());
+        assert!(IndexKind::CaAvl.supports_batches());
+        assert!(IndexKind::CaSl.supports_batches());
+        assert!(!IndexKind::Lfca.supports_batches());
+        assert!(!IndexKind::SnapTree.supports_batches());
+        assert!(!IndexKind::Cslm.supports_batches());
+        let batch_lineup = indices_for_figure(true, true);
+        assert_eq!(batch_lineup.len(), 3);
+        let full_lineup = indices_for_figure(true, false);
+        assert_eq!(full_lineup.len(), 9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Measurement records, table rendering, and CSV output — one row per
+//! (scenario, index, thread count), matching the series of the paper's
+//! figures.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+/// Throughput of one run, in millions of basic ops per second.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Measurement {
+    pub total_mops: f64,
+    pub update_mops: f64,
+    pub read_mops: f64,
+    pub scan_mops: f64,
+}
+
+/// One output row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub scenario: String,
+    pub index: String,
+    pub threads: usize,
+    pub m: Measurement,
+}
+
+/// Render rows grouped by scenario as an aligned text table (the
+/// "same rows/series the paper reports": one series per index, one
+/// column per thread count).
+pub fn render_table(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let mut scenarios: Vec<&str> = rows.iter().map(|r| r.scenario.as_str()).collect();
+    scenarios.dedup();
+    let mut threads: Vec<usize> = rows.iter().map(|r| r.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for sc in scenarios {
+        let _ = writeln!(out, "\n# {sc}  (Mops/s total | update)");
+        let _ = write!(out, "{:<10}", "index");
+        for t in &threads {
+            let _ = write!(out, "{:>20}", format!("{t} thr"));
+        }
+        let _ = writeln!(out);
+        let mut indices: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.scenario == sc)
+            .map(|r| r.index.as_str())
+            .collect();
+        indices.dedup();
+        for idx in indices {
+            let _ = write!(out, "{idx:<10}");
+            for t in &threads {
+                if let Some(r) = rows
+                    .iter()
+                    .find(|r| r.scenario == sc && r.index == idx && r.threads == *t)
+                {
+                    let _ = write!(
+                        out,
+                        "{:>20}",
+                        format!("{:8.3} | {:7.3}", r.m.total_mops, r.m.update_mops)
+                    );
+                } else {
+                    let _ = write!(out, "{:>20}", "-");
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Write rows as CSV (one line per row; stable column order).
+pub fn write_csv(path: &std::path::Path, rows: &[Row]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "scenario,index,threads,total_mops,update_mops,read_mops,scan_mops")?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{},{:.6},{:.6},{:.6},{:.6}",
+            r.scenario, r.index, r.threads, r.m.total_mops, r.m.update_mops, r.m.read_mops,
+            r.m.scan_mops
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(sc: &str, idx: &str, t: usize, total: f64) -> Row {
+        Row {
+            scenario: sc.into(),
+            index: idx.into(),
+            threads: t,
+            m: Measurement { total_mops: total, update_mops: total / 2.0, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn table_contains_series() {
+        let rows = vec![
+            row("plot_x_a", "jiffy", 1, 1.0),
+            row("plot_x_a", "jiffy", 2, 1.8),
+            row("plot_x_a", "cslm", 1, 1.2),
+        ];
+        let t = render_table(&rows);
+        assert!(t.contains("plot_x_a"));
+        assert!(t.contains("jiffy"));
+        assert!(t.contains("cslm"));
+        assert!(t.contains("1 thr"));
+        assert!(t.contains("2 thr"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("mkbench-test");
+        let path = dir.join("out.csv");
+        let rows = vec![row("s", "jiffy", 2, 3.5)];
+        write_csv(&path, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("scenario,index,threads"));
+        assert!(text.contains("s,jiffy,2,3.5"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,283 @@
+//! The scenario runner: spawn role threads against one index, measure
+//! basic-op throughput for a fixed duration.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use index_api::{Batch, BatchOp, OrderedIndex};
+use workload::{BatchMode, KeyDist, KeyGen, Role, Scenario, Value};
+
+use crate::report::Measurement;
+
+/// Benchmark keys are derived from `u64` draws.
+pub trait BenchKey: Ord + Clone + Send + Sync + 'static {
+    fn from_u64(v: u64) -> Self;
+}
+
+impl BenchKey for u64 {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+}
+
+impl BenchKey for u32 {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v as u32
+    }
+}
+
+impl BenchKey for workload::Key16 {
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v.into()
+    }
+}
+
+/// Fixed parameters of one measurement run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    pub threads: usize,
+    pub duration: Duration,
+    /// Run the workload this long before the measured window starts, so
+    /// the autoscaler's granularity adaptation (paper §4.3: "revision
+    /// size adjustment time was about 10 seconds" on 10 M entries, about
+    /// a second on 1 M) settles outside the measurement.
+    pub warmup: Duration,
+    /// Unique keys in the key space (paper: 20 M; scaled by CLI).
+    pub key_space: u64,
+    /// Prefill density (paper: 10 M entries over 20 M keys = 0.5).
+    pub prefill_density: f64,
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: 2,
+            duration: Duration::from_millis(750),
+            warmup: Duration::from_millis(500),
+            key_space: 100_000,
+            prefill_density: 0.5,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Prefill the index to the configured density (every `1/density`-th key,
+/// giving scans a predictable hit rate like the paper's 10M/20M setup).
+/// Keys are inserted in a pseudo-random order: several baselines (k-ary
+/// trees in particular, which do not rebalance) degenerate under strictly
+/// ascending insertion, which no real load phase produces.
+fn prefill<K: BenchKey, V: Value>(
+    index: &dyn OrderedIndex<K, V>,
+    cfg: &RunConfig,
+) {
+    let step = (1.0 / cfg.prefill_density).round() as u64;
+    let step = step.max(1);
+    let count = cfg.key_space / step;
+    std::thread::scope(|s| {
+        let workers = cfg.threads.clamp(1, 8) as u64;
+        for w in 0..workers {
+            let index = &index;
+            s.spawn(move || {
+                let mut i = w;
+                while i < count {
+                    // Odd-multiplier permutation of [0, count): visits
+                    // every slot exactly once, in scattered order.
+                    let slot = (i.wrapping_mul(0x9E3779B97F4A7C15) | 1) % count.max(1);
+                    let k = slot * step;
+                    index.put(K::from_u64(k), V::make(k));
+                    i += workers;
+                }
+            });
+        }
+        // The permutation above can collide on `slot` (it is not exact);
+        // fill any gaps with a cheap ascending sweep of missing keys.
+    });
+    let mut k = 0;
+    while k < cfg.key_space {
+        if index.get(&K::from_u64(k)).is_none() {
+            index.put(K::from_u64(k), V::make(k));
+        }
+        k += step;
+    }
+}
+
+/// Run one scenario cell against `index`. Returns aggregate throughput.
+pub fn run_scenario<K: BenchKey, V: Value>(
+    index: Arc<dyn OrderedIndex<K, V> + Send + Sync>,
+    scenario: &Scenario,
+    cfg: &RunConfig,
+) -> Measurement {
+    prefill(&*index, cfg);
+
+    let roles = scenario.mix.assign(cfg.threads);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut measured = (0u64, 0u64, 0u64, 0u64, Duration::ZERO);
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let update_ops = Arc::new(AtomicU64::new(0));
+    let read_ops = Arc::new(AtomicU64::new(0));
+    let scan_ops = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for (tid, role) in roles.iter().enumerate() {
+            let index = Arc::clone(&index);
+            let stop = Arc::clone(&stop);
+            let total_ops = Arc::clone(&total_ops);
+            let update_ops = Arc::clone(&update_ops);
+            let read_ops = Arc::clone(&read_ops);
+            let scan_ops = Arc::clone(&scan_ops);
+            let role = *role;
+            let scenario = scenario.clone();
+            let cfg = cfg.clone();
+            s.spawn(move || {
+                let mut gen = KeyGen::new(
+                    scenario.dist,
+                    cfg.key_space,
+                    cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                let mut local: u64 = 0;
+                match role {
+                    Role::Update => {
+                        let mut batch_buf: Vec<BatchOp<K, V>> = Vec::new();
+                        while !stop.load(Ordering::Relaxed) {
+                            match scenario.batch {
+                                BatchMode::Single => {
+                                    let k = gen.next_key();
+                                    if gen.next_raw() & 1 == 0 {
+                                        index.put(K::from_u64(k), V::make(k));
+                                    } else {
+                                        index.remove(&K::from_u64(k));
+                                    }
+                                    local += 1;
+                                }
+                                BatchMode::BatchSeq { size } => {
+                                    let start = gen.next_key();
+                                    batch_buf.clear();
+                                    for i in 0..size as u64 {
+                                        let k = (start + i) % cfg.key_space;
+                                        if gen.next_raw() & 1 == 0 {
+                                            batch_buf.push(BatchOp::Put(
+                                                K::from_u64(k),
+                                                V::make(k),
+                                            ));
+                                        } else {
+                                            batch_buf.push(BatchOp::Remove(K::from_u64(k)));
+                                        }
+                                    }
+                                    index.batch_update(Batch::new(std::mem::take(
+                                        &mut batch_buf,
+                                    )));
+                                    local += size as u64;
+                                }
+                                BatchMode::BatchRand { size } => {
+                                    batch_buf.clear();
+                                    for _ in 0..size {
+                                        let k = gen.next_key();
+                                        if gen.next_raw() & 1 == 0 {
+                                            batch_buf.push(BatchOp::Put(
+                                                K::from_u64(k),
+                                                V::make(k),
+                                            ));
+                                        } else {
+                                            batch_buf.push(BatchOp::Remove(K::from_u64(k)));
+                                        }
+                                    }
+                                    let b = Batch::new(std::mem::take(&mut batch_buf));
+                                    let n = b.len() as u64;
+                                    index.batch_update(b);
+                                    local += n;
+                                }
+                            }
+                            if local >= 1024 {
+                                update_ops.fetch_add(local, Ordering::Relaxed);
+                                total_ops.fetch_add(local, Ordering::Relaxed);
+                                local = 0;
+                            }
+                        }
+                        update_ops.fetch_add(local, Ordering::Relaxed);
+                        total_ops.fetch_add(local, Ordering::Relaxed);
+                        local = 0;
+                    }
+                    Role::Lookup => {
+                        while !stop.load(Ordering::Relaxed) {
+                            let k = gen.next_key();
+                            std::hint::black_box(index.get(&K::from_u64(k)));
+                            local += 1;
+                            if local >= 4096 {
+                                read_ops.fetch_add(local, Ordering::Relaxed);
+                                total_ops.fetch_add(local, Ordering::Relaxed);
+                                local = 0;
+                            }
+                        }
+                        read_ops.fetch_add(local, Ordering::Relaxed);
+                        total_ops.fetch_add(local, Ordering::Relaxed);
+                        local = 0;
+                    }
+                    Role::Scan => {
+                        let mut seen = 0usize;
+                        while !stop.load(Ordering::Relaxed) {
+                            let k = gen.next_key();
+                            index.scan_from(
+                                &K::from_u64(k),
+                                scenario.scan_len,
+                                &mut |_, v| {
+                                    std::hint::black_box(v);
+                                    seen += 1;
+                                },
+                            );
+                            local += scenario.scan_len as u64;
+                            if local >= 4096 {
+                                scan_ops.fetch_add(local, Ordering::Relaxed);
+                                total_ops.fetch_add(local, Ordering::Relaxed);
+                                local = 0;
+                            }
+                        }
+                        std::hint::black_box(seen);
+                        scan_ops.fetch_add(local, Ordering::Relaxed);
+                        total_ops.fetch_add(local, Ordering::Relaxed);
+                        local = 0;
+                    }
+                }
+                let _ = local;
+            });
+        }
+        // Warmup: let the structure adapt, then snapshot the counters and
+        // measure only the steady-state window.
+        std::thread::sleep(cfg.warmup);
+        let t0 = (
+            total_ops.load(Ordering::Relaxed),
+            update_ops.load(Ordering::Relaxed),
+            read_ops.load(Ordering::Relaxed),
+            scan_ops.load(Ordering::Relaxed),
+        );
+        let started = Instant::now();
+        std::thread::sleep(cfg.duration);
+        let elapsed = started.elapsed();
+        let t1 = (
+            total_ops.load(Ordering::Relaxed),
+            update_ops.load(Ordering::Relaxed),
+            read_ops.load(Ordering::Relaxed),
+            scan_ops.load(Ordering::Relaxed),
+        );
+        stop.store(true, Ordering::Relaxed);
+        measured = (t1.0 - t0.0, t1.1 - t0.1, t1.2 - t0.2, t1.3 - t0.3, elapsed);
+    });
+
+    let (total, update, read, scan, elapsed) = measured;
+    let secs = elapsed.as_secs_f64();
+    Measurement {
+        total_mops: total as f64 / secs / 1e6,
+        update_mops: update as f64 / secs / 1e6,
+        read_mops: read as f64 / secs / 1e6,
+        scan_mops: scan as f64 / secs / 1e6,
+    }
+}
+
+/// Key distribution helper for ad-hoc harness callers.
+pub fn keygen(dist: KeyDist, key_space: u64, seed: u64) -> KeyGen {
+    KeyGen::new(dist, key_space, seed)
+}

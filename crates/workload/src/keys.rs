@@ -1,0 +1,210 @@
+//! Key and value shapes (paper §4.2).
+//!
+//! The paper benchmarks with key/value sizes of 16 B/100 B and 4 B/4 B.
+//! Its footnote 7 notes that the Java arrays inside revisions store
+//! *references* to key/value objects, so revision copying cost is
+//! independent of the payload size; we reproduce that by using
+//! `Arc<[u8]>` for the 100 B values (copying a revision moves 8 B
+//! handles) and plain `u32` for the 4 B case.
+
+use std::sync::Arc;
+
+use crate::zipf::Zipfian;
+
+/// A 16-byte, order-preserving key (big-endian u64 embedded in 16 bytes,
+/// the remaining bytes a fixed tag — mirroring the paper's 16 B keys).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Key16(pub [u8; 16]);
+
+impl From<u64> for Key16 {
+    #[inline]
+    fn from(v: u64) -> Self {
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&v.to_be_bytes());
+        b[8..].copy_from_slice(b"jiffy-k!");
+        Key16(b)
+    }
+}
+
+impl Key16 {
+    /// Recover the numeric key.
+    #[inline]
+    pub fn as_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().unwrap())
+    }
+}
+
+/// Benchmark value constructors for the two shapes.
+pub trait Value: Clone + Send + Sync + 'static {
+    /// Build a value derived from `seed`.
+    fn make(seed: u64) -> Self;
+    /// Payload size in bytes (for reporting).
+    fn payload_bytes() -> usize;
+}
+
+impl Value for u32 {
+    #[inline]
+    fn make(seed: u64) -> Self {
+        seed as u32
+    }
+    fn payload_bytes() -> usize {
+        4
+    }
+}
+
+impl Value for u64 {
+    #[inline]
+    fn make(seed: u64) -> Self {
+        seed
+    }
+    fn payload_bytes() -> usize {
+        8
+    }
+}
+
+/// 100-byte payload behind an `Arc` (reference semantics like Java).
+impl Value for Arc<[u8]> {
+    fn make(seed: u64) -> Self {
+        let mut v = vec![0u8; 100];
+        v[..8].copy_from_slice(&seed.to_le_bytes());
+        v[8] = (seed >> 56) as u8;
+        Arc::from(v.into_boxed_slice())
+    }
+    fn payload_bytes() -> usize {
+        100
+    }
+}
+
+/// Which value shape a scenario uses (for reporting only; the harness is
+/// generic over [`Value`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueShape {
+    /// 4 B keys / 4 B values (paper Figs. 6, 9, 10).
+    Small,
+    /// 16 B keys / 100 B values (paper Figs. 5, 7, 8).
+    Large,
+}
+
+/// Key distribution (paper §4.2: uniform or Zipfian 0.99).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KeyDist {
+    Uniform,
+    Zipfian,
+}
+
+impl KeyDist {
+    /// Single-letter tag used in the paper's plot ids (`u` / `z`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "u",
+            KeyDist::Zipfian => "z",
+        }
+    }
+}
+
+/// Per-thread key generator over `[0, key_space)`.
+#[derive(Clone)]
+pub struct KeyGen {
+    dist: KeyDist,
+    key_space: u64,
+    zipf: Option<Zipfian>,
+    state: u64,
+}
+
+impl KeyGen {
+    pub fn new(dist: KeyDist, key_space: u64, seed: u64) -> Self {
+        let zipf = match dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipfian => Some(Zipfian::new(key_space)),
+        };
+        KeyGen { dist, key_space, zipf, state: seed.max(1) }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: fast, good enough for workload draws.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Next key according to the distribution.
+    #[inline]
+    pub fn next_key(&mut self) -> u64 {
+        let r = self.next_u64();
+        match self.dist {
+            KeyDist::Uniform => r % self.key_space,
+            KeyDist::Zipfian => self.zipf.as_ref().unwrap().sample(r),
+        }
+    }
+
+    /// A raw uniform draw (for op-type coin flips etc.).
+    #[inline]
+    pub fn next_raw(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key16_preserves_order() {
+        let ks: Vec<Key16> = [0u64, 1, 255, 256, 1 << 32, u64::MAX].iter().map(|&v| v.into()).collect();
+        for w in ks.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(Key16::from(12345).as_u64(), 12345);
+    }
+
+    #[test]
+    fn value_shapes() {
+        assert_eq!(<u32 as Value>::make(7), 7u32);
+        let v = <Arc<[u8]> as Value>::make(42);
+        assert_eq!(v.len(), 100);
+        assert_eq!(<Arc<[u8]> as Value>::payload_bytes(), 100);
+        // Arc clone is cheap reference copy.
+        let v2 = v.clone();
+        assert!(Arc::ptr_eq(&v, &v2));
+    }
+
+    #[test]
+    fn uniform_keygen_covers_space() {
+        let mut g = KeyGen::new(KeyDist::Uniform, 100, 42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let k = g.next_key();
+            assert!(k < 100);
+            seen.insert(k);
+        }
+        assert!(seen.len() > 95, "uniform draw should cover the space: {}", seen.len());
+    }
+
+    #[test]
+    fn zipfian_keygen_is_skewed() {
+        let mut g = KeyGen::new(KeyDist::Zipfian, 100_000, 42);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(g.next_key()).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(max > 100, "zipf should have hot keys, max count {max}");
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = KeyGen::new(KeyDist::Uniform, 1_000_000, 1);
+        let mut b = KeyGen::new(KeyDist::Uniform, 1_000_000, 2);
+        let sa: Vec<u64> = (0..32).map(|_| a.next_key()).collect();
+        let sb: Vec<u64> = (0..32).map(|_| b.next_key()).collect();
+        assert_ne!(sa, sb);
+    }
+}

@@ -1,0 +1,19 @@
+//! Workload generation for the Jiffy reproduction (paper §4.2).
+//!
+//! The paper's microbenchmark draws keys from a 20 M key space over a
+//! ~10 M entry dataset, with either a uniform or a Zipfian (skew 0.99,
+//! YCSB default) distribution, key/value shapes of 16 B/100 B or
+//! 4 B/4 B, and updates executed as single operations or as 10-/100-op
+//! batches that are either *sequential* (consecutive keys) or *random*.
+//! This crate reproduces all of those ingredients, scaled by a CLI
+//! factor, plus the scenario grid naming used in the paper's plots.
+
+mod keys;
+mod scenario;
+mod zipf;
+
+pub use keys::{Key16, KeyDist, KeyGen, Value, ValueShape};
+pub use scenario::{
+    figure_scenarios, BatchMode, BatchPattern, FigureSpec, KvShape, Role, Scenario, ThreadMix,
+};
+pub use zipf::Zipfian;

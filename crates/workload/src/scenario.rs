@@ -1,0 +1,331 @@
+//! The paper's scenario grid (§4.2, Figures 5–10).
+//!
+//! Four scenarios per figure — (a) update-only, (b) 25 % update / 75 %
+//! lookup, (c) mixed with short scans, (d) mixed with long scans — each
+//! run with simple put/remove, 10-op batches and 100-op batches (batched
+//! runs in both *sequential* and *random* flavours), over two key/value
+//! shapes and two key distributions. Scenario names mirror the paper's
+//! plot identifiers (`plot_20M_10M_u_0.5_0.25_200_..._b100`).
+
+use crate::keys::KeyDist;
+
+/// What a benchmark thread does (threads have fixed roles, §4.2: "each
+/// microbenchmark thread issues only one type of operations").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// put/remove (50/50) or batch updates, depending on [`BatchMode`].
+    Update,
+    /// `get` lookups.
+    Lookup,
+    /// Range scans of `scan_len` entries from a random start key.
+    Scan,
+}
+
+/// Fraction of threads per role.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThreadMix {
+    pub update: f64,
+    pub lookup: f64,
+    pub scan: f64,
+}
+
+impl ThreadMix {
+    pub const UPDATE_ONLY: ThreadMix = ThreadMix { update: 1.0, lookup: 0.0, scan: 0.0 };
+    pub const UPDATE_LOOKUP: ThreadMix = ThreadMix { update: 0.25, lookup: 0.75, scan: 0.0 };
+    pub const MIXED: ThreadMix = ThreadMix { update: 0.25, lookup: 0.5, scan: 0.25 };
+
+    /// Assign a role to each of `n` threads (updaters first, then
+    /// lookups, the rest scanners) matching the fractions as closely as
+    /// an integer split can.
+    pub fn assign(&self, n: usize) -> Vec<Role> {
+        assert!(n > 0);
+        let mut updaters = (self.update * n as f64).round() as usize;
+        let mut lookups = (self.lookup * n as f64).round() as usize;
+        // Guarantee at least one updater when the mix calls for any.
+        if self.update > 0.0 {
+            updaters = updaters.max(1);
+        }
+        if self.lookup > 0.0 {
+            lookups = lookups.max(1);
+        }
+        let mut roles = Vec::with_capacity(n);
+        for i in 0..n {
+            if i < updaters {
+                roles.push(Role::Update);
+            } else if i < updaters + lookups {
+                roles.push(Role::Lookup);
+            } else if self.scan > 0.0 {
+                roles.push(Role::Scan);
+            } else {
+                roles.push(Role::Lookup);
+            }
+        }
+        if self.scan > 0.0 && !roles.contains(&Role::Scan) {
+            // Convert the last lookup into a scanner; never sacrifice the
+            // only updater (tiny thread counts drop scanners instead).
+            if let Some(pos) = roles.iter().rposition(|r| *r == Role::Lookup) {
+                roles[pos] = Role::Scan;
+            } else if roles.len() > 1 {
+                let last = roles.len() - 1;
+                roles[last] = Role::Scan;
+            }
+        }
+        roles
+    }
+}
+
+/// How updater threads issue their operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Plain put/remove operations (the paper's "simple put/remove").
+    Single,
+    /// Batches of `size` operations on consecutive keys ("seq").
+    BatchSeq { size: usize },
+    /// Batches of `size` operations on random keys ("rand").
+    BatchRand { size: usize },
+}
+
+impl BatchMode {
+    pub fn tag(&self) -> String {
+        match self {
+            BatchMode::Single => "a".into(),
+            BatchMode::BatchSeq { size } => format!("b{size}-seq"),
+            BatchMode::BatchRand { size } => format!("b{size}-rand"),
+        }
+    }
+
+    pub fn batch_size(&self) -> usize {
+        match self {
+            BatchMode::Single => 1,
+            BatchMode::BatchSeq { size } | BatchMode::BatchRand { size } => *size,
+        }
+    }
+}
+
+/// Batch key pattern (for reporting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchPattern {
+    Sequential,
+    Random,
+}
+
+/// Key/value shape (reporting only; the harness is generic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvShape {
+    /// 16 B keys / 100 B values (Figs. 5, 7, 8).
+    K16V100,
+    /// 4 B keys / 4 B values (Figs. 6, 9, 10).
+    K4V4,
+}
+
+impl KvShape {
+    pub fn tag(&self) -> &'static str {
+        match self {
+            KvShape::K16V100 => "16_100",
+            KvShape::K4V4 => "4_4",
+        }
+    }
+}
+
+/// One cell of the evaluation grid.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Paper-style plot identifier.
+    pub id: String,
+    pub shape: KvShape,
+    pub dist: KeyDist,
+    pub mix: ThreadMix,
+    /// Entries per scan (paper: 100 short / 10 000 long).
+    pub scan_len: usize,
+    pub batch: BatchMode,
+}
+
+impl Scenario {
+    pub fn new(
+        shape: KvShape,
+        dist: KeyDist,
+        mix: ThreadMix,
+        scan_len: usize,
+        batch: BatchMode,
+    ) -> Self {
+        // Mirror the paper's plot naming:
+        // plot_20M_10M_<dist>_<lookupFrac>_<scanFrac>_<scanLen*2>_0.0_0[_16_100]_<batch>
+        let scan_tag = if scan_len > 0 { scan_len * 2 } else { 0 };
+        let shape_tag = match shape {
+            KvShape::K16V100 => "_16_100",
+            KvShape::K4V4 => "",
+        };
+        let id = format!(
+            "plot_20M_10M_{}_{}_{}_{}_0.0_0{}_{}",
+            dist.tag(),
+            mix.lookup,
+            mix.scan,
+            scan_tag,
+            shape_tag,
+            batch.tag()
+        );
+        Scenario { id, shape, dist, mix, scan_len, batch }
+    }
+
+    /// The four scenario columns of one figure row.
+    pub fn columns(shape: KvShape, dist: KeyDist, batch: BatchMode) -> Vec<Scenario> {
+        vec![
+            Scenario::new(shape, dist, ThreadMix::UPDATE_ONLY, 0, batch),
+            Scenario::new(shape, dist, ThreadMix::UPDATE_LOOKUP, 0, batch),
+            Scenario::new(shape, dist, ThreadMix::MIXED, 100, batch),
+            Scenario::new(shape, dist, ThreadMix::MIXED, 10_000, batch),
+        ]
+    }
+}
+
+/// A figure of the paper: its key/value shape, distribution, and the
+/// batch-mode rows it contains.
+#[derive(Clone, Debug)]
+pub struct FigureSpec {
+    pub figure: u8,
+    pub shape: KvShape,
+    pub dist: KeyDist,
+    /// Whether the figure also reports update-only throughput rows
+    /// (the appendix versions, Figs. 7–10).
+    pub update_rows: bool,
+    /// Whether KiWi appears (4 B-key figures only).
+    pub with_kiwi: bool,
+}
+
+/// The figure inventory of the paper's evaluation.
+pub fn figure_scenarios(figure: u8) -> Option<FigureSpec> {
+    let spec = match figure {
+        5 => FigureSpec {
+            figure: 5,
+            shape: KvShape::K16V100,
+            dist: KeyDist::Uniform,
+            update_rows: false,
+            with_kiwi: false,
+        },
+        6 => FigureSpec {
+            figure: 6,
+            shape: KvShape::K4V4,
+            dist: KeyDist::Uniform,
+            update_rows: false,
+            with_kiwi: true,
+        },
+        7 => FigureSpec {
+            figure: 7,
+            shape: KvShape::K16V100,
+            dist: KeyDist::Uniform,
+            update_rows: true,
+            with_kiwi: false,
+        },
+        8 => FigureSpec {
+            figure: 8,
+            shape: KvShape::K16V100,
+            dist: KeyDist::Zipfian,
+            update_rows: true,
+            with_kiwi: false,
+        },
+        9 => FigureSpec {
+            figure: 9,
+            shape: KvShape::K4V4,
+            dist: KeyDist::Uniform,
+            update_rows: true,
+            with_kiwi: true,
+        },
+        10 => FigureSpec {
+            figure: 10,
+            shape: KvShape::K4V4,
+            dist: KeyDist::Zipfian,
+            update_rows: true,
+            with_kiwi: true,
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+impl FigureSpec {
+    /// All scenario cells of this figure: 3 batch rows × 4 columns, with
+    /// batched rows doubled into seq/rand variants.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        out.extend(Scenario::columns(self.shape, self.dist, BatchMode::Single));
+        for size in [10usize, 100] {
+            out.extend(Scenario::columns(self.shape, self.dist, BatchMode::BatchSeq { size }));
+            out.extend(Scenario::columns(self.shape, self.dist, BatchMode::BatchRand { size }));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_mix_assignment() {
+        let roles = ThreadMix::MIXED.assign(8);
+        assert_eq!(roles.len(), 8);
+        let upd = roles.iter().filter(|r| **r == Role::Update).count();
+        let get = roles.iter().filter(|r| **r == Role::Lookup).count();
+        let scan = roles.iter().filter(|r| **r == Role::Scan).count();
+        assert_eq!(upd, 2);
+        assert_eq!(get, 4);
+        assert_eq!(scan, 2);
+    }
+
+    #[test]
+    fn small_thread_counts_cover_all_roles() {
+        for n in 1..=4 {
+            let roles = ThreadMix::MIXED.assign(n);
+            assert!(roles.contains(&Role::Update), "n={n}: {roles:?}");
+        }
+        let roles = ThreadMix::MIXED.assign(3);
+        assert!(roles.contains(&Role::Scan));
+    }
+
+    #[test]
+    fn update_only_assigns_everything_to_updates() {
+        let roles = ThreadMix::UPDATE_ONLY.assign(5);
+        assert!(roles.iter().all(|r| *r == Role::Update));
+    }
+
+    #[test]
+    fn scenario_ids_match_paper_style() {
+        let s = Scenario::new(
+            KvShape::K16V100,
+            KeyDist::Uniform,
+            ThreadMix::MIXED,
+            100,
+            BatchMode::Single,
+        );
+        assert_eq!(s.id, "plot_20M_10M_u_0.5_0.25_200_0.0_0_16_100_a");
+        let s = Scenario::new(
+            KvShape::K4V4,
+            KeyDist::Zipfian,
+            ThreadMix::UPDATE_ONLY,
+            0,
+            BatchMode::BatchRand { size: 100 },
+        );
+        assert_eq!(s.id, "plot_20M_10M_z_0_0_0_0.0_0_b100-rand");
+    }
+
+    #[test]
+    fn figure_inventory_complete() {
+        for f in 5..=10 {
+            let spec = figure_scenarios(f).expect("figures 5-10 exist");
+            assert_eq!(spec.figure, f);
+            // 4 columns × (1 single + 2 sizes × 2 patterns) = 20 cells.
+            assert_eq!(spec.scenarios().len(), 20);
+        }
+        assert!(figure_scenarios(4).is_none());
+        assert!(figure_scenarios(11).is_none());
+    }
+
+    #[test]
+    fn batch_mode_tags() {
+        assert_eq!(BatchMode::Single.tag(), "a");
+        assert_eq!(BatchMode::BatchSeq { size: 10 }.tag(), "b10-seq");
+        assert_eq!(BatchMode::BatchRand { size: 100 }.tag(), "b100-rand");
+        assert_eq!(BatchMode::Single.batch_size(), 1);
+        assert_eq!(BatchMode::BatchRand { size: 100 }.batch_size(), 100);
+    }
+}

@@ -1,0 +1,193 @@
+//! Zipfian key sampler (YCSB-style, skew θ = 0.99 by default).
+//!
+//! Implements Gray et al.'s "Quickly generating billion-record synthetic
+//! databases" algorithm, the same one YCSB's `ZipfianGenerator` uses (the
+//! paper sets "distribution skew ... 0.99, which is the same as in the
+//! YCSB benchmark in the default settings"). Sampling is O(1) after an
+//! O(n)-free closed-form setup using the two-term zeta approximation.
+//!
+//! To avoid all threads hammering the same low-numbered keys *in key
+//! space order* (which would make skew indistinguishable from a small key
+//! range), ranks are scrambled over the key space with a Feistel-style
+//! permutation, like YCSB's `ScrambledZipfianGenerator`.
+
+/// Zipfian rank sampler over `[0, n)`.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scramble: bool,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact for small n, two-point interpolation beyond (standard YCSB
+    // shortcut keeps setup O(10^6) even for billion-key spaces).
+    let exact_limit = 10_000_000u64.min(n);
+    let mut sum = 0.0;
+    for i in 1..=exact_limit {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    if n > exact_limit {
+        // Integral approximation of the tail.
+        let a = exact_limit as f64;
+        let b = n as f64;
+        sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+    }
+    sum
+}
+
+impl Zipfian {
+    /// A sampler over `[0, n)` with the YCSB default skew 0.99 and rank
+    /// scrambling.
+    pub fn new(n: u64) -> Self {
+        Self::with_theta(n, 0.99, true)
+    }
+
+    /// Full control over skew and scrambling (tests use unscrambled
+    /// samplers to assert the rank distribution directly).
+    pub fn with_theta(n: u64, theta: f64, scramble: bool) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, scramble }
+    }
+
+    /// Draw a key in `[0, n)` using the caller's uniform `u64` source.
+    #[inline]
+    pub fn sample(&self, uniform: u64) -> u64 {
+        // Map the raw 64-bit value to (0, 1).
+        let u = (uniform >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let uz = u * self.zetan;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+        };
+        let rank = rank.min(self.n - 1);
+        if self.scramble {
+            self.permute(rank)
+        } else {
+            rank
+        }
+    }
+
+    /// Cheap stateless permutation of `[0, n)`: an invertible multiply +
+    /// xor-shift mix on the next power of two, cycle-walked back into
+    /// range. Each round is a bijection on `[0, 2^bits)` (odd multiplier
+    /// mod 2^bits; xor with a right shift), so cycle-walking terminates.
+    #[inline]
+    fn permute(&self, x: u64) -> u64 {
+        if self.n <= 2 {
+            return x;
+        }
+        let bits = 64 - (self.n - 1).leading_zeros() as u64;
+        let mask = (1u64 << bits) - 1;
+        let shift = (bits / 2).max(1);
+        let mut v = x & mask;
+        loop {
+            v = v.wrapping_mul(0x9E3779B97F4A7C15) & mask; // odd: bijective mod 2^bits
+            v ^= v >> shift; // bijective (top bits stay in range)
+            v = v.wrapping_mul(0xBF58476D1CE4E5B9) & mask;
+            v ^= v >> shift;
+            if v < self.n {
+                return v;
+            }
+        }
+    }
+
+    pub fn key_space(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipfian::new(1000);
+        let mut rng = XorShift(42);
+        for _ in 0..100_000 {
+            assert!(z.sample(rng.next()) < 1000);
+        }
+    }
+
+    #[test]
+    fn unscrambled_is_head_heavy() {
+        let z = Zipfian::with_theta(100_000, 0.99, false);
+        let mut rng = XorShift(7);
+        let mut head = 0usize;
+        let total = 200_000;
+        for _ in 0..total {
+            if z.sample(rng.next()) < 100 {
+                head += 1;
+            }
+        }
+        // With θ=0.99 over 100k keys, the top-100 ranks draw a large share
+        // (≈ 37% analytically); uniform would give 0.1%.
+        let share = head as f64 / total as f64;
+        assert!(share > 0.25, "head share too small for zipf: {share}");
+    }
+
+    #[test]
+    fn scrambled_preserves_skew_but_spreads_keys() {
+        let z = Zipfian::new(100_000);
+        let mut rng = XorShift(99);
+        let mut counts = std::collections::HashMap::new();
+        let total = 200_000;
+        for _ in 0..total {
+            *counts.entry(z.sample(rng.next())).or_insert(0usize) += 1;
+        }
+        // Skew: the hottest key absorbs far more than uniform share.
+        let max = *counts.values().max().unwrap();
+        assert!(max > total / 1000, "no hot key after scrambling: {max}");
+        // Spread: hot keys are not all clustered at the bottom of the
+        // key space.
+        let mut hot: Vec<u64> = counts
+            .iter()
+            .filter(|(_, &c)| c > 50)
+            .map(|(&k, _)| k)
+            .collect();
+        hot.sort_unstable();
+        if hot.len() >= 2 {
+            let span = hot.last().unwrap() - hot.first().unwrap();
+            assert!(span > 10_000, "hot keys clustered: span {span}");
+        }
+    }
+
+    #[test]
+    fn tiny_key_spaces() {
+        for n in [1u64, 2, 3, 7] {
+            let z = Zipfian::new(n);
+            let mut rng = XorShift(5);
+            for _ in 0..1000 {
+                assert!(z.sample(rng.next()) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_input() {
+        let z = Zipfian::new(5000);
+        assert_eq!(z.sample(12345), z.sample(12345));
+    }
+}

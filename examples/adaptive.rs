@@ -1,0 +1,75 @@
+//! Watch the autoscaler adapt (paper §3.3.6, §4.3).
+//!
+//! Jiffy tunes its synchronization granularity — the size of the
+//! immutable revisions — to the observed read/update mix: small
+//! revisions when updates dominate (less copying per CAS), large ones
+//! when reads dominate (shallower index, better scans). This example
+//! drives the same map through a write-heavy phase and then a
+//! read-heavy phase and prints the mean revision size as it drifts
+//! between the configured bounds (default 25–300).
+//!
+//! ```sh
+//! cargo run --release -p jiffy-examples --bin adaptive
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use jiffy::JiffyMap;
+
+const KEYS: u64 = 100_000;
+
+fn phase(map: &JiffyMap<u64, u64>, label: &str, read_fraction: u32, secs: u64) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let map = &map;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut seed = t * 7919 + 1;
+                let mut rng = move || {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    seed
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng() % KEYS;
+                    if rng() % 100 < read_fraction as u64 {
+                        std::hint::black_box(map.get(&k));
+                    } else if rng() & 1 == 0 {
+                        map.put(k, k);
+                    } else {
+                        map.remove(&k);
+                    }
+                }
+            });
+        }
+        for i in 1..=secs {
+            std::thread::sleep(Duration::from_secs(1));
+            let st = map.debug_stats();
+            println!(
+                "{label:<12} t={i:>2}s  nodes={:<6} mean revision size={:6.1}",
+                st.nodes, st.mean_revision_size
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+fn main() {
+    let map: JiffyMap<u64, u64> = JiffyMap::new();
+    for k in (0..KEYS).step_by(2) {
+        map.put(k, k);
+    }
+    println!("after prefill: {:?}", map.debug_stats());
+    println!("\n--- write-only phase (expect revisions to shrink toward ~25) ---");
+    phase(&map, "write-only", 0, 4);
+    println!("\n--- read-heavy phase, 95% gets (expect revisions to grow) ---");
+    phase(&map, "read-heavy", 95, 6);
+    let st = map.debug_stats();
+    println!(
+        "\nfinal: mean revision size {:.1} across {} nodes (bounds [25, 300])",
+        st.mean_revision_size, st.nodes
+    );
+}

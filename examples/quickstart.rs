@@ -1,0 +1,56 @@
+//! Quickstart: the Jiffy API in two minutes.
+//!
+//! ```sh
+//! cargo run --release -p jiffy-examples --bin quickstart
+//! ```
+
+use jiffy::{Batch, BatchOp, JiffyMap};
+
+fn main() {
+    // A Jiffy map is an ordered key-value index; all operations take
+    // `&self`, so share it by reference or `Arc` across threads.
+    let map: JiffyMap<u64, String> = JiffyMap::new();
+
+    // Single-key operations: linearizable put / get / remove.
+    map.put(3, "three".into());
+    map.put(1, "one".into());
+    map.put(2, "two".into());
+    assert_eq!(map.get(&2).as_deref(), Some("two"));
+    assert_eq!(map.remove(&2).as_deref(), Some("two"));
+    assert_eq!(map.get(&2), None);
+
+    // Batch updates: a set of puts/removes that becomes visible
+    // atomically — no reader or snapshot ever sees half of it.
+    map.batch(Batch::new(vec![
+        BatchOp::Put(10, "ten".into()),
+        BatchOp::Put(20, "twenty".into()),
+        BatchOp::Remove(1),
+    ]));
+    assert_eq!(map.get(&1), None);
+    assert_eq!(map.get(&20).as_deref(), Some("twenty"));
+
+    // Snapshots: an O(1), wait-free consistent view. Updates proceed
+    // unimpeded; the snapshot keeps reading the old state.
+    let snap = map.snapshot();
+    map.put(30, "thirty".into());
+    map.remove(&10);
+    assert_eq!(snap.get(&10).as_deref(), Some("ten"), "snapshot still sees key 10");
+    assert_eq!(snap.get(&30), None, "snapshot predates key 30");
+
+    // Range scans always run on a snapshot: sorted and consistent.
+    let entries = snap.range(&0, usize::MAX);
+    println!("snapshot state ({} entries):", entries.len());
+    for (k, v) in &entries {
+        println!("  {k:>3} -> {v}");
+    }
+
+    // The live map has moved on.
+    let now = map.snapshot();
+    println!("live state ({} entries):", now.len());
+    for (k, v) in now.range(&0, usize::MAX) {
+        println!("  {k:>3} -> {v}");
+    }
+
+    // Structural telemetry (nodes, revision sizes) for the curious.
+    println!("structure: {:?}", map.debug_stats());
+}

@@ -1,0 +1,1 @@
+//! Shared nothing: each example is a standalone binary (see ../*.rs).

@@ -1,0 +1,45 @@
+//! Shared helpers for the cross-crate system tests.
+
+use std::sync::Arc;
+
+use baselines::catree::{AvlContainer, ImmContainer, SkipContainer};
+use baselines::snaptree::SingleShard;
+use baselines::{CaTree, Cslm, KaryTree, Kiwi, LfcaTree, SnapTree};
+use index_api::OrderedIndex;
+
+/// Every index in the evaluation, as trait objects over (u64, u64).
+pub fn all_indices() -> Vec<Arc<dyn OrderedIndex<u64, u64> + Send + Sync>> {
+    vec![
+        Arc::new(jiffy::JiffyMap::<u64, u64>::new()),
+        Arc::new(Cslm::<u64, u64>::new()),
+        Arc::new(CaTree::<u64, u64, AvlContainer<u64, u64>>::new()),
+        Arc::new(CaTree::<u64, u64, SkipContainer<u64, u64>>::new()),
+        Arc::new(CaTree::<u64, u64, ImmContainer<u64, u64>>::new()),
+        Arc::new(LfcaTree::<u64, u64>::new()),
+        Arc::new(KaryTree::<u64, u64>::new()),
+        Arc::new(SnapTree::<u64, u64, SingleShard>::new()),
+        Arc::new(Kiwi::<u64, u64>::new()),
+    ]
+}
+
+/// The subset with linearizable scans (everything but CSLM).
+pub fn consistent_scan_indices() -> Vec<Arc<dyn OrderedIndex<u64, u64> + Send + Sync>> {
+    all_indices().into_iter().filter(|i| i.supports_consistent_scan()).collect()
+}
+
+/// The subset with atomic batches (Jiffy, CA-AVL, CA-SL).
+pub fn atomic_batch_indices() -> Vec<Arc<dyn OrderedIndex<u64, u64> + Send + Sync>> {
+    all_indices().into_iter().filter(|i| i.supports_atomic_batch()).collect()
+}
+
+/// A deterministic xorshift rng for test workloads.
+pub struct XorShift(pub u64);
+
+impl XorShift {
+    pub fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}

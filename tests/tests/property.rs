@@ -1,0 +1,192 @@
+//! Property-based tests: random operation sequences keep every index
+//! equivalent to `BTreeMap`, and core generators/invariants hold over
+//! their whole input space.
+
+use std::collections::BTreeMap;
+
+use index_api::{Batch, BatchOp};
+use proptest::prelude::*;
+use system_tests::all_indices;
+
+#[derive(Clone, Debug)]
+enum MapOp {
+    Put(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Batch(Vec<(u64, Option<u64>)>),
+    Scan(u64, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = MapOp> {
+    let key = 0u64..200;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| MapOp::Put(k, v)),
+        key.clone().prop_map(MapOp::Remove),
+        key.clone().prop_map(MapOp::Get),
+        proptest::collection::vec((0u64..200, proptest::option::of(any::<u64>())), 1..20)
+            .prop_map(MapOp::Batch),
+        (key, 0usize..50).prop_map(|(k, n)| MapOp::Scan(k, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every index agrees with BTreeMap on arbitrary op sequences.
+    #[test]
+    fn indices_match_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        for index in all_indices() {
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for op in &ops {
+                match op {
+                    MapOp::Put(k, v) => {
+                        index.put(*k, *v);
+                        model.insert(*k, *v);
+                    }
+                    MapOp::Remove(k) => {
+                        let got = index.remove(k);
+                        prop_assert_eq!(got, model.remove(k).is_some(), "{} remove", index.name());
+                    }
+                    MapOp::Get(k) => {
+                        prop_assert_eq!(index.get(k), model.get(k).copied(), "{} get", index.name());
+                    }
+                    MapOp::Batch(entries) => {
+                        let ops: Vec<BatchOp<u64, u64>> = entries
+                            .iter()
+                            .map(|(k, v)| match v {
+                                Some(v) => BatchOp::Put(*k, *v),
+                                None => BatchOp::Remove(*k),
+                            })
+                            .collect();
+                        let batch = Batch::new(ops);
+                        for op in batch.ops() {
+                            match op {
+                                BatchOp::Put(k, v) => {
+                                    model.insert(*k, *v);
+                                }
+                                BatchOp::Remove(k) => {
+                                    model.remove(k);
+                                }
+                            }
+                        }
+                        index.batch_update(batch);
+                    }
+                    MapOp::Scan(lo, n) => {
+                        let got = index.scan_collect(lo, *n);
+                        let want: Vec<(u64, u64)> =
+                            model.range(lo..).take(*n).map(|(k, v)| (*k, *v)).collect();
+                        prop_assert_eq!(got, want, "{} scan", index.name());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Jiffy with pathologically small revisions (max structure churn)
+    /// still matches the model, including snapshots taken mid-sequence.
+    #[test]
+    fn jiffy_tiny_revisions_with_snapshots(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+        snap_at in 0usize..100,
+    ) {
+        let map: jiffy::JiffyMap<u64, u64> = jiffy::JiffyMap::with_config(jiffy::JiffyConfig {
+            min_revision_size: 2,
+            max_revision_size: 6,
+            fixed_revision_size: Some(2),
+            ..Default::default()
+        });
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut snapshot = None;
+        let mut snap_model = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i == snap_at {
+                snapshot = Some(map.snapshot());
+                snap_model = model.clone();
+            }
+            match op {
+                MapOp::Put(k, v) => {
+                    map.put(*k, *v);
+                    model.insert(*k, *v);
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(map.remove(k).is_some(), model.remove(k).is_some());
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(map.get(k), model.get(k).copied());
+                }
+                MapOp::Batch(entries) => {
+                    let ops: Vec<BatchOp<u64, u64>> = entries
+                        .iter()
+                        .map(|(k, v)| match v {
+                            Some(v) => BatchOp::Put(*k, *v),
+                            None => BatchOp::Remove(*k),
+                        })
+                        .collect();
+                    let batch = Batch::new(ops);
+                    for op in batch.ops() {
+                        match op {
+                            BatchOp::Put(k, v) => {
+                                model.insert(*k, *v);
+                            }
+                            BatchOp::Remove(k) => {
+                                model.remove(k);
+                            }
+                        }
+                    }
+                    map.batch(batch);
+                }
+                MapOp::Scan(lo, n) => {
+                    let snap = map.snapshot();
+                    let got = snap.range(lo, *n);
+                    let want: Vec<(u64, u64)> =
+                        model.range(lo..).take(*n).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // The old snapshot still reflects the state at `snap_at`.
+        if let Some(snap) = snapshot {
+            let got = snap.range(&0, usize::MAX);
+            let want: Vec<(u64, u64)> = snap_model.into_iter().collect();
+            prop_assert_eq!(got, want, "snapshot drifted");
+        }
+    }
+
+    /// The zipfian sampler stays in range for arbitrary key spaces.
+    #[test]
+    fn zipf_in_range(n in 1u64..5_000_000, draws in proptest::collection::vec(any::<u64>(), 50)) {
+        let z = workload::Zipfian::new(n);
+        for d in draws {
+            prop_assert!(z.sample(d) < n);
+        }
+    }
+
+    /// Key16 embeddings preserve order for arbitrary u64 pairs.
+    #[test]
+    fn key16_order_preserving(a in any::<u64>(), b in any::<u64>()) {
+        let ka = workload::Key16::from(a);
+        let kb = workload::Key16::from(b);
+        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+        prop_assert_eq!(ka.as_u64(), a);
+    }
+
+    /// Batch canonicalization: sorted, unique, last-write-wins.
+    #[test]
+    fn batch_canonical(entries in proptest::collection::vec((0u64..50, any::<u64>()), 0..60)) {
+        let ops: Vec<BatchOp<u64, u64>> =
+            entries.iter().map(|(k, v)| BatchOp::Put(*k, *v)).collect();
+        let batch = Batch::new(ops);
+        let keys: Vec<u64> = batch.ops().iter().map(|o| *o.key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&keys, &sorted, "sorted + unique");
+        // Last write wins.
+        for op in batch.ops() {
+            if let BatchOp::Put(k, v) = op {
+                let last = entries.iter().rev().find(|(ek, _)| ek == k).unwrap().1;
+                prop_assert_eq!(*v, last);
+            }
+        }
+    }
+}
