@@ -33,7 +33,7 @@ fn fix_height<K, V>(n: &mut Box<AvlNode<K, V>>) {
     n.height = 1 + height(&n.left).max(height(&n.right));
 }
 
-fn balance_factor<K, V>(n: &Box<AvlNode<K, V>>) -> i32 {
+fn balance_factor<K, V>(n: &AvlNode<K, V>) -> i32 {
     height(&n.left) - height(&n.right)
 }
 
@@ -75,10 +75,7 @@ fn rebalance<K, V>(mut n: Box<AvlNode<K, V>>) -> Box<AvlNode<K, V>> {
 
 fn insert<K: Ord, V>(link: Link<K, V>, key: K, value: V) -> (Box<AvlNode<K, V>>, Option<V>) {
     match link {
-        None => (
-            Box::new(AvlNode { key, value, height: 1, left: None, right: None }),
-            None,
-        ),
+        None => (Box::new(AvlNode { key, value, height: 1, left: None, right: None }), None),
         Some(mut n) => {
             let old = match key.cmp(&n.key) {
                 std::cmp::Ordering::Less => {

@@ -53,6 +53,9 @@ pub trait Container<K: Ord + Clone, V: Clone>: Send + Sync + Default {
     /// Returns true if the key was present.
     fn remove(&mut self, key: &K) -> bool;
     fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     fn scan_from(&self, lo: &K, f: &mut dyn FnMut(&K, &V) -> bool);
     /// Split into halves; returns `(left, right, first key of right)`.
     fn split(self) -> (Self, Self, K)
@@ -75,9 +78,7 @@ impl<K: Ord + Clone, V: Clone> Default for AvlContainer<K, V> {
     }
 }
 
-impl<K: Ord + Clone + Send + Sync, V: Clone + Send + Sync> Container<K, V>
-    for AvlContainer<K, V>
-{
+impl<K: Ord + Clone + Send + Sync, V: Clone + Send + Sync> Container<K, V> for AvlContainer<K, V> {
     fn get(&self, key: &K) -> Option<V> {
         self.0.get(key).cloned()
     }
@@ -117,9 +118,7 @@ impl<K: Ord + Clone, V: Clone> Default for SkipContainer<K, V> {
     }
 }
 
-impl<K: Ord + Clone + Send + Sync, V: Clone + Send + Sync> Container<K, V>
-    for SkipContainer<K, V>
-{
+impl<K: Ord + Clone + Send + Sync, V: Clone + Send + Sync> Container<K, V> for SkipContainer<K, V> {
     fn get(&self, key: &K) -> Option<V> {
         self.0.get(key).cloned()
     }
@@ -159,9 +158,7 @@ impl<K: Ord + Clone, V: Clone> Default for ImmContainer<K, V> {
     }
 }
 
-impl<K: Ord + Clone + Send + Sync, V: Clone + Send + Sync> Container<K, V>
-    for ImmContainer<K, V>
-{
+impl<K: Ord + Clone + Send + Sync, V: Clone + Send + Sync> Container<K, V> for ImmContainer<K, V> {
     fn get(&self, key: &K) -> Option<V> {
         self.0.get(key).cloned()
     }
@@ -227,6 +224,10 @@ pub struct CaTree<K, V, C> {
 unsafe impl<K: Send + Sync, V: Send + Sync, C: Send + Sync> Send for CaTree<K, V, C> {}
 unsafe impl<K: Send + Sync, V: Send + Sync, C: Send + Sync> Sync for CaTree<K, V, C> {}
 
+/// The link that points at a router, the router itself, and which side of
+/// it the descent took (`true` = left).
+type ParentLink<'g, K, V, C> = (*const Atomic<NodeE<K, V, C>>, Shared<'g, NodeE<K, V, C>>, bool);
+
 /// Result of routing to a base node: the base plus the links needed for
 /// restructures (raw pointers; only dereferenced under the same guard).
 struct Route<'g, K, V, C> {
@@ -235,7 +236,7 @@ struct Route<'g, K, V, C> {
     link: *const Atomic<NodeE<K, V, C>>,
     /// The link that points at `base`'s parent router (None if `base` is
     /// the root), plus that router and which side we took.
-    parent: Option<(*const Atomic<NodeE<K, V, C>>, Shared<'g, NodeE<K, V, C>>, bool)>,
+    parent: Option<ParentLink<'g, K, V, C>>,
     /// Key of the nearest ancestor router we descended LEFT from — the
     /// exclusive upper bound of the base's key range (None = rightmost).
     last_left_key: Option<K>,
@@ -485,10 +486,9 @@ where
         let guard = &epoch::pin();
         'retry: loop {
             // Phase 1: acquire (ascending keys => ascending bases).
-            let mut held: Vec<(
-                Shared<'_, NodeE<K, V, C>>,
-                parking_lot::RwLockWriteGuard<'_, BaseGuarded<C>>,
-            )> = Vec::new();
+            type HeldLock<'g, K, V, C> =
+                (Shared<'g, NodeE<K, V, C>>, parking_lot::RwLockWriteGuard<'g, BaseGuarded<C>>);
+            let mut held: Vec<HeldLock<'_, K, V, C>> = Vec::new();
             let mut op_slot: Vec<usize> = Vec::with_capacity(ops.len());
             for op in &ops {
                 let key = op.key();

@@ -37,10 +37,7 @@ impl<K: Ord + Clone, V: Clone> ImmArray<K, V> {
     }
 
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.entries
-            .binary_search_by(|(k, _)| k.cmp(key))
-            .ok()
-            .map(|i| &self.entries[i].1)
+        self.entries.binary_search_by(|(k, _)| k.cmp(key)).ok().map(|i| &self.entries[i].1)
     }
 
     /// New container with `key` set; returns `(container, had_key)`.

@@ -72,7 +72,7 @@ where
             let c = unsafe { cur.deref() };
             let next = c.next.load(Ordering::Acquire, guard);
             match unsafe { next.as_ref() } {
-                Some(n) if n.min_key.as_ref().map_or(false, |mk| mk <= key) => cur = next,
+                Some(n) if n.min_key.as_ref().is_some_and(|mk| mk <= key) => cur = next,
                 _ => return cur,
             }
         }

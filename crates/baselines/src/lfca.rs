@@ -112,13 +112,10 @@ where
         if st.arr.len() < 2 {
             // Degenerate freeze: unfreeze in place.
             let unfrozen = Owned::new(LeafState { arr: st.arr.clone(), frozen: false });
-            if let Ok(_) = state_slot.compare_exchange(
-                st_s,
-                unfrozen,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-                guard,
-            ) {
+            if state_slot
+                .compare_exchange(st_s, unfrozen, Ordering::AcqRel, Ordering::Acquire, guard)
+                .is_ok()
+            {
                 unsafe { guard.defer_destroy(st_s) };
             }
             return;

@@ -40,7 +40,12 @@ fn h<K, V>(l: &PLink<K, V>) -> i32 {
     l.as_ref().map_or(0, |n| n.height)
 }
 
-fn mk<K: Clone, V: Clone>(key: K, value: V, left: PLink<K, V>, right: PLink<K, V>) -> Arc<PNode<K, V>> {
+fn mk<K: Clone, V: Clone>(
+    key: K,
+    value: V,
+    left: PLink<K, V>,
+    right: PLink<K, V>,
+) -> Arc<PNode<K, V>> {
     let height = 1 + h(&left).max(h(&right));
     Arc::new(PNode { key, value, height, left, right })
 }
@@ -107,22 +112,15 @@ fn insert<K: Ord + Clone, V: Clone>(
         Some(n) => match key.cmp(&n.key) {
             std::cmp::Ordering::Less => {
                 let (l, had) = insert(&n.left, key, value);
-                (
-                    balance(n.key.clone(), n.value.clone(), Some(l), n.right.clone()),
-                    had,
-                )
+                (balance(n.key.clone(), n.value.clone(), Some(l), n.right.clone()), had)
             }
             std::cmp::Ordering::Greater => {
                 let (r, had) = insert(&n.right, key, value);
-                (
-                    balance(n.key.clone(), n.value.clone(), n.left.clone(), Some(r)),
-                    had,
-                )
+                (balance(n.key.clone(), n.value.clone(), n.left.clone(), Some(r)), had)
             }
-            std::cmp::Ordering::Equal => (
-                mk(key.clone(), value.clone(), n.left.clone(), n.right.clone()),
-                true,
-            ),
+            std::cmp::Ordering::Equal => {
+                (mk(key.clone(), value.clone(), n.left.clone(), n.right.clone()), true)
+            }
         },
     }
 }
@@ -132,10 +130,7 @@ fn pop_min<K: Ord + Clone, V: Clone>(n: &Arc<PNode<K, V>>) -> (PLink<K, V>, (K, 
         None => (n.right.clone(), (n.key.clone(), n.value.clone())),
         Some(l) => {
             let (rest, min) = pop_min(l);
-            (
-                Some(balance(n.key.clone(), n.value.clone(), rest, n.right.clone())),
-                min,
-            )
+            (Some(balance(n.key.clone(), n.value.clone(), rest, n.right.clone())), min)
         }
     }
 }
@@ -149,20 +144,14 @@ fn remove<K: Ord + Clone, V: Clone>(link: &PLink<K, V>, key: &K) -> (PLink<K, V>
                 if old.is_none() {
                     return (link.clone(), None);
                 }
-                (
-                    Some(balance(n.key.clone(), n.value.clone(), l, n.right.clone())),
-                    old,
-                )
+                (Some(balance(n.key.clone(), n.value.clone(), l, n.right.clone())), old)
             }
             std::cmp::Ordering::Greater => {
                 let (r, old) = remove(&n.right, key);
                 if old.is_none() {
                     return (link.clone(), None);
                 }
-                (
-                    Some(balance(n.key.clone(), n.value.clone(), n.left.clone(), r)),
-                    old,
-                )
+                (Some(balance(n.key.clone(), n.value.clone(), n.left.clone(), r)), old)
             }
             std::cmp::Ordering::Equal => {
                 let old = Some(n.value.clone());
@@ -207,10 +196,7 @@ impl<K: Ord + Clone, V: Clone> PAvl<K, V> {
     /// New tree with `key` set; `true` if it replaced an existing entry.
     pub fn insert(&self, key: &K, value: &V) -> (Self, bool) {
         let (root, had) = insert(&self.root, key, value);
-        (
-            PAvl { root: Some(root), len: self.len + usize::from(!had) },
-            had,
-        )
+        (PAvl { root: Some(root), len: self.len + usize::from(!had) }, had)
     }
 
     /// New tree without `key` (if present).
@@ -221,11 +207,7 @@ impl<K: Ord + Clone, V: Clone> PAvl<K, V> {
     }
 
     pub fn scan_from(&self, lo: &K, f: &mut dyn FnMut(&K, &V) -> bool) {
-        fn walk<K: Ord, V>(
-            link: &PLink<K, V>,
-            lo: &K,
-            f: &mut dyn FnMut(&K, &V) -> bool,
-        ) -> bool {
+        fn walk<K: Ord, V>(link: &PLink<K, V>, lo: &K, f: &mut dyn FnMut(&K, &V) -> bool) -> bool {
             let Some(n) = link else { return true };
             if n.key >= *lo {
                 if !walk(&n.left, lo, f) {

@@ -161,10 +161,8 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
         unsafe {
             while let Some(n) = link {
                 let n = n.as_ref();
-                if n.key >= *lo {
-                    if !f(&n.key, &n.value) {
-                        return;
-                    }
+                if n.key >= *lo && !f(&n.key, &n.value) {
+                    return;
                 }
                 link = &n.next[0];
             }

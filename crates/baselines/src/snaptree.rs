@@ -92,10 +92,7 @@ where
 {
     pub fn with_partitioner(shards: usize, partitioner: P) -> Self {
         assert!(shards >= 1);
-        SnapTree {
-            shards: (0..shards).map(|_| RwLock::new(PAvl::new())).collect(),
-            partitioner,
-        }
+        SnapTree { shards: (0..shards).map(|_| RwLock::new(PAvl::new())).collect(), partitioner }
     }
 
     #[inline]

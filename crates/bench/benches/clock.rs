@@ -25,9 +25,7 @@ fn bench_single(c: &mut Criterion) {
     let mono = MonotonicClock::new();
     group.bench_function("monotonic", |b| b.iter(|| std::hint::black_box(mono.now())));
     let counter = AtomicClock::new();
-    group.bench_function("atomic-counter", |b| {
-        b.iter(|| std::hint::black_box(counter.now()))
-    });
+    group.bench_function("atomic-counter", |b| b.iter(|| std::hint::black_box(counter.now())));
     group.finish();
 }
 
@@ -49,13 +47,9 @@ fn bench_contended(c: &mut Criterion) {
     group.sample_size(10);
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
     const READS: u64 = 100_000;
-    group.bench_with_input(
-        BenchmarkId::new("atomic-counter", threads),
-        &threads,
-        |b, &t| {
-            b.iter(|| contended(Arc::new(AtomicClock::new()), t, READS));
-        },
-    );
+    group.bench_with_input(BenchmarkId::new("atomic-counter", threads), &threads, |b, &t| {
+        b.iter(|| contended(Arc::new(AtomicClock::new()), t, READS));
+    });
     #[cfg(target_arch = "x86_64")]
     group.bench_with_input(BenchmarkId::new("tsc", threads), &threads, |b, &t| {
         b.iter(|| contended(Arc::new(jiffy_clock::TscClock::new()), t, READS));

@@ -33,20 +33,16 @@ fn bench_ops(c: &mut Criterion) {
             })
         });
         let mut rng = XorShift(0xDEC0DE);
-        group.bench_with_input(
-            BenchmarkId::new("put-remove", kind.name()),
-            &index,
-            |b, index| {
-                b.iter(|| {
-                    let k = rng.next() % KEY_SPACE;
-                    if k & 1 == 0 {
-                        index.put(k, k);
-                    } else {
-                        index.remove(&k);
-                    }
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("put-remove", kind.name()), &index, |b, index| {
+            b.iter(|| {
+                let k = rng.next() % KEY_SPACE;
+                if k & 1 == 0 {
+                    index.put(k, k);
+                } else {
+                    index.remove(&k);
+                }
+            })
+        });
     }
     group.finish();
 }

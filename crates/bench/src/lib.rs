@@ -10,16 +10,10 @@ use mkbench::{make_index_u64, IndexKind};
 /// Indices benchmarked head-to-head in the micro-benchmarks (a compact
 /// subset of the full figure lineup so `cargo bench` stays tractable).
 pub fn bench_lineup() -> Vec<(IndexKind, Arc<dyn OrderedIndex<u64, u64> + Send + Sync>)> {
-    [
-        IndexKind::Jiffy,
-        IndexKind::CaAvl,
-        IndexKind::CaImm,
-        IndexKind::Lfca,
-        IndexKind::Cslm,
-    ]
-    .into_iter()
-    .map(|k| (k, make_index_u64::<u64>(k, KEY_SPACE)))
-    .collect()
+    [IndexKind::Jiffy, IndexKind::CaAvl, IndexKind::CaImm, IndexKind::Lfca, IndexKind::Cslm]
+        .into_iter()
+        .map(|k| (k, make_index_u64::<u64>(k, KEY_SPACE)))
+        .collect()
 }
 
 /// Key space used across the micro-benchmarks.
@@ -37,6 +31,7 @@ pub struct XorShift(pub u64);
 
 impl XorShift {
     #[inline]
+    #[allow(clippy::should_implement_trait)] // deliberate rng-style name
     pub fn next(&mut self) -> u64 {
         self.0 ^= self.0 << 13;
         self.0 ^= self.0 >> 7;

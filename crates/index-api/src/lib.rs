@@ -131,10 +131,7 @@ mod tests {
             BatchOp::Remove(2),
         ]);
         assert_eq!(b.len(), 3);
-        assert_eq!(
-            b.ops(),
-            &[BatchOp::Put(1, "b"), BatchOp::Remove(2), BatchOp::Put(3, "c")]
-        );
+        assert_eq!(b.ops(), &[BatchOp::Put(1, "b"), BatchOp::Remove(2), BatchOp::Put(3, "c")]);
     }
 
     #[test]
@@ -146,11 +143,7 @@ mod tests {
 
     #[test]
     fn batch_single_key_many_writes() {
-        let b = Batch::new(vec![
-            BatchOp::Put(7u32, 1u32),
-            BatchOp::Remove(7),
-            BatchOp::Put(7, 3),
-        ]);
+        let b = Batch::new(vec![BatchOp::Put(7u32, 1u32), BatchOp::Remove(7), BatchOp::Put(7, 3)]);
         assert_eq!(b.ops(), &[BatchOp::Put(7, 3)]);
     }
 

@@ -151,12 +151,12 @@ impl VersionClock for AtomicClock {
 }
 
 /// The default clock for the current target: TSC on x86_64, monotonic
-/// elsewhere.
-#[cfg(target_arch = "x86_64")]
+/// elsewhere (or everywhere, with the `portable-clock` feature).
+#[cfg(all(target_arch = "x86_64", not(feature = "portable-clock")))]
 pub type DefaultClock = TscClock;
 /// The default clock for the current target: TSC on x86_64, monotonic
-/// elsewhere.
-#[cfg(not(target_arch = "x86_64"))]
+/// elsewhere (or everywhere, with the `portable-clock` feature).
+#[cfg(any(not(target_arch = "x86_64"), feature = "portable-clock"))]
 pub type DefaultClock = MonotonicClock;
 
 #[cfg(test)]

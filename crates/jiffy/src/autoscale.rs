@@ -34,8 +34,8 @@ pub(crate) struct ThreadScaleState {
 /// Clamp an elapsed-seconds weight into `(0, 1]` as §3.3.6 requires.
 #[inline]
 fn clamp_weight(secs: f32) -> f32 {
-    if !(secs > 0.0) {
-        // Sub-resolution gap (or first op): use a tiny positive weight.
+    if secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        // Sub-resolution gap, first op, or NaN: use a tiny positive weight.
         1e-6
     } else if secs > 1.0 {
         1.0

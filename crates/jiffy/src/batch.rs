@@ -85,9 +85,7 @@ impl<K: Ord + Clone, V: Clone> BatchDescriptor<K, V> {
     /// one-shot cleanup (deferring destruction of a merged node, etc.).
     pub(crate) fn advance(&self, from: usize, to: usize) -> bool {
         debug_assert!(to > from);
-        self.progress
-            .compare_exchange(from, to, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+        self.progress.compare_exchange(from, to, Ordering::AcqRel, Ordering::Acquire).is_ok()
     }
 
     /// End of the group starting at `i` for a node with key `node_key`:
@@ -149,7 +147,7 @@ mod tests {
     #[test]
     fn group_end_by_node_key() {
         let d = desc(&[2, 4, 6, 8]); // stored as [8, 6, 4, 2]
-        // Node with key 5 covers keys >= 5: group [0, 2) = {8, 6}.
+                                     // Node with key 5 covers keys >= 5: group [0, 2) = {8, 6}.
         assert_eq!(d.group_end(0, &NodeKey::Key(5)), 2);
         // Base node covers everything.
         assert_eq!(d.group_end(0, &NodeKey::NegInf), 4);

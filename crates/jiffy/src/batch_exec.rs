@@ -78,10 +78,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 continue;
             }
             if head.is_pending() {
-                let ours = head
-                    .batch_descriptor()
-                    .map(|d| Arc::ptr_eq(d, desc))
-                    .unwrap_or(false);
+                let ours = head.batch_descriptor().map(|d| Arc::ptr_eq(d, desc)).unwrap_or(false);
                 if ours {
                     // This group is already installed here. Finish any
                     // structure change it drove, then advance progress.
@@ -143,10 +140,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                         data: crate::revision::RevData::empty(),
                         next: crossbeam_epoch::Atomic::null(),
                         kind: RevKind::MergeTerminator(TermInfo {
-                            op: TermOp::Batch {
-                                group_start: i,
-                                _marker: std::marker::PhantomData,
-                            },
+                            op: TermOp::Batch { group_start: i, _marker: std::marker::PhantomData },
                             merge_rev: crossbeam_epoch::Atomic::null(),
                             cleanup_claimed: AtomicBool::new(false),
                         }),

@@ -29,7 +29,7 @@ thread_local! {
     pub(crate) static SCALE_STATE: RefCell<HashMap<usize, ThreadScaleState>> =
         RefCell::new(HashMap::new());
     /// Per-thread RNG state for tower heights.
-    pub(crate) static RNG_STATE: std::cell::Cell<u64> = std::cell::Cell::new(0);
+    pub(crate) static RNG_STATE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
     /// Per-thread update tick (drives the periodic snapshot-min refresh
     /// without a shared counter on the hot path).
     pub(crate) static TICKS: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
@@ -70,19 +70,14 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     pub(crate) fn new(clock: C, config: JiffyConfig) -> Self {
         config.validate();
         let base = Node::<K, V>::new_normal(NodeKey::NegInf, MAX_HEIGHT);
-        base.head.store(
-            crossbeam_epoch::Owned::new(Revision::initial()),
-            Ordering::Release,
-        );
+        base.head.store(crossbeam_epoch::Owned::new(Revision::initial()), Ordering::Release);
         JiffyInner {
             base: Atomic::new(base),
             clock,
             config,
             snapshots: SnapRegistry::new(),
             cached_min: CachePadded::new(AtomicI64::new(0)),
-            len_stripes: (0..LEN_STRIPES)
-                .map(|_| CachePadded::new(AtomicIsize::new(0)))
-                .collect(),
+            len_stripes: (0..LEN_STRIPES).map(|_| CachePadded::new(AtomicIsize::new(0))).collect(),
             map_id: NEXT_MAP_ID.fetch_add(1, Ordering::Relaxed),
             started: Instant::now(),
         }
@@ -206,10 +201,7 @@ impl<K, V, C> Drop for JiffyInner<K, V, C> {
 ///
 /// # Safety
 /// Caller must have exclusive access to the chain (map teardown).
-pub(crate) unsafe fn destroy_chain_now<K, V>(
-    start: Shared<'_, Revision<K, V>>,
-    guard: &Guard,
-) {
+pub(crate) unsafe fn destroy_chain_now<K, V>(start: Shared<'_, Revision<K, V>>, guard: &Guard) {
     let mut work = vec![start];
     while let Some(rev_s) = work.pop() {
         if rev_s.is_null() {

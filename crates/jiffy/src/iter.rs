@@ -61,9 +61,7 @@ impl<'s, 'a, K: MapKey, V: MapValue, C: VersionClock> SnapshotIter<'s, 'a, K, V,
     }
 }
 
-impl<'s, 'a, K: MapKey, V: MapValue, C: VersionClock> Iterator
-    for SnapshotIter<'s, 'a, K, V, C>
-{
+impl<'s, 'a, K: MapKey, V: MapValue, C: VersionClock> Iterator for SnapshotIter<'s, 'a, K, V, C> {
     type Item = (K, V);
 
     fn next(&mut self) -> Option<(K, V)> {

@@ -51,12 +51,12 @@
 
 mod api;
 mod autoscale;
-mod iter;
 mod batch;
 mod batch_exec;
 mod config;
 mod gc;
 mod inner;
+mod iter;
 mod list;
 mod map;
 mod merge;
@@ -77,6 +77,6 @@ pub use map::{JiffyMap, MapStats, Snapshot};
 // Re-export the shared index API types so users need only this crate.
 pub use index_api::{Batch, BatchOp, OrderedIndex};
 // Re-export the clocks for ablation experiments.
-pub use jiffy_clock::{AtomicClock, DefaultClock, MonotonicClock, VersionClock};
 #[cfg(target_arch = "x86_64")]
 pub use jiffy_clock::TscClock;
+pub use jiffy_clock::{AtomicClock, DefaultClock, MonotonicClock, VersionClock};

@@ -24,12 +24,19 @@ use jiffy_clock::VersionClock;
 use crate::inner::{JiffyInner, MapKey, MapValue};
 use crate::node::{Node, NodeKey, MAX_HEIGHT};
 
+/// A `(predecessor, successor)` node pair at some index level.
+pub(crate) type NodePair<'g, K, V> = (Shared<'g, Node<K, V>>, Shared<'g, Node<K, V>>);
+
 impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// Find the node whose key range covers `key`. The returned node is
     /// never a temp split node (those are helped away en route); it may
     /// have become terminated by the time the caller looks — callers
     /// revalidate and retry.
-    pub(crate) fn find_node_for_key<'g>(&self, key: &K, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+    pub(crate) fn find_node_for_key<'g>(
+        &self,
+        key: &K,
+        guard: &'g Guard,
+    ) -> Shared<'g, Node<K, V>> {
         let pred = self.tower_descend(key, false, guard);
         self.walk_level0(pred, key, guard)
     }
@@ -37,12 +44,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// Descend the index levels. With `strict`, stop at nodes whose key is
     /// strictly below `key` (predecessor search); otherwise allow equal
     /// keys (floor search). Unlinks index entries to terminated nodes.
-    fn tower_descend<'g>(
-        &self,
-        key: &K,
-        strict: bool,
-        guard: &'g Guard,
-    ) -> Shared<'g, Node<K, V>> {
+    fn tower_descend<'g>(&self, key: &K, strict: bool, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
         let mut pred_s = self.base_node(guard);
         for level in (1..MAX_HEIGHT).rev() {
             loop {
@@ -136,10 +138,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         guard: &'g Guard,
     ) -> Option<Shared<'g, Node<K, V>>> {
         let target = unsafe { target_s.deref() };
-        let tkey = target
-            .key
-            .as_key()
-            .expect("the base node has no predecessor and never merges");
+        let tkey = target.key.as_key().expect("the base node has no predecessor and never merges");
         let mut node_s = self.tower_descend(tkey, true, guard);
         loop {
             let node = unsafe { node_s.deref() };
@@ -221,7 +220,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         level: usize,
         node_s: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
-    ) -> (Shared<'g, Node<K, V>>, Shared<'g, Node<K, V>>) {
+    ) -> NodePair<'g, K, V> {
         let mut pred_s = self.base_node(guard);
         let mut lvl = MAX_HEIGHT;
         while lvl >= level {

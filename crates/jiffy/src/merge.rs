@@ -90,16 +90,14 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             let right_head_s = mterm.next.load(Ordering::Acquire, guard);
             let right_head = unsafe { right_head_s.deref() };
             let with_index = !self.config.disable_hash_index;
-            let right_key = o
-                .key
-                .as_key()
-                .expect("the base node never carries a merge terminator")
-                .clone();
+            let right_key =
+                o.key.as_key().expect("the base node never carries a merge terminator").clone();
 
             let (data, vref, coverage_end, span) = match &ti.op {
                 TermOp::Remove { key } => {
-                    let combined =
-                        phead.data.concat(&right_head.data.with_remove(key, with_index), with_index);
+                    let combined = phead
+                        .data
+                        .concat(&right_head.data.with_remove(key, with_index), with_index);
                     let cell = match &mterm.vref {
                         VersionRef::Shared(c) => c.clone(),
                         _ => unreachable!("remove terminators use a shared cell"),
@@ -181,11 +179,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// Phases 4-6 for an already-installed merge revision: adopt,
     /// terminate, unlink, finalize/advance. Idempotent; safe to call from
     /// any helper that encounters a pending merge revision.
-    pub(crate) fn complete_merge<'g>(
-        &self,
-        mr_s: Shared<'g, Revision<K, V>>,
-        guard: &'g Guard,
-    ) {
+    pub(crate) fn complete_merge<'g>(&self, mr_s: Shared<'g, Revision<K, V>>, guard: &'g Guard) {
         let mr = unsafe { mr_s.deref() };
         let mi = mr.as_merge().expect("complete_merge takes a merge revision");
         let mterm_s = mi.mterm.load(Ordering::Acquire, guard);

@@ -291,7 +291,10 @@ pub(crate) enum NodeKind<K, V> {
     /// level-0 list so concurrent operations can find the pending split
     /// and help. `origin` is the node being split; `lsr` its left split
     /// revision.
-    TempSplit { origin: Atomic<Node<K, V>>, lsr: Atomic<Revision<K, V>> },
+    TempSplit {
+        origin: Atomic<Node<K, V>>,
+        lsr: Atomic<Revision<K, V>>,
+    },
 }
 
 /// A node of the skip list's lowest-level list, managing the key range

@@ -125,8 +125,17 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             let kind = autoscale::decide(&self.config, &head.stats, len_after, false);
             if kind == UpdateKind::Split && len_after >= 2 {
                 let full = head.data.with_put(key.clone(), value.clone(), with_index);
-                match self.install_split(loc.node, loc.head, full, opt_ver, None, (0, 0), stats, now, guard)
-                {
+                match self.install_split(
+                    loc.node,
+                    loc.head,
+                    full,
+                    opt_ver,
+                    None,
+                    (0, 0),
+                    stats,
+                    now,
+                    guard,
+                ) {
                     Some(lsr_s) => {
                         self.help_split(loc.node, lsr_s, guard);
                         if prev.is_none() {
@@ -186,9 +195,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             let loc = self.locate_for_update(key, guard);
             let node = unsafe { loc.node.deref() };
             let head = unsafe { loc.head.deref() };
-            let Some(prev) = head.data.get(key).cloned() else {
-                return None;
-            };
+            let prev = head.data.get(key).cloned()?;
             let len_after = head.data.len() - 1;
             let opt_ver = optimistic_version(&self.clock);
             let now = self.now_secs();

@@ -20,15 +20,14 @@ use crate::autoscale::fold_read;
 use crate::inner::{JiffyInner, MapKey, MapValue};
 use crate::node::{Node, Revision};
 
+/// A node plus its head revision, as located for a read.
+pub(crate) type NodeAndHead<'g, K, V> = (Shared<'g, Node<K, V>>, Shared<'g, Revision<K, V>>);
+
 impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// Locate the node for a read: helps structure modifications (temp
     /// split nodes inside the traversal, merge terminators here) but not
     /// regular pending updates, per Algorithm 2.
-    pub(crate) fn locate_for_read<'g>(
-        &self,
-        key: &K,
-        guard: &'g Guard,
-    ) -> (Shared<'g, Node<K, V>>, Shared<'g, Revision<K, V>>) {
+    pub(crate) fn locate_for_read<'g>(&self, key: &K, guard: &'g Guard) -> NodeAndHead<'g, K, V> {
         loop {
             let node_s = self.find_node_for_key(key, guard);
             let node = unsafe { node_s.deref() };

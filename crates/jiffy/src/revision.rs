@@ -578,17 +578,14 @@ mod tests {
     fn short_hash_is_deterministic() {
         assert_eq!(short_hash(&42u64), short_hash(&42u64));
         // Not a collision test, just sanity that nearby keys differ.
-        let distinct: std::collections::HashSet<u16> =
-            (0u64..64).map(|k| short_hash(&k)).collect();
+        let distinct: std::collections::HashSet<u16> = (0u64..64).map(|k| short_hash(&k)).collect();
         assert!(distinct.len() > 32, "short_hash disperses poorly: {}", distinct.len());
     }
 
     #[test]
     fn string_keys_work() {
-        let rd = RevData::from_sorted(
-            vec![("alpha".to_string(), 1u32), ("beta".to_string(), 2)],
-            true,
-        );
+        let rd =
+            RevData::from_sorted(vec![("alpha".to_string(), 1u32), ("beta".to_string(), 2)], true);
         assert_eq!(rd.get(&"alpha".to_string()), Some(&1));
         assert_eq!(rd.get(&"gamma".to_string()), None);
     }

@@ -94,11 +94,7 @@ impl SnapRegistry {
         loop {
             let head = self.head.load(Ordering::Acquire);
             unsafe { (*slot).next = head };
-            if self
-                .head
-                .compare_exchange(head, slot, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
+            if self.head.compare_exchange(head, slot, Ordering::AcqRel, Ordering::Acquire).is_ok() {
                 return unsafe { &*slot };
             }
         }

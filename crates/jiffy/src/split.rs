@@ -147,14 +147,13 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         if lsr_r.version() >= 0 {
             // Stale temp: the split completed without it (ABA recovery).
             let pred = unsafe { pred_s.deref() };
-            if pred.next.load(Ordering::Acquire, guard) == temp_s {
-                if pred
+            if pred.next.load(Ordering::Acquire, guard) == temp_s
+                && pred
                     .next
                     .compare_exchange(temp_s, temp_next, Ordering::AcqRel, Ordering::Acquire, guard)
                     .is_ok()
-                {
-                    unsafe { guard.defer_destroy(temp_s) };
-                }
+            {
+                unsafe { guard.defer_destroy(temp_s) };
             }
             return;
         }
@@ -167,13 +166,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         let o = Owned::new(Node::<K, V>::new_normal(NodeKey::Key(info.split_key.clone()), height));
         o.head.store(rsr_s, Ordering::Relaxed);
         o.next.store(temp_next, Ordering::Relaxed);
-        match origin_n.next.compare_exchange(
-            temp_s,
-            o,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-            guard,
-        ) {
+        match origin_n.next.compare_exchange(temp_s, o, Ordering::AcqRel, Ordering::Acquire, guard)
+        {
             Ok(o_s) => {
                 unsafe { guard.defer_destroy(temp_s) };
                 self.link_tower(o_s, guard);

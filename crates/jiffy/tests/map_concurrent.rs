@@ -191,10 +191,7 @@ fn batches_are_atomic_to_concurrent_snapshots() {
                     }
                     let va = map.get(&a).unwrap_or(0);
                     let vb = map.get(&b).unwrap_or(0);
-                    map.batch(Batch::new(vec![
-                        BatchOp::Put(a, va - 5),
-                        BatchOp::Put(b, vb + 5),
-                    ]));
+                    map.batch(Batch::new(vec![BatchOp::Put(a, va - 5), BatchOp::Put(b, vb + 5)]));
                     batches_done.fetch_add(1, Ordering::Relaxed);
                 }
             });

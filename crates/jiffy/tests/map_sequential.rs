@@ -362,10 +362,7 @@ fn fixed_revision_size_is_respected() {
     let stats = map.debug_stats();
     // Mean head revision size should hover near the fixed target (within
     // the split/merge hysteresis band).
-    assert!(
-        stats.mean_revision_size <= 32.0 + 1.0,
-        "revisions too large: {stats:?}"
-    );
+    assert!(stats.mean_revision_size <= 32.0 + 1.0, "revisions too large: {stats:?}");
     assert!(stats.nodes >= 2000 / 33, "too few nodes: {stats:?}");
 }
 

@@ -1,9 +1,25 @@
-//! Property-based tests on Jiffy's core data structures and invariants.
+//! Property-style tests on Jiffy's core data structures and invariants.
+//!
+//! The build environment vendors no `proptest`, so these use a
+//! deterministic seeded generator: every failure reproduces from the
+//! printed case number, and coverage comes from many independent cases
+//! run across several adversarial configurations.
 
 use std::collections::BTreeMap;
 
 use jiffy::{Batch, BatchOp, JiffyConfig, JiffyMap};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64 generator.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -15,16 +31,32 @@ enum Op {
     ScanAll,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Put(k % 300, v)),
-        3 => any::<u16>().prop_map(|k| Op::Remove(k % 300)),
-        2 => any::<u16>().prop_map(|k| Op::Get(k % 300)),
-        2 => proptest::collection::vec((any::<u16>(), proptest::option::of(any::<u32>())), 1..24)
-            .prop_map(|v| Op::Batch(v.into_iter().map(|(k, o)| (k % 300, o)).collect())),
-        1 => Just(Op::Snapshot),
-        1 => Just(Op::ScanAll),
-    ]
+/// Weighted op mix mirroring the original proptest strategy:
+/// 4 put : 3 remove : 2 get : 2 batch : 1 snapshot : 1 scan.
+fn gen_op(rng: &mut XorShift) -> Op {
+    match rng.next() % 13 {
+        0..=3 => Op::Put((rng.next() % 300) as u16, rng.next() as u32),
+        4..=6 => Op::Remove((rng.next() % 300) as u16),
+        7..=8 => Op::Get((rng.next() % 300) as u16),
+        9..=10 => {
+            let len = 1 + (rng.next() % 23) as usize;
+            let entries = (0..len)
+                .map(|_| {
+                    let k = (rng.next() % 300) as u16;
+                    let v = if rng.next() & 1 == 0 { Some(rng.next() as u32) } else { None };
+                    (k, v)
+                })
+                .collect();
+            Op::Batch(entries)
+        }
+        11 => Op::Snapshot,
+        _ => Op::ScanAll,
+    }
+}
+
+fn gen_ops(rng: &mut XorShift, max_len: u64) -> Vec<Op> {
+    let len = 1 + (rng.next() % max_len) as usize;
+    (0..len).map(|_| gen_op(rng)).collect()
 }
 
 fn configs() -> Vec<JiffyConfig> {
@@ -48,47 +80,57 @@ fn configs() -> Vec<JiffyConfig> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+fn batch_from(entries: &[(u16, Option<u32>)]) -> Batch<u16, u32> {
+    Batch::new(
+        entries
+            .iter()
+            .map(|(k, v)| match v {
+                Some(v) => BatchOp::Put(*k, *v),
+                None => BatchOp::Remove(*k),
+            })
+            .collect(),
+    )
+}
 
-    /// Arbitrary op sequences match BTreeMap under every configuration,
-    /// and snapshots taken at arbitrary points stay frozen.
-    #[test]
-    fn model_equivalence_across_configs(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+fn apply_batch_to_model(batch: &Batch<u16, u32>, model: &mut BTreeMap<u16, u32>) {
+    for op in batch.ops() {
+        match op {
+            BatchOp::Put(k, v) => {
+                model.insert(*k, *v);
+            }
+            BatchOp::Remove(k) => {
+                model.remove(k);
+            }
+        }
+    }
+}
+
+/// Arbitrary op sequences match BTreeMap under every configuration, and
+/// snapshots taken at arbitrary points stay frozen.
+#[test]
+fn model_equivalence_across_configs() {
+    for case in 0..16u64 {
+        let mut rng = XorShift(0xC0DE ^ (case.wrapping_mul(0x9E3779B97F4A7C15) | 1));
+        let ops = gen_ops(&mut rng, 200);
         for config in configs() {
             let map: JiffyMap<u16, u32> = JiffyMap::with_config(config);
             let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+            #[allow(clippy::type_complexity)]
             let mut snaps: Vec<(jiffy::Snapshot<'_, u16, u32, _>, BTreeMap<u16, u32>)> = vec![];
             for op in &ops {
                 match op {
                     Op::Put(k, v) => {
-                        prop_assert_eq!(map.put(*k, *v), model.insert(*k, *v));
+                        assert_eq!(map.put(*k, *v), model.insert(*k, *v), "case {case}");
                     }
                     Op::Remove(k) => {
-                        prop_assert_eq!(map.remove(k), model.remove(k));
+                        assert_eq!(map.remove(k), model.remove(k), "case {case}");
                     }
                     Op::Get(k) => {
-                        prop_assert_eq!(map.get(k), model.get(k).copied());
+                        assert_eq!(map.get(k), model.get(k).copied(), "case {case}");
                     }
                     Op::Batch(entries) => {
-                        let bops: Vec<BatchOp<u16, u32>> = entries
-                            .iter()
-                            .map(|(k, v)| match v {
-                                Some(v) => BatchOp::Put(*k, *v),
-                                None => BatchOp::Remove(*k),
-                            })
-                            .collect();
-                        let batch = Batch::new(bops);
-                        for op in batch.ops() {
-                            match op {
-                                BatchOp::Put(k, v) => {
-                                    model.insert(*k, *v);
-                                }
-                                BatchOp::Remove(k) => {
-                                    model.remove(k);
-                                }
-                            }
-                        }
+                        let batch = batch_from(entries);
+                        apply_batch_to_model(&batch, &mut model);
                         map.batch(batch);
                     }
                     Op::Snapshot => {
@@ -99,9 +141,8 @@ proptest! {
                     Op::ScanAll => {
                         let snap = map.snapshot();
                         let got: Vec<(u16, u32)> = snap.iter().collect();
-                        let want: Vec<(u16, u32)> =
-                            model.iter().map(|(k, v)| (*k, *v)).collect();
-                        prop_assert_eq!(got, want);
+                        let want: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+                        assert_eq!(got, want, "case {case}");
                     }
                 }
             }
@@ -109,21 +150,23 @@ proptest! {
             for (snap, snap_model) in &snaps {
                 let got: Vec<(u16, u32)> = snap.iter().collect();
                 let want: Vec<(u16, u32)> = snap_model.iter().map(|(k, v)| (*k, *v)).collect();
-                prop_assert_eq!(got, want, "snapshot drifted");
+                assert_eq!(got, want, "case {case}: snapshot drifted");
             }
             // Structural sanity: entry accounting and ordered iteration.
-            prop_assert_eq!(map.len_approx(), model.len());
+            assert_eq!(map.len_approx(), model.len(), "case {case}");
             let stats = map.debug_stats();
-            prop_assert_eq!(stats.entries, model.len());
+            assert_eq!(stats.entries, model.len(), "case {case}");
         }
     }
+}
 
-    /// `len_approx` is exact under single-threaded use, whatever the mix
-    /// of puts, removes, and batches.
-    #[test]
-    fn len_accounting_is_exact_sequentially(
-        ops in proptest::collection::vec(op_strategy(), 1..150)
-    ) {
+/// `len_approx` is exact under single-threaded use, whatever the mix of
+/// puts, removes, and batches.
+#[test]
+fn len_accounting_is_exact_sequentially() {
+    for case in 0..16u64 {
+        let mut rng = XorShift(0x1E4 ^ (case.wrapping_mul(0xD1B54A32D192ED03) | 1));
+        let ops = gen_ops(&mut rng, 150);
         let map: JiffyMap<u16, u32> = JiffyMap::with_config(JiffyConfig::fixed(4));
         let mut model: BTreeMap<u16, u32> = BTreeMap::new();
         for op in &ops {
@@ -137,40 +180,28 @@ proptest! {
                     model.remove(k);
                 }
                 Op::Batch(entries) => {
-                    let bops: Vec<BatchOp<u16, u32>> = entries
-                        .iter()
-                        .map(|(k, v)| match v {
-                            Some(v) => BatchOp::Put(*k, *v),
-                            None => BatchOp::Remove(*k),
-                        })
-                        .collect();
-                    let batch = Batch::new(bops);
-                    for op in batch.ops() {
-                        match op {
-                            BatchOp::Put(k, v) => {
-                                model.insert(*k, *v);
-                            }
-                            BatchOp::Remove(k) => {
-                                model.remove(k);
-                            }
-                        }
-                    }
+                    let batch = batch_from(entries);
+                    apply_batch_to_model(&batch, &mut model);
                     map.batch(batch);
                 }
                 _ => {}
             }
-            prop_assert_eq!(map.len_approx(), model.len());
+            assert_eq!(map.len_approx(), model.len(), "case {case}");
         }
     }
+}
 
-    /// Range queries agree with the model for arbitrary bounds.
-    #[test]
-    fn range_bounds_match_model(
-        keys in proptest::collection::btree_set(any::<u16>(), 0..150),
-        lo in any::<u16>(),
-        hi in any::<u16>(),
-        n in 0usize..50,
-    ) {
+/// Range queries agree with the model for arbitrary bounds.
+#[test]
+fn range_bounds_match_model() {
+    for case in 0..32u64 {
+        let mut rng = XorShift(0x4A11 ^ (case.wrapping_mul(0x9E3779B97F4A7C15) | 1));
+        let nkeys = (rng.next() % 150) as usize;
+        let keys: std::collections::BTreeSet<u16> = (0..nkeys).map(|_| rng.next() as u16).collect();
+        let lo = rng.next() as u16;
+        let hi = rng.next() as u16;
+        let n = (rng.next() % 50) as usize;
+
         let map: JiffyMap<u16, u16> = JiffyMap::with_config(JiffyConfig::fixed(4));
         for k in &keys {
             map.put(*k, k.wrapping_mul(3));
@@ -178,13 +209,9 @@ proptest! {
         let snap = map.snapshot();
         // range(lo, n)
         let got = snap.range(&lo, n);
-        let want: Vec<(u16, u16)> = keys
-            .iter()
-            .filter(|k| **k >= lo)
-            .take(n)
-            .map(|k| (*k, k.wrapping_mul(3)))
-            .collect();
-        prop_assert_eq!(got, want);
+        let want: Vec<(u16, u16)> =
+            keys.iter().filter(|k| **k >= lo).take(n).map(|k| (*k, k.wrapping_mul(3))).collect();
+        assert_eq!(got, want, "case {case}");
         // range_bounded(lo, hi)
         let got = snap.range_bounded(&lo, &hi);
         let want: Vec<(u16, u16)> = keys
@@ -192,6 +219,6 @@ proptest! {
             .filter(|k| **k >= lo && **k < hi)
             .map(|k| (*k, k.wrapping_mul(3)))
             .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
 }

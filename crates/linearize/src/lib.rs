@@ -101,8 +101,7 @@ fn try_apply(model: &BTreeMap<u64, u64>, op: &Op) -> Option<BTreeMap<u64, u64>> 
             Some(m)
         }
         Op::Scan(lo, hi, observed) => {
-            let actual: Vec<(u64, u64)> =
-                model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            let actual: Vec<(u64, u64)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
             if actual != *observed {
                 return None;
             }
@@ -286,11 +285,8 @@ mod tests {
     #[test]
     fn real_time_order_is_respected() {
         // put(1,1) -> put(1,2) sequentially; a later get may not return 1.
-        let h = vec![
-            ev(0, 1, Op::Put(1, 1)),
-            ev(2, 3, Op::Put(1, 2)),
-            ev(4, 5, Op::Get(1, Some(1))),
-        ];
+        let h =
+            vec![ev(0, 1, Op::Put(1, 1)), ev(2, 3, Op::Put(1, 2)), ev(4, 5, Op::Get(1, Some(1)))];
         assert_eq!(check(&h), Outcome::NotLinearizable);
     }
 
@@ -321,9 +317,7 @@ mod tests {
 
     #[test]
     fn inconclusive_on_tiny_budget() {
-        let h: Vec<Event> = (0..20)
-            .map(|i| ev(0, 100, Op::Put(i % 3, i)))
-            .collect();
+        let h: Vec<Event> = (0..20).map(|i| ev(0, 100, Op::Put(i % 3, i))).collect();
         assert_eq!(check_bounded(&h, 1), Outcome::Inconclusive);
     }
 }

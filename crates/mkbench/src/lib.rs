@@ -13,5 +13,5 @@ pub mod report;
 pub mod runner;
 
 pub use registry::{indices_for_figure, make_index_u32, make_index_u64, IndexKind};
-pub use report::{write_csv, Measurement, Row};
+pub use report::{write_csv, write_json, Measurement, Row, RunMeta};
 pub use runner::{run_scenario, BenchKey, RunConfig};

@@ -2,7 +2,8 @@
 //! §4.3 headline numbers and the design ablations).
 //!
 //! ```text
-//! mkbench figure <5..=10> [--threads 1,2,4] [--secs 0.5] [--keys 100000] [--out results/figN.csv]
+//! mkbench figure <5..=10> [--threads 1,2,4] [--secs 0.5] [--keys 100000] [--out results/figN.csv] [--json BENCH_figN.json]
+//! mkbench quick          [--threads N] [--indices a,b,c] [--json BENCH_seed.json]  # one scenario, compact lineup, fast
 //! mkbench speedup        [--threads N] [--secs S] [--keys K]     # §4.3: Jiffy vs CA-AVL/CA-SL, 100-op random batches
 //! mkbench autoscale      [--secs S] [--keys K]                   # §4.3: revision sizes under write-only vs update-lookup
 //! mkbench ablation clock|hash|revsize [--threads ...] [--secs S] # A1/A2/A3
@@ -24,8 +25,8 @@ use std::time::Duration;
 static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
 
 use mkbench::{
-    indices_for_figure, make_index_u32, make_index_u64, run_scenario, IndexKind, Measurement,
-    Row, RunConfig,
+    indices_for_figure, make_index_u32, make_index_u64, run_scenario, IndexKind, Measurement, Row,
+    RunConfig,
 };
 use workload::{figure_scenarios, BatchMode, KeyDist, KvShape, Scenario, ThreadMix};
 
@@ -35,7 +36,42 @@ struct Args {
     warmup: f64,
     keys: u64,
     out: Option<String>,
+    json: Option<String>,
     indices: Option<Vec<IndexKind>>,
+}
+
+impl Args {
+    fn meta(&self, label: impl Into<String>) -> mkbench::RunMeta {
+        mkbench::RunMeta {
+            label: label.into(),
+            threads: self.threads.clone(),
+            secs: self.secs,
+            warmup: self.warmup,
+            key_space: self.keys,
+            created_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+
+    fn write_reports(&self, label: &str, rows: &[Row]) {
+        if let Some(out) = &self.out {
+            mkbench::write_csv(std::path::Path::new(out), rows).expect("write csv");
+            eprintln!("wrote {out}");
+        }
+        if let Some(json) = &self.json {
+            mkbench::write_json(std::path::Path::new(json), &self.meta(label), rows)
+                .expect("write json");
+            eprintln!("wrote {json}");
+        }
+    }
+}
+
+/// Next flag value, or a clean usage error if it is missing.
+fn flag_value<'a>(rest: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    rest.get(*i).unwrap_or_else(|| usage_error(&format!("{flag} requires a value"))).as_str()
 }
 
 fn parse_flags(rest: &[String]) -> Args {
@@ -45,44 +81,62 @@ fn parse_flags(rest: &[String]) -> Args {
         warmup: 0.75,
         keys: 100_000,
         out: None,
+        json: None,
         indices: None,
     };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--threads" => {
-                i += 1;
-                args.threads = rest[i]
+                args.threads = flag_value(rest, &mut i, "--threads")
                     .split(',')
-                    .map(|s| s.parse().expect("--threads takes e.g. 1,2,4"))
+                    .map(|s| {
+                        s.parse()
+                            .ok()
+                            .filter(|t| *t >= 1)
+                            .unwrap_or_else(|| usage_error("--threads takes e.g. 1,2,4"))
+                    })
                     .collect();
             }
             "--secs" => {
-                i += 1;
-                args.secs = rest[i].parse().expect("--secs takes a float");
+                args.secs = flag_value(rest, &mut i, "--secs")
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| usage_error("--secs takes a positive float"));
             }
             "--warmup" => {
-                i += 1;
-                args.warmup = rest[i].parse().expect("--warmup takes a float");
+                args.warmup = flag_value(rest, &mut i, "--warmup")
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .unwrap_or_else(|| usage_error("--warmup takes a non-negative float"));
             }
             "--keys" => {
-                i += 1;
-                args.keys = rest[i].parse().expect("--keys takes an integer");
+                args.keys = flag_value(rest, &mut i, "--keys")
+                    .parse()
+                    .ok()
+                    .filter(|k| *k >= 2)
+                    .unwrap_or_else(|| usage_error("--keys takes an integer >= 2"));
             }
             "--out" => {
-                i += 1;
-                args.out = Some(rest[i].clone());
+                args.out = Some(flag_value(rest, &mut i, "--out").to_string());
+            }
+            "--json" => {
+                args.json = Some(flag_value(rest, &mut i, "--json").to_string());
             }
             "--indices" => {
-                i += 1;
                 args.indices = Some(
-                    rest[i]
+                    flag_value(rest, &mut i, "--indices")
                         .split(',')
-                        .map(|s| IndexKind::parse(s).unwrap_or_else(|| panic!("unknown index {s}")))
+                        .map(|s| {
+                            IndexKind::parse(s)
+                                .unwrap_or_else(|| usage_error(&format!("unknown index `{s}`")))
+                        })
                         .collect(),
                 );
             }
-            other => panic!("unknown flag {other}"),
+            other => usage_error(&format!("unknown flag `{other}`")),
         }
         i += 1;
     }
@@ -101,12 +155,7 @@ fn cfg_for(args: &Args, threads: usize) -> RunConfig {
 }
 
 /// Run one scenario cell for one index at one thread count.
-fn run_cell(
-    shape: KvShape,
-    kind: IndexKind,
-    scenario: &Scenario,
-    cfg: &RunConfig,
-) -> Measurement {
+fn run_cell(shape: KvShape, kind: IndexKind, scenario: &Scenario, cfg: &RunConfig) -> Measurement {
     match shape {
         // 16 B keys / 100 B values: u64-derived keys with Arc'd payloads
         // (footnote 7: reference semantics keep copies payload-independent).
@@ -122,14 +171,13 @@ fn run_cell(
 }
 
 fn cmd_figure(figure: u8, args: &Args) {
-    let spec = figure_scenarios(figure).expect("figures 5-10");
+    let spec = figure_scenarios(figure)
+        .unwrap_or_else(|| usage_error(&format!("no figure {figure} (the paper has 5-10)")));
     let mut rows: Vec<Row> = Vec::new();
     for scenario in spec.scenarios() {
         let batch_row = scenario.batch != BatchMode::Single;
-        let lineup = args
-            .indices
-            .clone()
-            .unwrap_or_else(|| indices_for_figure(spec.with_kiwi, batch_row));
+        let lineup =
+            args.indices.clone().unwrap_or_else(|| indices_for_figure(spec.with_kiwi, batch_row));
         for kind in lineup {
             for &threads in &args.threads {
                 let cfg = cfg_for(args, threads);
@@ -151,10 +199,43 @@ fn cmd_figure(figure: u8, args: &Args) {
         }
     }
     println!("{}", mkbench::report::render_table(&rows));
-    if let Some(out) = &args.out {
-        mkbench::write_csv(std::path::Path::new(out), &rows).expect("write csv");
-        eprintln!("wrote {out}");
+    args.write_reports(&format!("figure{figure}"), &rows);
+}
+
+/// One representative scenario cell over a compact index lineup — fast
+/// enough for CI smoke runs and perf-baseline snapshots (`BENCH_*.json`).
+fn cmd_quick(args: &Args) {
+    let scenario = Scenario::new(
+        KvShape::K4V4,
+        KeyDist::Uniform,
+        ThreadMix::UPDATE_LOOKUP,
+        0,
+        BatchMode::Single,
+    );
+    let lineup = args.indices.clone().unwrap_or_else(|| {
+        vec![IndexKind::Jiffy, IndexKind::Cslm, IndexKind::CaAvl, IndexKind::Lfca]
+    });
+    let mut rows: Vec<Row> = Vec::new();
+    for kind in lineup {
+        for &threads in &args.threads {
+            let cfg = cfg_for(args, threads);
+            let m = run_cell(KvShape::K4V4, kind, &scenario, &cfg);
+            eprintln!(
+                "[quick] {} t={threads}: {:.3} Mops/s (upd {:.3})",
+                kind.name(),
+                m.total_mops,
+                m.update_mops
+            );
+            rows.push(Row {
+                scenario: scenario.id.clone(),
+                index: kind.name().to_string(),
+                threads,
+                m,
+            });
+        }
     }
+    println!("{}", mkbench::report::render_table(&rows));
+    args.write_reports("quick", &rows);
 }
 
 /// §4.3 headline: large random batches, Jiffy vs the lock-based CA trees.
@@ -205,8 +286,7 @@ fn cmd_autoscale(args: &Args) {
                 let keys = args.keys;
                 let role = *role;
                 s.spawn(move || {
-                    let mut gen =
-                        workload::KeyGen::new(KeyDist::Uniform, keys, tid as u64 + 1);
+                    let mut gen = workload::KeyGen::new(KeyDist::Uniform, keys, tid as u64 + 1);
                     while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                         let k = gen.next_key();
                         match role {
@@ -250,8 +330,7 @@ fn cmd_ablation(which: &str, args: &Args) {
             for &threads in &args.threads {
                 let cfg = cfg_for(args, threads);
                 let tsc = run_cell(KvShape::K4V4, IndexKind::Jiffy, &scenario, &cfg);
-                let atomic =
-                    run_cell(KvShape::K4V4, IndexKind::JiffyAtomicClock, &scenario, &cfg);
+                let atomic = run_cell(KvShape::K4V4, IndexKind::JiffyAtomicClock, &scenario, &cfg);
                 println!(
                     "t={threads}: jiffy(tsc) {:.3} Mops/s, jiffy(atomic-counter) {:.3} Mops/s ({:.2}x)",
                     tsc.total_mops,
@@ -310,19 +389,34 @@ fn cmd_ablation(which: &str, args: &Args) {
                 println!(" (Mops/s)");
             }
         }
-        other => panic!("unknown ablation {other} (clock|hash|revsize)"),
+        other => usage_error(&format!("unknown ablation `{other}` (clock|hash|revsize)")),
     }
+}
+
+/// Print a CLI usage error and exit 2 (no panic backtrace for typos).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("mkbench: {msg}");
+    std::process::exit(2);
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        eprintln!("usage: mkbench <figure N|speedup|autoscale|ablation WHICH> [flags]");
+        eprintln!("usage: mkbench <figure N|quick|speedup|autoscale|ablation WHICH> [flags]");
+        eprintln!("flags: --threads 1,2,4  --secs S  --warmup S  --keys K  --indices a,b,c");
+        eprintln!("       --out results.csv  --json BENCH_label.json");
         std::process::exit(2);
     };
     match cmd.as_str() {
+        "quick" => {
+            let args = parse_flags(&argv[1..]);
+            cmd_quick(&args);
+        }
         "figure" => {
-            let n: u8 = argv.get(1).and_then(|s| s.parse().ok()).expect("figure number 5-10");
+            let n: u8 = argv
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage_error("`figure` takes a figure number 5-10"));
             let args = parse_flags(&argv[2..]);
             cmd_figure(n, &args);
         }

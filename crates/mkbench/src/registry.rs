@@ -97,16 +97,19 @@ pub fn make_index_u64<V: Value>(
 ) -> Arc<dyn OrderedIndex<u64, V> + Send + Sync> {
     match kind {
         IndexKind::Jiffy => Arc::new(JiffyMap::<u64, V>::new()),
-        IndexKind::JiffyAtomicClock => Arc::new(JiffyMap::<u64, V, AtomicClock>::
-            with_clock_and_config(AtomicClock::new(), JiffyConfig::default())),
+        IndexKind::JiffyAtomicClock => {
+            Arc::new(JiffyMap::<u64, V, AtomicClock>::with_clock_and_config(
+                AtomicClock::new(),
+                JiffyConfig::default(),
+            ))
+        }
         IndexKind::JiffyNoHash => Arc::new(JiffyMap::<u64, V>::with_config(nohash_config())),
         IndexKind::JiffyFixed(n) => {
             Arc::new(JiffyMap::<u64, V>::with_config(JiffyConfig::fixed(n)))
         }
-        IndexKind::SnapTree => Arc::new(SnapTree::<u64, V, _>::with_partitioner(
-            64,
-            RangePartitioner { key_space },
-        )),
+        IndexKind::SnapTree => {
+            Arc::new(SnapTree::<u64, V, _>::with_partitioner(64, RangePartitioner { key_space }))
+        }
         IndexKind::KAry => Arc::new(KaryTree::<u64, V>::new()),
         IndexKind::CaAvl => Arc::new(CaTree::<u64, V, AvlContainer<u64, V>>::new()),
         IndexKind::CaSl => Arc::new(CaTree::<u64, V, SkipContainer<u64, V>>::new()),
@@ -125,16 +128,19 @@ pub fn make_index_u32<V: Value>(
 ) -> Arc<dyn OrderedIndex<u32, V> + Send + Sync> {
     match kind {
         IndexKind::Jiffy => Arc::new(JiffyMap::<u32, V>::new()),
-        IndexKind::JiffyAtomicClock => Arc::new(JiffyMap::<u32, V, AtomicClock>::
-            with_clock_and_config(AtomicClock::new(), JiffyConfig::default())),
+        IndexKind::JiffyAtomicClock => {
+            Arc::new(JiffyMap::<u32, V, AtomicClock>::with_clock_and_config(
+                AtomicClock::new(),
+                JiffyConfig::default(),
+            ))
+        }
         IndexKind::JiffyNoHash => Arc::new(JiffyMap::<u32, V>::with_config(nohash_config())),
         IndexKind::JiffyFixed(n) => {
             Arc::new(JiffyMap::<u32, V>::with_config(JiffyConfig::fixed(n)))
         }
-        IndexKind::SnapTree => Arc::new(SnapTree::<u32, V, _>::with_partitioner(
-            64,
-            RangePartitioner { key_space },
-        )),
+        IndexKind::SnapTree => {
+            Arc::new(SnapTree::<u32, V, _>::with_partitioner(64, RangePartitioner { key_space }))
+        }
         IndexKind::KAry => Arc::new(KaryTree::<u32, V>::new()),
         IndexKind::CaAvl => Arc::new(CaTree::<u32, V, AvlContainer<u32, V>>::new()),
         IndexKind::CaSl => Arc::new(CaTree::<u32, V, SkipContainer<u32, V>>::new()),

@@ -40,18 +40,14 @@ pub fn render_table(rows: &[Row]) -> String {
             let _ = write!(out, "{:>20}", format!("{t} thr"));
         }
         let _ = writeln!(out);
-        let mut indices: Vec<&str> = rows
-            .iter()
-            .filter(|r| r.scenario == sc)
-            .map(|r| r.index.as_str())
-            .collect();
+        let mut indices: Vec<&str> =
+            rows.iter().filter(|r| r.scenario == sc).map(|r| r.index.as_str()).collect();
         indices.dedup();
         for idx in indices {
             let _ = write!(out, "{idx:<10}");
             for t in &threads {
-                if let Some(r) = rows
-                    .iter()
-                    .find(|r| r.scenario == sc && r.index == idx && r.threads == *t)
+                if let Some(r) =
+                    rows.iter().find(|r| r.scenario == sc && r.index == idx && r.threads == *t)
                 {
                     let _ = write!(
                         out,
@@ -68,6 +64,88 @@ pub fn render_table(rows: &[Row]) -> String {
     out
 }
 
+/// Metadata describing one harness invocation, embedded in JSON reports.
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// What was run ("figure6", "speedup", ...).
+    pub label: String,
+    pub threads: Vec<usize>,
+    pub secs: f64,
+    pub warmup: f64,
+    pub key_space: u64,
+    /// Unix seconds at report time.
+    pub created_unix: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render rows as a `BENCH_*.json`-schema report (hand-rolled: the build
+/// environment vendors no serde). Schema `jiffy-mkbench/v1`:
+/// `{schema, label, created_unix, config{...}, rows[{scenario, index,
+/// threads, total_mops, update_mops, read_mops, scan_mops}]}`.
+pub fn render_json(meta: &RunMeta, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"jiffy-mkbench/v1\",");
+    let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(&meta.label));
+    let _ = writeln!(out, "  \"created_unix\": {},", meta.created_unix);
+    let threads: Vec<String> = meta.threads.iter().map(|t| t.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "  \"config\": {{ \"threads\": [{}], \"secs\": {}, \"warmup\": {}, \"key_space\": {} }},",
+        threads.join(", "),
+        meta.secs,
+        meta.warmup,
+        meta.key_space
+    );
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"scenario\": \"{}\", \"index\": \"{}\", \"threads\": {}, \
+             \"total_mops\": {:.6}, \"update_mops\": {:.6}, \"read_mops\": {:.6}, \
+             \"scan_mops\": {:.6} }}{comma}",
+            json_escape(&r.scenario),
+            json_escape(&r.index),
+            r.threads,
+            r.m.total_mops,
+            r.m.update_mops,
+            r.m.read_mops,
+            r.m.scan_mops
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Write rows as a `BENCH_*.json`-schema report (see [`render_json`]).
+pub fn write_json(path: &std::path::Path, meta: &RunMeta, rows: &[Row]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, render_json(meta, rows))
+}
+
 /// Write rows as CSV (one line per row; stable column order).
 pub fn write_csv(path: &std::path::Path, rows: &[Row]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
@@ -79,7 +157,12 @@ pub fn write_csv(path: &std::path::Path, rows: &[Row]) -> std::io::Result<()> {
         writeln!(
             f,
             "{},{},{},{:.6},{:.6},{:.6},{:.6}",
-            r.scenario, r.index, r.threads, r.m.total_mops, r.m.update_mops, r.m.read_mops,
+            r.scenario,
+            r.index,
+            r.threads,
+            r.m.total_mops,
+            r.m.update_mops,
+            r.m.read_mops,
             r.m.scan_mops
         )?;
     }
@@ -112,6 +195,47 @@ mod tests {
         assert!(t.contains("cslm"));
         assert!(t.contains("1 thr"));
         assert!(t.contains("2 thr"));
+    }
+
+    #[test]
+    fn json_schema_and_escaping() {
+        let meta = RunMeta {
+            label: "fig\"6\"".into(),
+            threads: vec![1, 2],
+            secs: 0.5,
+            warmup: 0.25,
+            key_space: 1000,
+            created_unix: 42,
+        };
+        let rows = vec![row("s1", "jiffy", 1, 1.5), row("s1", "cslm", 2, 0.5)];
+        let text = render_json(&meta, &rows);
+        assert!(text.contains("\"schema\": \"jiffy-mkbench/v1\""));
+        assert!(text.contains("\"label\": \"fig\\\"6\\\"\""));
+        assert!(text.contains("\"threads\": [1, 2]"));
+        assert!(text.contains("\"index\": \"jiffy\""));
+        assert!(text.contains("\"total_mops\": 1.500000"));
+        // Balanced braces (structurally valid JSON object).
+        let braces = text.matches('{').count();
+        assert_eq!(braces, text.matches('}').count());
+    }
+
+    #[test]
+    fn json_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("mkbench-json-test");
+        let path = dir.join("BENCH_test.json");
+        let meta = RunMeta {
+            label: "smoke".into(),
+            threads: vec![1],
+            secs: 0.1,
+            warmup: 0.0,
+            key_space: 10,
+            created_unix: 0,
+        };
+        write_json(&path, &meta, &[row("s", "jiffy", 1, 2.0)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{'));
+        assert!(text.trim_end().ends_with('}'));
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

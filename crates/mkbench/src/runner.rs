@@ -71,10 +71,7 @@ impl Default for RunConfig {
 /// Keys are inserted in a pseudo-random order: several baselines (k-ary
 /// trees in particular, which do not rebalance) degenerate under strictly
 /// ascending insertion, which no real load phase produces.
-fn prefill<K: BenchKey, V: Value>(
-    index: &dyn OrderedIndex<K, V>,
-    cfg: &RunConfig,
-) {
+fn prefill<K: BenchKey, V: Value>(index: &dyn OrderedIndex<K, V>, cfg: &RunConfig) {
     let step = (1.0 / cfg.prefill_density).round() as u64;
     let step = step.max(1);
     let count = cfg.key_space / step;
@@ -160,17 +157,13 @@ pub fn run_scenario<K: BenchKey, V: Value>(
                                     for i in 0..size as u64 {
                                         let k = (start + i) % cfg.key_space;
                                         if gen.next_raw() & 1 == 0 {
-                                            batch_buf.push(BatchOp::Put(
-                                                K::from_u64(k),
-                                                V::make(k),
-                                            ));
+                                            batch_buf
+                                                .push(BatchOp::Put(K::from_u64(k), V::make(k)));
                                         } else {
                                             batch_buf.push(BatchOp::Remove(K::from_u64(k)));
                                         }
                                     }
-                                    index.batch_update(Batch::new(std::mem::take(
-                                        &mut batch_buf,
-                                    )));
+                                    index.batch_update(Batch::new(std::mem::take(&mut batch_buf)));
                                     local += size as u64;
                                 }
                                 BatchMode::BatchRand { size } => {
@@ -178,10 +171,8 @@ pub fn run_scenario<K: BenchKey, V: Value>(
                                     for _ in 0..size {
                                         let k = gen.next_key();
                                         if gen.next_raw() & 1 == 0 {
-                                            batch_buf.push(BatchOp::Put(
-                                                K::from_u64(k),
-                                                V::make(k),
-                                            ));
+                                            batch_buf
+                                                .push(BatchOp::Put(K::from_u64(k), V::make(k)));
                                         } else {
                                             batch_buf.push(BatchOp::Remove(K::from_u64(k)));
                                         }
@@ -221,14 +212,10 @@ pub fn run_scenario<K: BenchKey, V: Value>(
                         let mut seen = 0usize;
                         while !stop.load(Ordering::Relaxed) {
                             let k = gen.next_key();
-                            index.scan_from(
-                                &K::from_u64(k),
-                                scenario.scan_len,
-                                &mut |_, v| {
-                                    std::hint::black_box(v);
-                                    seen += 1;
-                                },
-                            );
+                            index.scan_from(&K::from_u64(k), scenario.scan_len, &mut |_, v| {
+                                std::hint::black_box(v);
+                                seen += 1;
+                            });
                             local += scenario.scan_len as u64;
                             if local >= 4096 {
                                 scan_ops.fetch_add(local, Ordering::Relaxed);

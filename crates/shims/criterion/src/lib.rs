@@ -1,0 +1,299 @@
+//! In-repo stand-in for the subset of the `criterion` benchmark API this
+//! workspace uses (the build container has no crates.io access).
+//!
+//! It is a plain wall-clock timing harness, not a statistics engine: each
+//! benchmark warms up briefly, then runs timed batches until the group's
+//! `measurement_time` budget is spent, and reports the mean time per
+//! iteration (plus element throughput when configured). Output goes to
+//! stdout in a stable `bench: <group>/<id> ... <ns>/iter` format.
+//!
+//! Used with `harness = false` bench targets via [`criterion_group!`] /
+//! [`criterion_main!`], exactly like the real crate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    /// Substring filter from the command line (`cargo bench -- filter`).
+    filter: Option<String>,
+    /// Quick mode (`--quick` or `MKBENCH_QUICK=1`): one short batch per
+    /// benchmark, for smoke-testing the bench targets in CI.
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick =
+            std::env::var("MKBENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" => {}
+                "--quick" => quick = true,
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion { filter, quick }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id.to_string(), f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Throughput annotation: when set, per-second rates are reported too.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full_id =
+            if self.name.is_empty() { id.to_string() } else { format!("{}/{id}", self.name) };
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+        let budget =
+            if self.criterion.quick { Duration::from_millis(20) } else { self.measurement_time };
+        let mut bencher = Bencher {
+            budget,
+            samples: if self.criterion.quick { 2 } else { self.sample_size },
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let (iters, elapsed) = (bencher.iters, bencher.elapsed);
+        if iters == 0 {
+            println!("bench: {full_id:<48} (no iterations)");
+            return;
+        }
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 * iters as f64 / elapsed.as_secs_f64();
+                format!("  {:>12.3} Melem/s", per_sec / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 * iters as f64 / elapsed.as_secs_f64();
+                format!("  {:>12.3} MiB/s", per_sec / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("bench: {full_id:<48} {ns_per_iter:>14.1} ns/iter ({iters} iters){rate}");
+    }
+}
+
+/// Runs the measured closure; handed to every benchmark body.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + batch-size calibration: target ~samples batches within
+        // the measurement budget.
+        let warmup_deadline = Instant::now() + self.budget.min(Duration::from_millis(100));
+        let mut warmup_iters: u64 = 0;
+        let warmup_start = Instant::now();
+        while Instant::now() < warmup_deadline {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let batch = ((self.budget.as_secs_f64() / self.samples as f64 / per_iter.max(1e-9)).ceil()
+            as u64)
+            .max(1);
+
+        let deadline = Instant::now() + self.budget;
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            iters += batch;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.iters += iters;
+        self.elapsed += start.elapsed();
+    }
+
+    /// `iter_batched`-lite: build an input per iteration outside the timer.
+    pub fn iter_with_setup<S, R, I, F>(&mut self, mut setup: S, mut f: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let deadline = Instant::now() + self.budget;
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(f(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.iters += iters;
+        self.elapsed += elapsed;
+    }
+}
+
+/// Mirrors criterion's macro: defines a function running each benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Mirrors criterion's macro: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iters() {
+        let mut c = Criterion { filter: None, quick: true };
+        let mut group = c.benchmark_group("test");
+        group.measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("zzz-no-match".into()), quick: true };
+        let mut group = c.benchmark_group("test");
+        let mut ran = false;
+        group.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("put", "jiffy").to_string(), "put/jiffy");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

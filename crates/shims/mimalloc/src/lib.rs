@@ -1,0 +1,47 @@
+//! In-repo stand-in for the `mimalloc` crate (the build container has no
+//! crates.io access): [`MiMalloc`] keeps the `#[global_allocator]`
+//! declarations in the benches compiling but delegates to the system
+//! allocator. The benchmark caveat from DESIGN.md §6 — glibc malloc
+//! serializing cross-thread frees — therefore still applies until a real
+//! mimalloc is vendored; absolute write-scalability numbers should be read
+//! with that in mind.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// System-allocator delegate with mimalloc's type name.
+pub struct MiMalloc;
+
+// SAFETY: pure delegation to `System`, which upholds the contract.
+unsafe impl GlobalAlloc for MiMalloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_roundtrip() {
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = MiMalloc.alloc(layout);
+            assert!(!p.is_null());
+            p.write_bytes(0xAB, 64);
+            MiMalloc.dealloc(p, layout);
+        }
+    }
+}

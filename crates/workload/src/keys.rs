@@ -158,7 +158,8 @@ mod tests {
 
     #[test]
     fn key16_preserves_order() {
-        let ks: Vec<Key16> = [0u64, 1, 255, 256, 1 << 32, u64::MAX].iter().map(|&v| v.into()).collect();
+        let ks: Vec<Key16> =
+            [0u64, 1, 255, 256, 1 << 32, u64::MAX].iter().map(|&v| v.into()).collect();
         for w in ks.windows(2) {
             assert!(w[0] < w[1]);
         }

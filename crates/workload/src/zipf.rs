@@ -162,11 +162,7 @@ mod tests {
         assert!(max > total / 1000, "no hot key after scrambling: {max}");
         // Spread: hot keys are not all clustered at the bottom of the
         // key space.
-        let mut hot: Vec<u64> = counts
-            .iter()
-            .filter(|(_, &c)| c > 50)
-            .map(|(&k, _)| k)
-            .collect();
+        let mut hot: Vec<u64> = counts.iter().filter(|(_, &c)| c > 50).map(|(&k, _)| k).collect();
         hot.sort_unstable();
         if hot.len() >= 2 {
             let span = hot.last().unwrap() - hot.first().unwrap();

@@ -9,7 +9,7 @@
 //! between the configured bounds (default 25–300).
 //!
 //! ```sh
-//! cargo run --release -p jiffy-examples --bin adaptive
+//! cargo run --release -p jiffy-examples --example adaptive
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -8,7 +8,7 @@
 //! consistent without ever blocking ingestion.
 //!
 //! ```sh
-//! cargo run --release -p jiffy-examples --bin analytics
+//! cargo run --release -p jiffy-examples --example analytics
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

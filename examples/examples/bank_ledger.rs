@@ -8,7 +8,7 @@
 //! splitting/merging nodes underneath.
 //!
 //! ```sh
-//! cargo run --release -p jiffy-examples --bin bank_ledger
+//! cargo run --release -p jiffy-examples --example bank_ledger
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -1,7 +1,7 @@
 //! Quickstart: the Jiffy API in two minutes.
 //!
 //! ```sh
-//! cargo run --release -p jiffy-examples --bin quickstart
+//! cargo run --release -p jiffy-examples --example quickstart
 //! ```
 
 use jiffy::{Batch, BatchOp, JiffyMap};

@@ -1,1 +1,15 @@
-//! Shared nothing: each example is a standalone binary (see ../*.rs).
+//! Runnable examples for the Jiffy reproduction.
+//!
+//! Each file under `examples/` is a standalone program exercising one facet
+//! of the public API:
+//!
+//! * `quickstart` — put/get/remove, atomic batches, snapshots, range scans.
+//! * `adaptive` — watch the §3.3.6 autoscaler adjust revision sizes.
+//! * `analytics` — long scans on a frozen snapshot while writers proceed.
+//! * `bank_ledger` — atomic multi-key transfers via batch updates.
+//!
+//! Run one with:
+//!
+//! ```sh
+//! cargo run --release -p jiffy-examples --example quickstart
+//! ```

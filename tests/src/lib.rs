@@ -36,6 +36,7 @@ pub fn atomic_batch_indices() -> Vec<Arc<dyn OrderedIndex<u64, u64> + Send + Syn
 pub struct XorShift(pub u64);
 
 impl XorShift {
+    #[allow(clippy::should_implement_trait)] // deliberate rng-style name
     pub fn next(&mut self) -> u64 {
         self.0 ^= self.0 << 13;
         self.0 ^= self.0 >> 7;

@@ -205,9 +205,8 @@ fn mixed_ops_through_structure_changes_linearize() {
         });
         // Initial puts are part of the state: prepend them as completed
         // events before time zero.
-        let mut history: Vec<Event> = (0..6u64)
-            .map(|k| Event { invoke: 0, respond: 0, op: Op::Put(k, 0) })
-            .collect();
+        let mut history: Vec<Event> =
+            (0..6u64).map(|k| Event { invoke: 0, respond: 0, op: Op::Put(k, 0) }).collect();
         let mut recorded = rec.into_history();
         // Shift recorded timestamps after the preload.
         for e in &mut recorded {

@@ -1,12 +1,15 @@
-//! Property-based tests: random operation sequences keep every index
-//! equivalent to `BTreeMap`, and core generators/invariants hold over
-//! their whole input space.
+//! Property-style tests: random operation sequences keep every index
+//! equivalent to `BTreeMap`, and core generators/invariants hold across
+//! wide swaths of their input space.
+//!
+//! The build environment vendors no `proptest`, so these use a
+//! deterministic seeded generator: every failure reproduces from the
+//! printed seed, and coverage comes from running many independent cases.
 
 use std::collections::BTreeMap;
 
 use index_api::{Batch, BatchOp};
-use proptest::prelude::*;
-use system_tests::all_indices;
+use system_tests::{all_indices, XorShift};
 
 #[derive(Clone, Debug)]
 enum MapOp {
@@ -17,24 +20,52 @@ enum MapOp {
     Scan(u64, usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = MapOp> {
-    let key = 0u64..200;
-    prop_oneof![
-        (key.clone(), any::<u64>()).prop_map(|(k, v)| MapOp::Put(k, v)),
-        key.clone().prop_map(MapOp::Remove),
-        key.clone().prop_map(MapOp::Get),
-        proptest::collection::vec((0u64..200, proptest::option::of(any::<u64>())), 1..20)
-            .prop_map(MapOp::Batch),
-        (key, 0usize..50).prop_map(|(k, n)| MapOp::Scan(k, n)),
-    ]
+fn gen_op(rng: &mut XorShift) -> MapOp {
+    let r = rng.next();
+    match r % 10 {
+        0..=2 => MapOp::Put(rng.next() % 200, rng.next()),
+        3..=4 => MapOp::Remove(rng.next() % 200),
+        5..=6 => MapOp::Get(rng.next() % 200),
+        7..=8 => {
+            let len = 1 + (rng.next() % 19) as usize;
+            let entries = (0..len)
+                .map(|_| {
+                    let k = rng.next() % 200;
+                    let v = if rng.next() & 1 == 0 { Some(rng.next()) } else { None };
+                    (k, v)
+                })
+                .collect();
+            MapOp::Batch(entries)
+        }
+        _ => MapOp::Scan(rng.next() % 200, (rng.next() % 50) as usize),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+fn gen_ops(rng: &mut XorShift, max_len: u64) -> Vec<MapOp> {
+    let len = 1 + (rng.next() % max_len) as usize;
+    (0..len).map(|_| gen_op(rng)).collect()
+}
 
-    /// Every index agrees with BTreeMap on arbitrary op sequences.
-    #[test]
-    fn indices_match_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+/// Fold a canonical batch into the model exactly like the index will.
+fn apply_batch_to_model(batch: &Batch<u64, u64>, model: &mut BTreeMap<u64, u64>) {
+    for op in batch.ops() {
+        match op {
+            BatchOp::Put(k, v) => {
+                model.insert(*k, *v);
+            }
+            BatchOp::Remove(k) => {
+                model.remove(k);
+            }
+        }
+    }
+}
+
+/// Every index agrees with BTreeMap on arbitrary op sequences.
+#[test]
+fn indices_match_model() {
+    for case in 0..24u64 {
+        let mut rng = XorShift(0x9D1CE5 ^ (case.wrapping_mul(0x9E3779B97F4A7C15) | 1));
+        let ops = gen_ops(&mut rng, 120);
         for index in all_indices() {
             let mut model: BTreeMap<u64, u64> = BTreeMap::new();
             for op in &ops {
@@ -45,10 +76,20 @@ proptest! {
                     }
                     MapOp::Remove(k) => {
                         let got = index.remove(k);
-                        prop_assert_eq!(got, model.remove(k).is_some(), "{} remove", index.name());
+                        assert_eq!(
+                            got,
+                            model.remove(k).is_some(),
+                            "case {case}: {} remove {k}",
+                            index.name()
+                        );
                     }
                     MapOp::Get(k) => {
-                        prop_assert_eq!(index.get(k), model.get(k).copied(), "{} get", index.name());
+                        assert_eq!(
+                            index.get(k),
+                            model.get(k).copied(),
+                            "case {case}: {} get {k}",
+                            index.name()
+                        );
                     }
                     MapOp::Batch(entries) => {
                         let ops: Vec<BatchOp<u64, u64>> = entries
@@ -59,36 +100,29 @@ proptest! {
                             })
                             .collect();
                         let batch = Batch::new(ops);
-                        for op in batch.ops() {
-                            match op {
-                                BatchOp::Put(k, v) => {
-                                    model.insert(*k, *v);
-                                }
-                                BatchOp::Remove(k) => {
-                                    model.remove(k);
-                                }
-                            }
-                        }
+                        apply_batch_to_model(&batch, &mut model);
                         index.batch_update(batch);
                     }
                     MapOp::Scan(lo, n) => {
                         let got = index.scan_collect(lo, *n);
                         let want: Vec<(u64, u64)> =
                             model.range(lo..).take(*n).map(|(k, v)| (*k, *v)).collect();
-                        prop_assert_eq!(got, want, "{} scan", index.name());
+                        assert_eq!(got, want, "case {case}: {} scan from {lo}", index.name());
                     }
                 }
             }
         }
     }
+}
 
-    /// Jiffy with pathologically small revisions (max structure churn)
-    /// still matches the model, including snapshots taken mid-sequence.
-    #[test]
-    fn jiffy_tiny_revisions_with_snapshots(
-        ops in proptest::collection::vec(op_strategy(), 1..150),
-        snap_at in 0usize..100,
-    ) {
+/// Jiffy with pathologically small revisions (max structure churn) still
+/// matches the model, including snapshots taken mid-sequence.
+#[test]
+fn jiffy_tiny_revisions_with_snapshots() {
+    for case in 0..24u64 {
+        let mut rng = XorShift(0x7A11 ^ (case.wrapping_mul(0xD1B54A32D192ED03) | 1));
+        let ops = gen_ops(&mut rng, 150);
+        let snap_at = (rng.next() % 100) as usize;
         let map: jiffy::JiffyMap<u64, u64> = jiffy::JiffyMap::with_config(jiffy::JiffyConfig {
             min_revision_size: 2,
             max_revision_size: 6,
@@ -109,10 +143,10 @@ proptest! {
                     model.insert(*k, *v);
                 }
                 MapOp::Remove(k) => {
-                    prop_assert_eq!(map.remove(k).is_some(), model.remove(k).is_some());
+                    assert_eq!(map.remove(k).is_some(), model.remove(k).is_some(), "case {case}");
                 }
                 MapOp::Get(k) => {
-                    prop_assert_eq!(map.get(k), model.get(k).copied());
+                    assert_eq!(map.get(k), model.get(k).copied(), "case {case}");
                 }
                 MapOp::Batch(entries) => {
                     let ops: Vec<BatchOp<u64, u64>> = entries
@@ -123,16 +157,7 @@ proptest! {
                         })
                         .collect();
                     let batch = Batch::new(ops);
-                    for op in batch.ops() {
-                        match op {
-                            BatchOp::Put(k, v) => {
-                                model.insert(*k, *v);
-                            }
-                            BatchOp::Remove(k) => {
-                                model.remove(k);
-                            }
-                        }
-                    }
+                    apply_batch_to_model(&batch, &mut model);
                     map.batch(batch);
                 }
                 MapOp::Scan(lo, n) => {
@@ -140,7 +165,7 @@ proptest! {
                     let got = snap.range(lo, *n);
                     let want: Vec<(u64, u64)> =
                         model.range(lo..).take(*n).map(|(k, v)| (*k, *v)).collect();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "case {case}");
                 }
             }
         }
@@ -148,31 +173,44 @@ proptest! {
         if let Some(snap) = snapshot {
             let got = snap.range(&0, usize::MAX);
             let want: Vec<(u64, u64)> = snap_model.into_iter().collect();
-            prop_assert_eq!(got, want, "snapshot drifted");
+            assert_eq!(got, want, "case {case}: snapshot drifted");
         }
     }
+}
 
-    /// The zipfian sampler stays in range for arbitrary key spaces.
-    #[test]
-    fn zipf_in_range(n in 1u64..5_000_000, draws in proptest::collection::vec(any::<u64>(), 50)) {
+/// The zipfian sampler stays in range for arbitrary key spaces.
+#[test]
+fn zipf_in_range() {
+    let mut rng = XorShift(0x21F);
+    for _ in 0..40 {
+        let n = 1 + rng.next() % 5_000_000;
         let z = workload::Zipfian::new(n);
-        for d in draws {
-            prop_assert!(z.sample(d) < n);
+        for _ in 0..50 {
+            assert!(z.sample(rng.next()) < n, "zipf out of range for n={n}");
         }
     }
+}
 
-    /// Key16 embeddings preserve order for arbitrary u64 pairs.
-    #[test]
-    fn key16_order_preserving(a in any::<u64>(), b in any::<u64>()) {
+/// Key16 embeddings preserve order for arbitrary u64 pairs.
+#[test]
+fn key16_order_preserving() {
+    let mut rng = XorShift(0xF00D);
+    for _ in 0..10_000 {
+        let (a, b) = (rng.next(), rng.next());
         let ka = workload::Key16::from(a);
         let kb = workload::Key16::from(b);
-        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
-        prop_assert_eq!(ka.as_u64(), a);
+        assert_eq!(a.cmp(&b), ka.cmp(&kb));
+        assert_eq!(ka.as_u64(), a);
     }
+}
 
-    /// Batch canonicalization: sorted, unique, last-write-wins.
-    #[test]
-    fn batch_canonical(entries in proptest::collection::vec((0u64..50, any::<u64>()), 0..60)) {
+/// Batch canonicalization: sorted, unique, last-write-wins.
+#[test]
+fn batch_canonical() {
+    let mut rng = XorShift(0xBA7C4);
+    for _ in 0..200 {
+        let len = (rng.next() % 60) as usize;
+        let entries: Vec<(u64, u64)> = (0..len).map(|_| (rng.next() % 50, rng.next())).collect();
         let ops: Vec<BatchOp<u64, u64>> =
             entries.iter().map(|(k, v)| BatchOp::Put(*k, *v)).collect();
         let batch = Batch::new(ops);
@@ -180,12 +218,12 @@ proptest! {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(&keys, &sorted, "sorted + unique");
+        assert_eq!(keys, sorted, "sorted + unique");
         // Last write wins.
         for op in batch.ops() {
             if let BatchOp::Put(k, v) = op {
                 let last = entries.iter().rev().find(|(ek, _)| ek == k).unwrap().1;
-                prop_assert_eq!(*v, last);
+                assert_eq!(*v, last);
             }
         }
     }
