@@ -19,9 +19,14 @@ pub fn bench_lineup() -> Vec<(IndexKind, Arc<dyn OrderedIndex<u64, u64> + Send +
 /// Key space used across the micro-benchmarks.
 pub const KEY_SPACE: u64 = 100_000;
 
-/// Prefill an index to 50% density.
+/// Prefill an index to 50% density, in scattered order via the shared
+/// `workload::permute` bijection: strictly ascending insertion (the old
+/// behavior) degenerates non-rebalancing baselines like the k-ary tree
+/// and would skew every micro-benchmark built on this fill.
 pub fn prefill(index: &dyn OrderedIndex<u64, u64>) {
-    for k in (0..KEY_SPACE).step_by(2) {
+    let count = KEY_SPACE / 2;
+    for i in 0..count {
+        let k = workload::permute(i, count) * 2;
         index.put(k, k);
     }
 }

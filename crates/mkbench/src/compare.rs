@@ -1,0 +1,355 @@
+//! `mkbench compare OLD.json NEW.json [--tolerance PCT]` — diff two
+//! `BENCH_*.json` reports and fail on throughput regressions.
+//!
+//! This is the automated perf-trajectory gate: rows are matched by
+//! (scenario, index, threads); a matched row regresses when its
+//! `total_mops` drops more than the tolerance below the baseline. Per-role
+//! throughput and p99 latency deltas are reported too, but informationally
+//! — role columns are noisier (few threads per role) and latency tails
+//! noisier still, so only the headline throughput gates. Both v1 and v2
+//! reports load; the gate uses only columns both schemas carry.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, Value};
+
+/// One report row's comparable columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    pub scenario: String,
+    pub index: String,
+    pub threads: u64,
+    pub total_mops: f64,
+    pub update_mops: f64,
+    pub read_mops: f64,
+    pub scan_mops: f64,
+    /// v2 only: per-role p99 latency, `(role, ns)`.
+    pub p99_ns: Vec<(String, u64)>,
+}
+
+impl BenchRow {
+    fn key(&self) -> String {
+        format!("{} / {} / t={}", self.scenario, self.index, self.threads)
+    }
+}
+
+/// A loaded report: schema tag, label, rows.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    pub schema: String,
+    pub label: String,
+    pub rows: Vec<BenchRow>,
+}
+
+fn f64_field(row: &Value, key: &str) -> Result<f64, String> {
+    row.get(key).and_then(Value::as_f64).ok_or_else(|| format!("row missing numeric field `{key}`"))
+}
+
+/// Parse a report from JSON text (schema `jiffy-mkbench/v1` or `/v2`).
+pub fn parse_report(text: &str) -> Result<BenchReport, String> {
+    let doc = json::parse(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "report has no `schema` field".to_string())?;
+    if !schema.starts_with("jiffy-mkbench/") {
+        return Err(format!("unknown schema `{schema}`"));
+    }
+    let label = doc.get("label").and_then(Value::as_str).unwrap_or("?").to_string();
+    let raw_rows = doc
+        .get("rows")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "report has no `rows`".to_string())?;
+    let mut rows = Vec::with_capacity(raw_rows.len());
+    for raw in raw_rows {
+        let mut p99_ns = Vec::new();
+        if let Some(Value::Obj(members)) = raw.get("latency_ns") {
+            for (role, v) in members {
+                if let Some(p99) = v.get("p99").and_then(Value::as_f64) {
+                    p99_ns.push((role.clone(), p99 as u64));
+                }
+            }
+        }
+        rows.push(BenchRow {
+            scenario: raw
+                .get("scenario")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "row missing `scenario`".to_string())?
+                .to_string(),
+            index: raw
+                .get("index")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "row missing `index`".to_string())?
+                .to_string(),
+            threads: f64_field(raw, "threads")? as u64,
+            total_mops: f64_field(raw, "total_mops")?,
+            update_mops: f64_field(raw, "update_mops")?,
+            read_mops: f64_field(raw, "read_mops")?,
+            scan_mops: f64_field(raw, "scan_mops")?,
+            p99_ns,
+        });
+    }
+    Ok(BenchReport { schema: schema.to_string(), label, rows })
+}
+
+/// Outcome of comparing two reports.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Rows present in both reports.
+    pub compared: usize,
+    /// Gating failures: total_mops dropped beyond tolerance.
+    pub regressions: Vec<String>,
+    /// total_mops improved beyond tolerance (trajectory going up).
+    pub improvements: Vec<String>,
+    /// Informational: per-role/latency drift, unmatched rows.
+    pub notes: Vec<String>,
+    pub tolerance_pct: f64,
+}
+
+impl Comparison {
+    /// The gate: no regressions beyond tolerance — and at least one row
+    /// actually compared. Zero matched rows means the reports describe
+    /// disjoint runs (renamed index/scenario, different thread grid);
+    /// passing vacuously would let any regression ship behind a rename,
+    /// so that is a failure, not a pass.
+    pub fn passed(&self) -> bool {
+        self.compared > 0 && self.regressions.is_empty()
+    }
+
+    /// Human-readable diff, one finding per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "compared {} rows (tolerance {:.0}%): {} regression(s), {} improvement(s)",
+            self.compared,
+            self.tolerance_pct,
+            self.regressions.len(),
+            self.improvements.len()
+        );
+        for r in &self.regressions {
+            let _ = writeln!(out, "REGRESSION  {r}");
+        }
+        for i in &self.improvements {
+            let _ = writeln!(out, "improved    {i}");
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note        {n}");
+        }
+        if self.compared == 0 {
+            let _ = writeln!(out, "no rows matched: reports describe disjoint runs");
+        }
+        let _ = writeln!(out, "{}", if self.passed() { "PASS" } else { "FAIL" });
+        out
+    }
+}
+
+fn pct(old: f64, new: f64) -> f64 {
+    if old <= 0.0 {
+        return 0.0;
+    }
+    (new - old) / old * 100.0
+}
+
+/// Compare `new` against the `old` baseline with a symmetric tolerance in
+/// percent. Only `total_mops` gates; everything else is informational.
+pub fn compare(old: &BenchReport, new: &BenchReport, tolerance_pct: f64) -> Comparison {
+    let mut out = Comparison { tolerance_pct, ..Default::default() };
+    // Noise floor for the informational per-role columns: a role doing
+    // almost nothing (e.g. 0.05 Mops/s of updates among 75% lookups)
+    // swings wildly run to run and would drown the report.
+    const ROLE_FLOOR_MOPS: f64 = 0.05;
+    for o in &old.rows {
+        let Some(n) = new
+            .rows
+            .iter()
+            .find(|n| n.scenario == o.scenario && n.index == o.index && n.threads == o.threads)
+        else {
+            out.notes.push(format!("{}: row missing from new report", o.key()));
+            continue;
+        };
+        out.compared += 1;
+        let delta = pct(o.total_mops, n.total_mops);
+        let line = format!(
+            "{}: total {:.3} -> {:.3} Mops/s ({:+.1}%)",
+            o.key(),
+            o.total_mops,
+            n.total_mops,
+            delta
+        );
+        if delta < -tolerance_pct {
+            out.regressions.push(line);
+        } else if delta > tolerance_pct {
+            out.improvements.push(line);
+        }
+        for (role, old_v, new_v) in [
+            ("update", o.update_mops, n.update_mops),
+            ("read", o.read_mops, n.read_mops),
+            ("scan", o.scan_mops, n.scan_mops),
+        ] {
+            if old_v > ROLE_FLOOR_MOPS && pct(old_v, new_v) < -tolerance_pct {
+                out.notes.push(format!(
+                    "{}: {role} {:.3} -> {:.3} Mops/s ({:+.1}%)",
+                    o.key(),
+                    old_v,
+                    new_v,
+                    pct(old_v, new_v)
+                ));
+            }
+        }
+        for (role, old_p99) in &o.p99_ns {
+            if let Some((_, new_p99)) = n.p99_ns.iter().find(|(r, _)| r == role) {
+                if pct(*old_p99 as f64, *new_p99 as f64) > tolerance_pct {
+                    out.notes.push(format!(
+                        "{}: {role} p99 {} -> {} ns ({:+.1}%)",
+                        o.key(),
+                        old_p99,
+                        new_p99,
+                        pct(*old_p99 as f64, *new_p99 as f64)
+                    ));
+                }
+            }
+        }
+    }
+    for n in &new.rows {
+        let matched = old
+            .rows
+            .iter()
+            .any(|o| o.scenario == n.scenario && o.index == n.index && o.threads == n.threads);
+        if !matched {
+            out.notes.push(format!("{}: new row (no baseline)", n.key()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(&str, &str, u64, f64)]) -> BenchReport {
+        BenchReport {
+            schema: "jiffy-mkbench/v2".into(),
+            label: "test".into(),
+            rows: rows
+                .iter()
+                .map(|(s, i, t, mops)| BenchRow {
+                    scenario: s.to_string(),
+                    index: i.to_string(),
+                    threads: *t,
+                    total_mops: *mops,
+                    update_mops: *mops / 2.0,
+                    read_mops: *mops / 2.0,
+                    scan_mops: 0.0,
+                    p99_ns: vec![],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report(&[("s", "jiffy", 1, 1.0), ("s", "jiffy", 2, 2.0)]);
+        let c = compare(&a, &a, 10.0);
+        assert!(c.passed());
+        assert_eq!(c.compared, 2);
+        assert!(c.regressions.is_empty() && c.improvements.is_empty());
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let old = report(&[("s", "jiffy", 1, 1.0)]);
+        let new = report(&[("s", "jiffy", 1, 0.8)]);
+        let c = compare(&old, &new, 10.0);
+        assert!(!c.passed());
+        assert_eq!(c.regressions.len(), 1);
+        assert!(c.regressions[0].contains("-20.0%"), "{:?}", c.regressions);
+        // The same drop inside tolerance passes.
+        let c = compare(&old, &new, 25.0);
+        assert!(c.passed());
+    }
+
+    #[test]
+    fn improvement_is_reported_not_failed() {
+        let old = report(&[("s", "jiffy", 1, 1.0)]);
+        let new = report(&[("s", "jiffy", 1, 2.0)]);
+        let c = compare(&old, &new, 10.0);
+        assert!(c.passed());
+        assert_eq!(c.improvements.len(), 1);
+    }
+
+    #[test]
+    fn unmatched_rows_are_notes_not_failures() {
+        let old = report(&[("s", "jiffy", 1, 1.0), ("s", "cslm", 1, 1.0)]);
+        let new = report(&[("s", "jiffy", 1, 1.0), ("s", "lfca", 1, 1.0)]);
+        let c = compare(&old, &new, 10.0);
+        assert!(c.passed());
+        assert_eq!(c.compared, 1);
+        assert_eq!(c.notes.len(), 2, "{:?}", c.notes);
+    }
+
+    #[test]
+    fn zero_matched_rows_fails_the_gate() {
+        // A renamed index (or scenario/thread-grid change) must not let
+        // the gate pass vacuously — 0 compared rows gates nothing.
+        let old = report(&[("s", "ca-avl", 1, 1.0)]);
+        let new = report(&[("s", "caavl", 1, 0.5)]);
+        let c = compare(&old, &new, 10.0);
+        assert_eq!(c.compared, 0);
+        assert!(!c.passed(), "vacuous comparison must fail");
+        assert!(c.render().contains("disjoint"), "{}", c.render());
+    }
+
+    #[test]
+    fn parses_v1_and_v2_reports() {
+        // v1: the committed BENCH_seed.json shape.
+        let v1 = r#"{
+          "schema": "jiffy-mkbench/v1", "label": "quick", "created_unix": 0,
+          "config": { "threads": [1], "secs": 0.5, "warmup": 0.5, "key_space": 1000 },
+          "rows": [
+            { "scenario": "s", "index": "jiffy", "threads": 1,
+              "total_mops": 1.0, "update_mops": 1.0, "read_mops": 0.0, "scan_mops": 0.0 }
+          ]
+        }"#;
+        let r1 = parse_report(v1).unwrap();
+        assert_eq!(r1.schema, "jiffy-mkbench/v1");
+        assert_eq!(r1.rows.len(), 1);
+        assert!(r1.rows[0].p99_ns.is_empty());
+
+        let v2 = r#"{
+          "schema": "jiffy-mkbench/v2", "label": "quick", "created_unix": 0,
+          "config": { "threads": [1], "secs": 0.5, "warmup": 0.5, "key_space": 1000 },
+          "rows": [
+            { "scenario": "s", "index": "jiffy", "threads": 1,
+              "total_mops": 0.5, "update_mops": 0.2, "read_mops": 0.3, "scan_mops": 0.0,
+              "effective_mix": { "update": 0.25, "lookup": 0.75, "scan": 0.0 },
+              "latency_ns": { "update": { "p50": 10, "p95": 20, "p99": 30, "max": 40, "samples": 9 } } }
+          ]
+        }"#;
+        let r2 = parse_report(v2).unwrap();
+        assert_eq!(r2.rows[0].p99_ns, vec![("update".to_string(), 30)]);
+
+        // v1 baseline vs v2 current compares fine and catches the drop.
+        let c = compare(&r1, &r2, 10.0);
+        assert_eq!(c.compared, 1);
+        assert!(!c.passed());
+    }
+
+    #[test]
+    fn p99_latency_drift_is_informational() {
+        let mut old = report(&[("s", "jiffy", 1, 1.0)]);
+        let mut new = report(&[("s", "jiffy", 1, 1.0)]);
+        old.rows[0].p99_ns = vec![("lookup".into(), 100)];
+        new.rows[0].p99_ns = vec![("lookup".into(), 500)];
+        let c = compare(&old, &new, 10.0);
+        assert!(c.passed(), "latency drift must not gate");
+        assert!(c.notes.iter().any(|n| n.contains("p99")), "{:?}", c.notes);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("not json").is_err());
+        assert!(parse_report(r#"{"schema": "other/v1", "rows": []}"#).is_err());
+    }
+}

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! mkbench figure <5..=10> [--threads 1,2,4] [--secs 0.5] [--keys 100000] [--out results/figN.csv] [--json BENCH_figN.json]
-//! mkbench quick          [--threads N] [--indices a,b,c] [--json BENCH_seed.json]  # one scenario, compact lineup, fast
+//! mkbench quick          [--threads N] [--indices a,b,c] [--json BENCH_pr2.json]  # update/lookup/scan cells, compact lineup
+//! mkbench compare OLD.json NEW.json [--tolerance PCT]            # perf gate: exit 1 on throughput regression
 //! mkbench speedup        [--threads N] [--secs S] [--keys K]     # §4.3: Jiffy vs CA-AVL/CA-SL, 100-op random batches
 //! mkbench autoscale      [--secs S] [--keys K]                   # §4.3: revision sizes under write-only vs update-lookup
 //! mkbench ablation clock|hash|revsize [--threads ...] [--secs S] # A1/A2/A3
@@ -202,40 +203,121 @@ fn cmd_figure(figure: u8, args: &Args) {
     args.write_reports(&format!("figure{figure}"), &rows);
 }
 
-/// One representative scenario cell over a compact index lineup — fast
-/// enough for CI smoke runs and perf-baseline snapshots (`BENCH_*.json`).
+/// The paper's three op classes (update, lookup, scan) over a compact
+/// index lineup — fast enough for CI smoke runs and perf-baseline
+/// snapshots (`BENCH_*.json`), yet every class is actually exercised and
+/// recorded (the seed's single update-lookup cell left scans unmeasured).
 fn cmd_quick(args: &Args) {
-    let scenario = Scenario::new(
-        KvShape::K4V4,
-        KeyDist::Uniform,
-        ThreadMix::UPDATE_LOOKUP,
-        0,
-        BatchMode::Single,
-    );
+    let scenarios = [
+        (
+            "update",
+            Scenario::new(
+                KvShape::K4V4,
+                KeyDist::Uniform,
+                ThreadMix::UPDATE_ONLY,
+                0,
+                BatchMode::Single,
+            ),
+        ),
+        (
+            "lookup",
+            Scenario::new(
+                KvShape::K4V4,
+                KeyDist::Uniform,
+                ThreadMix::UPDATE_LOOKUP,
+                0,
+                BatchMode::Single,
+            ),
+        ),
+        (
+            "scan",
+            Scenario::new(
+                KvShape::K4V4,
+                KeyDist::Uniform,
+                ThreadMix::MIXED,
+                100,
+                BatchMode::Single,
+            ),
+        ),
+    ];
     let lineup = args.indices.clone().unwrap_or_else(|| {
         vec![IndexKind::Jiffy, IndexKind::Cslm, IndexKind::CaAvl, IndexKind::Lfca]
     });
     let mut rows: Vec<Row> = Vec::new();
-    for kind in lineup {
-        for &threads in &args.threads {
-            let cfg = cfg_for(args, threads);
-            let m = run_cell(KvShape::K4V4, kind, &scenario, &cfg);
-            eprintln!(
-                "[quick] {} t={threads}: {:.3} Mops/s (upd {:.3})",
-                kind.name(),
-                m.total_mops,
-                m.update_mops
-            );
-            rows.push(Row {
-                scenario: scenario.id.clone(),
-                index: kind.name().to_string(),
-                threads,
-                m,
-            });
+    for (class, scenario) in &scenarios {
+        for kind in &lineup {
+            for &threads in &args.threads {
+                let cfg = cfg_for(args, threads);
+                let m = run_cell(KvShape::K4V4, *kind, scenario, &cfg);
+                let p99 = [m.update_lat, m.lookup_lat, m.scan_lat]
+                    .iter()
+                    .flatten()
+                    .map(|l| l.p99_ns)
+                    .max()
+                    .unwrap_or(0);
+                eprintln!(
+                    "[quick/{class}] {} t={threads}: {:.3} Mops/s (upd {:.3}, read {:.3}, scan {:.3}; worst p99 {p99} ns)",
+                    kind.name(),
+                    m.total_mops,
+                    m.update_mops,
+                    m.read_mops,
+                    m.scan_mops
+                );
+                rows.push(Row {
+                    scenario: scenario.id.clone(),
+                    index: kind.name().to_string(),
+                    threads,
+                    m,
+                });
+            }
         }
     }
     println!("{}", mkbench::report::render_table(&rows));
     args.write_reports("quick", &rows);
+}
+
+/// Diff two `BENCH_*.json` reports; exit 1 on a throughput regression
+/// beyond the tolerance (the CI perf-trajectory gate).
+fn cmd_compare(argv: &[String]) {
+    let (mut old_path, mut new_path) = (None, None);
+    let mut tolerance = 10.0f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tolerance" => {
+                tolerance = flag_value(argv, &mut i, "--tolerance")
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| usage_error("--tolerance takes a non-negative percent"));
+            }
+            flag if flag.starts_with("--") => usage_error(&format!("unknown flag `{flag}`")),
+            path if old_path.is_none() => old_path = Some(path.to_string()),
+            path if new_path.is_none() => new_path = Some(path.to_string()),
+            other => usage_error(&format!("unexpected compare argument `{other}`")),
+        }
+        i += 1;
+    }
+    let (Some(old_path), Some(new_path)) = (old_path, new_path) else {
+        usage_error("compare takes OLD.json NEW.json [--tolerance PCT]")
+    };
+    let load = |path: &str| -> mkbench::BenchReport {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage_error(&format!("cannot read {path}: {e}")));
+        mkbench::parse_report(&text)
+            .unwrap_or_else(|e| usage_error(&format!("cannot parse {path}: {e}")))
+    };
+    let old = load(&old_path);
+    let new = load(&new_path);
+    eprintln!(
+        "comparing {old_path} ({}, \"{}\") -> {new_path} ({}, \"{}\")",
+        old.schema, old.label, new.schema, new.label
+    );
+    let outcome = mkbench::compare(&old, &new, tolerance);
+    print!("{}", outcome.render());
+    if !outcome.passed() {
+        std::process::exit(1);
+    }
 }
 
 /// §4.3 headline: large random batches, Jiffy vs the lock-based CA trees.
@@ -278,18 +360,22 @@ fn cmd_autoscale(args: &Args) {
             map.put(k * 2, k);
         }
         let stop = std::sync::atomic::AtomicBool::new(false);
-        let roles = mix.assign(*args.threads.iter().max().unwrap());
+        // plan(), not assign(): at small thread counts assign() would run
+        // a 100% update workload under the "update-lookup (25/75)" label
+        // (the printed comparison would then be write-only vs write-only
+        // and say nothing about the autoscaler).
+        let plans = mix.plan(*args.threads.iter().max().unwrap());
         std::thread::scope(|s| {
-            for (tid, role) in roles.iter().enumerate() {
+            for (tid, plan) in plans.iter().enumerate() {
                 let map = Arc::clone(&map);
                 let stop = &stop;
                 let keys = args.keys;
-                let role = *role;
+                let mut sched = workload::RoleSchedule::new(*plan);
                 s.spawn(move || {
                     let mut gen = workload::KeyGen::new(KeyDist::Uniform, keys, tid as u64 + 1);
                     while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                         let k = gen.next_key();
-                        match role {
+                        match sched.next_role() {
                             workload::Role::Update => {
                                 if gen.next_raw() & 1 == 0 {
                                     map.put(k, k);
@@ -402,15 +488,20 @@ fn usage_error(msg: &str) -> ! {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        eprintln!("usage: mkbench <figure N|quick|speedup|autoscale|ablation WHICH> [flags]");
+        eprintln!(
+            "usage: mkbench <figure N|quick|compare OLD NEW|speedup|autoscale|ablation WHICH> [flags]"
+        );
         eprintln!("flags: --threads 1,2,4  --secs S  --warmup S  --keys K  --indices a,b,c");
-        eprintln!("       --out results.csv  --json BENCH_label.json");
+        eprintln!("       --out results.csv  --json BENCH_label.json  --tolerance PCT (compare)");
         std::process::exit(2);
     };
     match cmd.as_str() {
         "quick" => {
             let args = parse_flags(&argv[1..]);
             cmd_quick(&args);
+        }
+        "compare" => {
+            cmd_compare(&argv[1..]);
         }
         "figure" => {
             let n: u8 = argv

@@ -5,13 +5,40 @@
 use std::fmt::Write as _;
 use std::io::Write as _;
 
-/// Throughput of one run, in millions of basic ops per second.
+use workload::ThreadMix;
+
+/// Percentile summary of one role's per-operation latency (a batch or a
+/// scan counts as one operation here; throughput columns count basic
+/// ops). Derived from the runner's log-bucketed histograms.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+    /// Latency samples taken (sampled, not one per op).
+    pub samples: u64,
+}
+
+/// Throughput of one run, in millions of basic ops per second, plus the
+/// v2 fields: effective mix and per-role latency percentiles.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Measurement {
     pub total_mops: f64,
     pub update_mops: f64,
     pub read_mops: f64,
     pub scan_mops: f64,
+    /// The op-weight mix the run's threads were *scheduled to issue*
+    /// (aggregate of the per-thread plans), recorded so a row can never
+    /// claim a mixed scenario while scheduling update-only (the seed
+    /// baseline's `t=1` lie). Note this is issue-weight, not op-count
+    /// share: roles differ in per-op cost, so the share of ops each
+    /// role completed is what the `*_mops` columns report. (v2)
+    pub mix: ThreadMix,
+    /// Per-role latency, present only for roles the run exercised (v2).
+    pub update_lat: Option<LatencySummary>,
+    pub lookup_lat: Option<LatencySummary>,
+    pub scan_lat: Option<LatencySummary>,
 }
 
 /// One output row.
@@ -95,14 +122,28 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+fn latency_json(role: &str, lat: &Option<LatencySummary>) -> Option<String> {
+    lat.map(|l| {
+        format!(
+            "\"{role}\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"samples\": {} }}",
+            l.p50_ns, l.p95_ns, l.p99_ns, l.max_ns, l.samples
+        )
+    })
+}
+
 /// Render rows as a `BENCH_*.json`-schema report (hand-rolled: the build
-/// environment vendors no serde). Schema `jiffy-mkbench/v1`:
+/// environment vendors no serde). Schema `jiffy-mkbench/v2`:
 /// `{schema, label, created_unix, config{...}, rows[{scenario, index,
-/// threads, total_mops, update_mops, read_mops, scan_mops}]}`.
+/// threads, total_mops, update_mops, read_mops, scan_mops,
+/// effective_mix{update, lookup, scan}, latency_ns{<role>{p50, p95, p99,
+/// max, samples}, ...}}]}`. The four v1 throughput columns are carried
+/// unchanged so v1 consumers (and `mkbench compare` against v1
+/// baselines) keep working; `latency_ns` holds only roles the run
+/// actually exercised.
 pub fn render_json(meta: &RunMeta, rows: &[Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"jiffy-mkbench/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"jiffy-mkbench/v2\",");
     let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(&meta.label));
     let _ = writeln!(out, "  \"created_unix\": {},", meta.created_unix);
     let threads: Vec<String> = meta.threads.iter().map(|t| t.to_string()).collect();
@@ -117,19 +158,35 @@ pub fn render_json(meta: &RunMeta, rows: &[Row]) -> String {
     let _ = writeln!(out, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
+        let _ = write!(
             out,
             "    {{ \"scenario\": \"{}\", \"index\": \"{}\", \"threads\": {}, \
              \"total_mops\": {:.6}, \"update_mops\": {:.6}, \"read_mops\": {:.6}, \
-             \"scan_mops\": {:.6} }}{comma}",
+             \"scan_mops\": {:.6}, \"effective_mix\": {{ \"update\": {:.6}, \
+             \"lookup\": {:.6}, \"scan\": {:.6} }}",
             json_escape(&r.scenario),
             json_escape(&r.index),
             r.threads,
             r.m.total_mops,
             r.m.update_mops,
             r.m.read_mops,
-            r.m.scan_mops
+            r.m.scan_mops,
+            r.m.mix.update,
+            r.m.mix.lookup,
+            r.m.mix.scan
         );
+        let lat: Vec<String> = [
+            latency_json("update", &r.m.update_lat),
+            latency_json("lookup", &r.m.lookup_lat),
+            latency_json("scan", &r.m.scan_lat),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if !lat.is_empty() {
+            let _ = write!(out, ", \"latency_ns\": {{ {} }}", lat.join(", "));
+        }
+        let _ = writeln!(out, " }}{comma}");
     }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
@@ -207,13 +264,21 @@ mod tests {
             key_space: 1000,
             created_unix: 42,
         };
-        let rows = vec![row("s1", "jiffy", 1, 1.5), row("s1", "cslm", 2, 0.5)];
+        let mut rows = vec![row("s1", "jiffy", 1, 1.5), row("s1", "cslm", 2, 0.5)];
+        rows[0].m.mix = ThreadMix { update: 0.25, lookup: 0.75, scan: 0.0 };
+        rows[0].m.update_lat =
+            Some(LatencySummary { p50_ns: 100, p95_ns: 200, p99_ns: 400, max_ns: 900, samples: 7 });
         let text = render_json(&meta, &rows);
-        assert!(text.contains("\"schema\": \"jiffy-mkbench/v1\""));
+        assert!(text.contains("\"schema\": \"jiffy-mkbench/v2\""));
         assert!(text.contains("\"label\": \"fig\\\"6\\\"\""));
         assert!(text.contains("\"threads\": [1, 2]"));
         assert!(text.contains("\"index\": \"jiffy\""));
         assert!(text.contains("\"total_mops\": 1.500000"));
+        // v2 fields: effective mix on every row, latency only for roles
+        // that actually ran.
+        assert!(text.contains("\"effective_mix\": { \"update\": 0.250000"));
+        assert!(text.contains("\"latency_ns\": { \"update\": { \"p50\": 100, \"p95\": 200"));
+        assert_eq!(text.matches("latency_ns").count(), 1, "empty roles must be omitted");
         // Balanced braces (structurally valid JSON object).
         let braces = text.matches('{').count();
         assert_eq!(braces, text.matches('}').count());

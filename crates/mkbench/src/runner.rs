@@ -1,14 +1,24 @@
-//! The scenario runner: spawn role threads against one index, measure
-//! basic-op throughput for a fixed duration.
+//! The scenario runner: spawn weighted-role threads against one index,
+//! measure per-role throughput *and latency* for a fixed duration.
+//!
+//! Accounting is driven by what the index actually did, not by what the
+//! harness asked for: scans count the entries the sink visited (a scan
+//! that starts near the top of the key space contributes what it saw,
+//! not a flat `scan_len`), batch updates count the canonicalized batch
+//! length the index applied, and every row records the op-weight mix
+//! its threads were scheduled to issue (a 1-thread "75% lookup" cell
+//! really issues 75% lookups by interleaving roles within the thread;
+//! per-role *completed-op* shares are what the throughput columns say).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use index_api::{Batch, BatchOp, OrderedIndex};
-use workload::{BatchMode, KeyDist, KeyGen, Role, Scenario, Value};
+use workload::{BatchMode, KeyDist, KeyGen, RoleSchedule, Scenario, ThreadMix, Value};
 
-use crate::report::Measurement;
+use crate::hist::LogHistogram;
+use crate::report::{LatencySummary, Measurement};
 
 /// Benchmark keys are derived from `u64` draws.
 pub trait BenchKey: Ord + Clone + Send + Sync + 'static {
@@ -71,6 +81,8 @@ impl Default for RunConfig {
 /// Keys are inserted in a pseudo-random order: several baselines (k-ary
 /// trees in particular, which do not rebalance) degenerate under strictly
 /// ascending insertion, which no real load phase produces.
+/// `workload::permute` is a true bijection on `[0, count)`, so every slot
+/// is written exactly once by the parallel workers — no serial gap sweep.
 fn prefill<K: BenchKey, V: Value>(index: &dyn OrderedIndex<K, V>, cfg: &RunConfig) {
     let step = (1.0 / cfg.prefill_density).round() as u64;
     let step = step.max(1);
@@ -82,28 +94,40 @@ fn prefill<K: BenchKey, V: Value>(index: &dyn OrderedIndex<K, V>, cfg: &RunConfi
             s.spawn(move || {
                 let mut i = w;
                 while i < count {
-                    // Odd-multiplier permutation of [0, count): visits
-                    // every slot exactly once, in scattered order.
-                    let slot = (i.wrapping_mul(0x9E3779B97F4A7C15) | 1) % count.max(1);
-                    let k = slot * step;
+                    let k = workload::permute(i, count) * step;
                     index.put(K::from_u64(k), V::make(k));
                     i += workers;
                 }
             });
         }
-        // The permutation above can collide on `slot` (it is not exact);
-        // fill any gaps with a cheap ascending sweep of missing keys.
     });
-    let mut k = 0;
-    while k < cfg.key_space {
-        if index.get(&K::from_u64(k)).is_none() {
-            index.put(K::from_u64(k), V::make(k));
-        }
-        k += step;
-    }
 }
 
-/// Run one scenario cell against `index`. Returns aggregate throughput.
+/// Role indices into the per-role counter/histogram arrays.
+const UPDATE: usize = 0;
+const LOOKUP: usize = 1;
+const SCAN: usize = 2;
+
+/// Latency is sampled (1 op in 16) so the two clock reads do not distort
+/// the throughput the same row reports.
+const SAMPLE_MASK: u64 = 0xF;
+
+/// Local ops are flushed to the shared counters in chunks to keep
+/// cross-thread contention off the hot path.
+const FLUSH_EVERY: u64 = 1024;
+
+fn summarize(h: &LogHistogram) -> Option<LatencySummary> {
+    (!h.is_empty()).then(|| LatencySummary {
+        p50_ns: h.percentile(50.0),
+        p95_ns: h.percentile(95.0),
+        p99_ns: h.percentile(99.0),
+        max_ns: h.max(),
+        samples: h.count(),
+    })
+}
+
+/// Run one scenario cell against `index`. Returns per-role throughput,
+/// the effective executed mix, and per-role latency percentiles.
 pub fn run_scenario<K: BenchKey, V: Value>(
     index: Arc<dyn OrderedIndex<K, V> + Send + Sync>,
     scenario: &Scenario,
@@ -111,23 +135,22 @@ pub fn run_scenario<K: BenchKey, V: Value>(
 ) -> Measurement {
     prefill(&*index, cfg);
 
-    let roles = scenario.mix.assign(cfg.threads);
+    let plans = scenario.mix.plan(cfg.threads);
     let stop = Arc::new(AtomicBool::new(false));
-    let mut measured = (0u64, 0u64, 0u64, 0u64, Duration::ZERO);
-    let total_ops = Arc::new(AtomicU64::new(0));
-    let update_ops = Arc::new(AtomicU64::new(0));
-    let read_ops = Arc::new(AtomicU64::new(0));
-    let scan_ops = Arc::new(AtomicU64::new(0));
+    let recording = Arc::new(AtomicBool::new(false));
+    let counters: Arc<[AtomicU64; 3]> = Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
+    let hists: Arc<Mutex<[LogHistogram; 3]>> =
+        Arc::new(Mutex::new(std::array::from_fn(|_| LogHistogram::new())));
+    let mut measured = ([0u64; 3], Duration::ZERO);
 
     std::thread::scope(|s| {
-        for (tid, role) in roles.iter().enumerate() {
+        for (tid, plan) in plans.iter().enumerate() {
             let index = Arc::clone(&index);
             let stop = Arc::clone(&stop);
-            let total_ops = Arc::clone(&total_ops);
-            let update_ops = Arc::clone(&update_ops);
-            let read_ops = Arc::clone(&read_ops);
-            let scan_ops = Arc::clone(&scan_ops);
-            let role = *role;
+            let recording = Arc::clone(&recording);
+            let counters = Arc::clone(&counters);
+            let hists = Arc::clone(&hists);
+            let mut sched = RoleSchedule::new(*plan);
             let scenario = scenario.clone();
             let cfg = cfg.clone();
             s.spawn(move || {
@@ -136,135 +159,217 @@ pub fn run_scenario<K: BenchKey, V: Value>(
                     cfg.key_space,
                     cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
                 );
-                let mut local: u64 = 0;
-                match role {
-                    Role::Update => {
-                        let mut batch_buf: Vec<BatchOp<K, V>> = Vec::new();
-                        while !stop.load(Ordering::Relaxed) {
-                            match scenario.batch {
-                                BatchMode::Single => {
+                let mut local = [0u64; 3];
+                let mut local_hist: [LogHistogram; 3] =
+                    std::array::from_fn(|_| LogHistogram::new());
+                let mut batch_buf: Vec<BatchOp<K, V>> = Vec::new();
+                // Per-role op counters drive latency sampling. A single
+                // global counter would alias: the schedule is periodic
+                // (period 4 for the 25/50/25 mix), so "every 16th
+                // iteration" lands on the same role forever and the
+                // other roles never get sampled.
+                let mut issued = [0u64; 3];
+                while !stop.load(Ordering::Relaxed) {
+                    let pick = sched.next_role() as usize;
+
+                    let sampled =
+                        issued[pick] & SAMPLE_MASK == 0 && recording.load(Ordering::Relaxed);
+                    issued[pick] = issued[pick].wrapping_add(1);
+                    let t_start = sampled.then(Instant::now);
+                    // `done` is what the index verifiably did: basic ops
+                    // for singles, canonicalized batch length for
+                    // batches, sink-visited entries for scans.
+                    let done: u64 = match pick {
+                        UPDATE => match scenario.batch {
+                            BatchMode::Single => {
+                                let k = gen.next_key();
+                                if gen.next_raw() & 1 == 0 {
+                                    index.put(K::from_u64(k), V::make(k));
+                                } else {
+                                    index.remove(&K::from_u64(k));
+                                }
+                                1
+                            }
+                            BatchMode::BatchSeq { size } => {
+                                let start = gen.next_key();
+                                batch_buf.clear();
+                                for i in 0..size as u64 {
+                                    let k = (start + i) % cfg.key_space;
+                                    if gen.next_raw() & 1 == 0 {
+                                        batch_buf.push(BatchOp::Put(K::from_u64(k), V::make(k)));
+                                    } else {
+                                        batch_buf.push(BatchOp::Remove(K::from_u64(k)));
+                                    }
+                                }
+                                let b = Batch::new(std::mem::take(&mut batch_buf));
+                                let n = b.len() as u64;
+                                index.batch_update(b);
+                                n
+                            }
+                            BatchMode::BatchRand { size } => {
+                                batch_buf.clear();
+                                for _ in 0..size {
                                     let k = gen.next_key();
                                     if gen.next_raw() & 1 == 0 {
-                                        index.put(K::from_u64(k), V::make(k));
+                                        batch_buf.push(BatchOp::Put(K::from_u64(k), V::make(k)));
                                     } else {
-                                        index.remove(&K::from_u64(k));
+                                        batch_buf.push(BatchOp::Remove(K::from_u64(k)));
                                     }
-                                    local += 1;
                                 }
-                                BatchMode::BatchSeq { size } => {
-                                    let start = gen.next_key();
-                                    batch_buf.clear();
-                                    for i in 0..size as u64 {
-                                        let k = (start + i) % cfg.key_space;
-                                        if gen.next_raw() & 1 == 0 {
-                                            batch_buf
-                                                .push(BatchOp::Put(K::from_u64(k), V::make(k)));
-                                        } else {
-                                            batch_buf.push(BatchOp::Remove(K::from_u64(k)));
-                                        }
-                                    }
-                                    index.batch_update(Batch::new(std::mem::take(&mut batch_buf)));
-                                    local += size as u64;
-                                }
-                                BatchMode::BatchRand { size } => {
-                                    batch_buf.clear();
-                                    for _ in 0..size {
-                                        let k = gen.next_key();
-                                        if gen.next_raw() & 1 == 0 {
-                                            batch_buf
-                                                .push(BatchOp::Put(K::from_u64(k), V::make(k)));
-                                        } else {
-                                            batch_buf.push(BatchOp::Remove(K::from_u64(k)));
-                                        }
-                                    }
-                                    let b = Batch::new(std::mem::take(&mut batch_buf));
-                                    let n = b.len() as u64;
-                                    index.batch_update(b);
-                                    local += n;
-                                }
+                                let b = Batch::new(std::mem::take(&mut batch_buf));
+                                let n = b.len() as u64;
+                                index.batch_update(b);
+                                n
                             }
-                            if local >= 1024 {
-                                update_ops.fetch_add(local, Ordering::Relaxed);
-                                total_ops.fetch_add(local, Ordering::Relaxed);
-                                local = 0;
-                            }
-                        }
-                        update_ops.fetch_add(local, Ordering::Relaxed);
-                        total_ops.fetch_add(local, Ordering::Relaxed);
-                        local = 0;
-                    }
-                    Role::Lookup => {
-                        while !stop.load(Ordering::Relaxed) {
+                        },
+                        LOOKUP => {
                             let k = gen.next_key();
                             std::hint::black_box(index.get(&K::from_u64(k)));
-                            local += 1;
-                            if local >= 4096 {
-                                read_ops.fetch_add(local, Ordering::Relaxed);
-                                total_ops.fetch_add(local, Ordering::Relaxed);
-                                local = 0;
-                            }
+                            1
                         }
-                        read_ops.fetch_add(local, Ordering::Relaxed);
-                        total_ops.fetch_add(local, Ordering::Relaxed);
-                        local = 0;
-                    }
-                    Role::Scan => {
-                        let mut seen = 0usize;
-                        while !stop.load(Ordering::Relaxed) {
+                        _ => {
                             let k = gen.next_key();
+                            let mut seen = 0u64;
                             index.scan_from(&K::from_u64(k), scenario.scan_len, &mut |_, v| {
                                 std::hint::black_box(v);
                                 seen += 1;
                             });
-                            local += scenario.scan_len as u64;
-                            if local >= 4096 {
-                                scan_ops.fetch_add(local, Ordering::Relaxed);
-                                total_ops.fetch_add(local, Ordering::Relaxed);
-                                local = 0;
-                            }
+                            seen
                         }
-                        std::hint::black_box(seen);
-                        scan_ops.fetch_add(local, Ordering::Relaxed);
-                        total_ops.fetch_add(local, Ordering::Relaxed);
-                        local = 0;
+                    };
+                    if let Some(t) = t_start {
+                        local_hist[pick].record(t.elapsed().as_nanos() as u64);
+                    }
+                    local[pick] += done;
+                    if local[pick] >= FLUSH_EVERY {
+                        counters[pick].fetch_add(local[pick], Ordering::Relaxed);
+                        local[pick] = 0;
                     }
                 }
-                let _ = local;
+                for r in 0..3 {
+                    counters[r].fetch_add(local[r], Ordering::Relaxed);
+                }
+                let mut shared = hists.lock().unwrap();
+                for r in 0..3 {
+                    shared[r].merge(&local_hist[r]);
+                }
             });
         }
         // Warmup: let the structure adapt, then snapshot the counters and
-        // measure only the steady-state window.
+        // measure (and sample latency in) only the steady-state window.
         std::thread::sleep(cfg.warmup);
-        let t0 = (
-            total_ops.load(Ordering::Relaxed),
-            update_ops.load(Ordering::Relaxed),
-            read_ops.load(Ordering::Relaxed),
-            scan_ops.load(Ordering::Relaxed),
-        );
+        let t0: [u64; 3] = std::array::from_fn(|r| counters[r].load(Ordering::Relaxed));
+        recording.store(true, Ordering::Relaxed);
         let started = Instant::now();
         std::thread::sleep(cfg.duration);
+        recording.store(false, Ordering::Relaxed);
         let elapsed = started.elapsed();
-        let t1 = (
-            total_ops.load(Ordering::Relaxed),
-            update_ops.load(Ordering::Relaxed),
-            read_ops.load(Ordering::Relaxed),
-            scan_ops.load(Ordering::Relaxed),
-        );
+        let t1: [u64; 3] = std::array::from_fn(|r| counters[r].load(Ordering::Relaxed));
         stop.store(true, Ordering::Relaxed);
-        measured = (t1.0 - t0.0, t1.1 - t0.1, t1.2 - t0.2, t1.3 - t0.3, elapsed);
+        measured = (std::array::from_fn(|r| t1[r] - t0[r]), elapsed);
     });
 
-    let (total, update, read, scan, elapsed) = measured;
+    let (ops, elapsed) = measured;
     let secs = elapsed.as_secs_f64();
+    let hists = hists.lock().unwrap();
     Measurement {
-        total_mops: total as f64 / secs / 1e6,
-        update_mops: update as f64 / secs / 1e6,
-        read_mops: read as f64 / secs / 1e6,
-        scan_mops: scan as f64 / secs / 1e6,
+        total_mops: ops.iter().sum::<u64>() as f64 / secs / 1e6,
+        update_mops: ops[UPDATE] as f64 / secs / 1e6,
+        read_mops: ops[LOOKUP] as f64 / secs / 1e6,
+        scan_mops: ops[SCAN] as f64 / secs / 1e6,
+        mix: ThreadMix::effective(&plans),
+        update_lat: summarize(&hists[UPDATE]),
+        lookup_lat: summarize(&hists[LOOKUP]),
+        scan_lat: summarize(&hists[SCAN]),
     }
 }
 
 /// Key distribution helper for ad-hoc harness callers.
 pub fn keygen(dist: KeyDist, key_space: u64, seed: u64) -> KeyGen {
     KeyGen::new(dist, key_space, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::KvShape;
+
+    /// A tiny end-to-end run: the measurement must report a truthful
+    /// effective mix for a 1-thread mixed cell (the seed harness reported
+    /// update-only here) and sink-verified scan accounting.
+    #[test]
+    fn one_thread_mixed_cell_reports_truthful_mix_and_latency() {
+        let index: Arc<dyn OrderedIndex<u64, u64> + Send + Sync> =
+            Arc::new(jiffy::JiffyMap::<u64, u64>::new());
+        let scenario =
+            Scenario::new(KvShape::K4V4, KeyDist::Uniform, ThreadMix::MIXED, 10, BatchMode::Single);
+        let cfg = RunConfig {
+            threads: 1,
+            duration: Duration::from_millis(150),
+            warmup: Duration::from_millis(50),
+            key_space: 10_000,
+            prefill_density: 0.5,
+            seed: 7,
+        };
+        let m = run_scenario(index, &scenario, &cfg);
+        // The executed mix equals the scenario's mix even at t=1.
+        assert!((m.mix.update - 0.25).abs() < 1e-9, "{:?}", m.mix);
+        assert!((m.mix.lookup - 0.5).abs() < 1e-9, "{:?}", m.mix);
+        assert!((m.mix.scan - 0.25).abs() < 1e-9, "{:?}", m.mix);
+        // All three roles actually ran and were measured.
+        assert!(m.update_mops > 0.0, "{m:?}");
+        assert!(m.read_mops > 0.0, "{m:?}");
+        assert!(m.scan_mops > 0.0, "{m:?}");
+        // Latency percentiles exist for every active role and are sane.
+        for lat in [m.update_lat, m.lookup_lat, m.scan_lat] {
+            let lat = lat.expect("role ran, latency must be recorded");
+            assert!(lat.samples > 0);
+            assert!(lat.p50_ns > 0);
+            assert!(lat.p50_ns <= lat.p95_ns && lat.p95_ns <= lat.p99_ns);
+            assert!(lat.p99_ns <= lat.max_ns);
+        }
+        // Scan throughput is bounded by what the sink can have seen:
+        // scan_len entries per scan at most (no flat scan_len credit).
+        let scans_per_sec_upper = m.read_mops * 1e6; // scans are rarer than lookups here
+        assert!(
+            m.scan_mops * 1e6 <= scans_per_sec_upper * scenario.scan_len as f64,
+            "scan accounting out of bounds: {m:?}"
+        );
+    }
+
+    /// Scans near the top of the key space must credit only visited
+    /// entries: with 10 entries total, a scan asking for 1000 gets ≤ 10.
+    #[test]
+    fn scan_accounting_is_sink_verified() {
+        let index: Arc<dyn OrderedIndex<u64, u64> + Send + Sync> =
+            Arc::new(jiffy::JiffyMap::<u64, u64>::new());
+        let scenario = Scenario::new(
+            KvShape::K4V4,
+            KeyDist::Uniform,
+            ThreadMix { update: 0.0, lookup: 0.0, scan: 1.0 },
+            1000,
+            BatchMode::Single,
+        );
+        // Key space of 20 with density 0.5 → 10 entries; every scan asks
+        // for 1000 entries but can visit at most 10.
+        let cfg = RunConfig {
+            threads: 1,
+            duration: Duration::from_millis(100),
+            warmup: Duration::from_millis(20),
+            key_space: 20,
+            prefill_density: 0.5,
+            seed: 3,
+        };
+        let m = run_scenario(index, &scenario, &cfg);
+        let lat = m.scan_lat.expect("scans ran");
+        // Scans per second is at least samples * 16 / secs; each scan can
+        // contribute at most 10 entries. The old harness would have
+        // reported 100x that (scan_len = 1000 per scan).
+        let scan_entries_per_sec = m.scan_mops * 1e6;
+        let scans_per_sec_lower = lat.samples as f64 * 16.0 / cfg.duration.as_secs_f64();
+        assert!(
+            scan_entries_per_sec <= scans_per_sec_lower * 10.0 * 4.0,
+            "scan credit exceeds what 10 entries/scan allows: {m:?}"
+        );
+    }
 }

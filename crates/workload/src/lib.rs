@@ -9,11 +9,14 @@
 //! factor, plus the scenario grid naming used in the paper's plots.
 
 mod keys;
+mod permute;
 mod scenario;
 mod zipf;
 
 pub use keys::{Key16, KeyDist, KeyGen, Value, ValueShape};
+pub use permute::permute;
 pub use scenario::{
-    figure_scenarios, BatchMode, BatchPattern, FigureSpec, KvShape, Role, Scenario, ThreadMix,
+    figure_scenarios, BatchMode, BatchPattern, FigureSpec, KvShape, Role, RoleSchedule, Scenario,
+    ThreadMix,
 };
 pub use zipf::Zipfian;

@@ -1,0 +1,83 @@
+//! A stateless bijection on `[0, n)`, shared by the Zipfian rank
+//! scrambler and the benchmark prefill scatter.
+//!
+//! The mkbench prefill originally scattered keys with
+//! `(i * odd) | 1 % count`, which is *not* a bijection (the `| 1` forces
+//! odd values pre-modulo, so slots collide and a single-threaded gap
+//! sweep silently did a large share of the load). This module is the
+//! proven cycle-walking construction that was previously private to
+//! `zipf.rs`, extracted so every caller that needs "visit each slot of
+//! `[0, n)` exactly once, in scattered order" uses the same code.
+
+/// Permute `x` within `[0, n)`: an invertible multiply + xor-shift mix on
+/// the next power of two, cycle-walked back into range. Each round is a
+/// bijection on `[0, 2^bits)` (odd multiplier mod `2^bits`; xor with a
+/// right shift), so cycle-walking terminates and the composition is a
+/// bijection on `[0, n)`.
+///
+/// Requires `x < n`; the result is also `< n`, and distinct inputs map to
+/// distinct outputs.
+#[inline]
+pub fn permute(x: u64, n: u64) -> u64 {
+    debug_assert!(x < n, "permute input {x} out of range [0, {n})");
+    if n <= 2 {
+        return x;
+    }
+    let bits = 64 - (n - 1).leading_zeros() as u64;
+    let mask = (1u64 << bits) - 1;
+    let shift = (bits / 2).max(1);
+    let mut v = x & mask;
+    loop {
+        v = v.wrapping_mul(0x9E3779B97F4A7C15) & mask; // odd: bijective mod 2^bits
+        v ^= v >> shift; // bijective (top bits stay in range)
+        v = v.wrapping_mul(0xBF58476D1CE4E5B9) & mask;
+        v ^= v >> shift;
+        if v < n {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bijection_on_every_count() {
+        // Every slot of [0, count) is visited exactly once — including
+        // counts around power-of-two boundaries, where the cycle-walking
+        // mask logic earns its keep.
+        for count in [1u64, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65, 100, 1000, 4096, 4097, 100_000] {
+            let mut seen = vec![false; count as usize];
+            for i in 0..count {
+                let slot = permute(i, count);
+                assert!(slot < count, "count={count}: permute({i}) = {slot} out of range");
+                assert!(!seen[slot as usize], "count={count}: slot {slot} visited twice");
+                seen[slot as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "count={count}: some slot never visited");
+        }
+    }
+
+    #[test]
+    fn scatters_rather_than_preserving_order() {
+        // Not a correctness requirement of a bijection per se, but the
+        // whole point of the scatter: consecutive inputs should not map
+        // to consecutive outputs (ascending insertion degenerates
+        // non-rebalancing baselines).
+        let n = 10_000u64;
+        let adjacent = (0..n - 1)
+            .filter(|&i| {
+                let a = permute(i, n);
+                let b = permute(i + 1, n);
+                a.abs_diff(b) == 1
+            })
+            .count();
+        assert!(adjacent < 100, "permutation barely scatters: {adjacent} adjacent pairs");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(permute(123, 100_000), permute(123, 100_000));
+    }
+}

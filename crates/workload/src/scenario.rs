@@ -22,7 +22,7 @@ pub enum Role {
 }
 
 /// Fraction of threads per role.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ThreadMix {
     pub update: f64,
     pub lookup: f64,
@@ -71,6 +71,126 @@ impl ThreadMix {
             }
         }
         roles
+    }
+
+    /// A dedicated single-role mix (a thread plan that only ever issues
+    /// `role` operations).
+    pub const fn dedicated(role: Role) -> ThreadMix {
+        match role {
+            Role::Update => ThreadMix { update: 1.0, lookup: 0.0, scan: 0.0 },
+            Role::Lookup => ThreadMix { update: 0.0, lookup: 1.0, scan: 0.0 },
+            Role::Scan => ThreadMix { update: 0.0, lookup: 0.0, scan: 1.0 },
+        }
+    }
+
+    /// Per-thread operation-weight plans for `n` threads.
+    ///
+    /// [`ThreadMix::assign`] hands each thread one fixed role (the paper's
+    /// §4.2 methodology), but an integer split cannot represent the mix at
+    /// small `n`: `UPDATE_LOOKUP.assign(1)` yields an update-only thread
+    /// while the scenario id still claims 75 % lookups — exactly the lie
+    /// visible in the seed baseline's `t=1` rows. `plan` instead gives
+    /// `floor(fraction * n)` threads a dedicated role and turns the
+    /// leftover threads (at most two) into *interleaved* threads carrying
+    /// the residual fractional weights, so the aggregate op-weight mix
+    /// equals the requested mix **exactly for every `n`** — the effective
+    /// mix recorded in report rows is then truthful by construction.
+    pub fn plan(&self, n: usize) -> Vec<ThreadMix> {
+        assert!(n > 0);
+        let ideal = [self.update * n as f64, self.lookup * n as f64, self.scan * n as f64];
+        let floors = [ideal[0].floor(), ideal[1].floor(), ideal[2].floor()];
+        let fracs = [ideal[0] - floors[0], ideal[1] - floors[1], ideal[2] - floors[2]];
+        // Fractional parts sum to an integer: the number of leftover
+        // threads (rounded to kill float noise).
+        let leftover = (fracs.iter().sum::<f64>()).round() as usize;
+        let mut plans = Vec::with_capacity(n);
+        for (role, &count) in [Role::Update, Role::Lookup, Role::Scan].iter().zip(floors.iter()) {
+            for _ in 0..count as usize {
+                plans.push(ThreadMix::dedicated(*role));
+            }
+        }
+        if leftover > 0 {
+            let share = ThreadMix {
+                update: fracs[0] / leftover as f64,
+                lookup: fracs[1] / leftover as f64,
+                scan: fracs[2] / leftover as f64,
+            };
+            plans.resize(n, share);
+        }
+        debug_assert_eq!(plans.len(), n);
+        plans
+    }
+
+    /// The op-weight mix a set of per-thread plans schedules: the mean
+    /// of the per-thread weights. For plans produced by
+    /// [`ThreadMix::plan`] this equals the requested mix; it is
+    /// recomputed (rather than echoed) so report rows state what the
+    /// threads were driven to issue, not merely the scenario label.
+    /// (It is *issue*-weight: the share of ops each role completes also
+    /// depends on per-op cost, which the throughput columns capture.)
+    pub fn effective(plans: &[ThreadMix]) -> ThreadMix {
+        assert!(!plans.is_empty());
+        let n = plans.len() as f64;
+        ThreadMix {
+            update: plans.iter().map(|p| p.update).sum::<f64>() / n,
+            lookup: plans.iter().map(|p| p.lookup).sum::<f64>() / n,
+            scan: plans.iter().map(|p| p.scan).sum::<f64>() / n,
+        }
+    }
+
+    /// Op weights in [`Role`] order (update, lookup, scan).
+    pub fn weights(&self) -> [f64; 3] {
+        [self.update, self.lookup, self.scan]
+    }
+
+    /// Whether this plan only ever issues one kind of operation.
+    pub fn is_dedicated(&self) -> bool {
+        self.weights().iter().filter(|w| **w > 0.0).count() <= 1
+    }
+}
+
+/// Deterministic per-thread operation scheduler for a [`ThreadMix`] plan.
+///
+/// Error diffusion: each step accumulates every role's weight and runs
+/// the most-owed role, so a (0.25, 0.75, 0) thread round-robins
+/// U,L,L,L. Dedicated single-role plans (the common case) skip the
+/// float bookkeeping entirely — benchmark loops call this per op, and
+/// any scheduler overhead is a systematic tax on the measured numbers.
+#[derive(Clone, Debug)]
+pub struct RoleSchedule {
+    weights: [f64; 3],
+    acc: [f64; 3],
+    fixed: Option<Role>,
+}
+
+impl RoleSchedule {
+    pub fn new(plan: ThreadMix) -> Self {
+        let weights = plan.weights();
+        let fixed = plan.is_dedicated().then(|| match weights.iter().position(|w| *w > 0.0) {
+            Some(1) => Role::Lookup,
+            Some(2) => Role::Scan,
+            _ => Role::Update,
+        });
+        RoleSchedule { weights, acc: [0.0; 3], fixed }
+    }
+
+    /// The role the thread should run next.
+    #[inline]
+    pub fn next_role(&mut self) -> Role {
+        if let Some(role) = self.fixed {
+            return role;
+        }
+        let mut pick = 0;
+        let mut best = f64::NEG_INFINITY;
+        for r in 0..3 {
+            self.acc[r] += self.weights[r];
+            if self.weights[r] > 0.0 && self.acc[r] > best {
+                best = self.acc[r];
+                pick = r;
+            }
+        }
+        self.acc[pick] -= 1.0;
+        [Role::Update, Role::Lookup, Role::Scan][pick]
     }
 }
 
@@ -286,6 +406,84 @@ mod tests {
     fn update_only_assigns_everything_to_updates() {
         let roles = ThreadMix::UPDATE_ONLY.assign(5);
         assert!(roles.iter().all(|r| *r == Role::Update));
+    }
+
+    #[test]
+    fn plan_effective_mix_is_exact_for_all_small_n() {
+        // The satellite check: for every thread count the *aggregate* op
+        // weights of the per-thread plans must equal the requested mix —
+        // this is what the report row's effective_mix is derived from.
+        for mix in [ThreadMix::UPDATE_ONLY, ThreadMix::UPDATE_LOOKUP, ThreadMix::MIXED] {
+            for n in 1..=8 {
+                let plans = mix.plan(n);
+                assert_eq!(plans.len(), n, "n={n}");
+                for p in &plans {
+                    let sum = p.update + p.lookup + p.scan;
+                    assert!((sum - 1.0).abs() < 1e-9, "n={n}: thread weights sum to {sum}");
+                }
+                let eff = ThreadMix::effective(&plans);
+                assert!((eff.update - mix.update).abs() < 1e-9, "n={n}: {eff:?} vs {mix:?}");
+                assert!((eff.lookup - mix.lookup).abs() < 1e-9, "n={n}: {eff:?} vs {mix:?}");
+                assert!((eff.scan - mix.scan).abs() < 1e-9, "n={n}: {eff:?} vs {mix:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_uses_dedicated_roles_when_the_split_is_integral() {
+        // Where an integer split can represent the mix, plan() matches
+        // assign()'s per-role thread counts (the paper's fixed roles).
+        for (mix, n) in [
+            (ThreadMix::UPDATE_LOOKUP, 4),
+            (ThreadMix::UPDATE_LOOKUP, 8),
+            (ThreadMix::MIXED, 4),
+            (ThreadMix::MIXED, 8),
+            (ThreadMix::UPDATE_ONLY, 1),
+            (ThreadMix::UPDATE_ONLY, 5),
+        ] {
+            let plans = mix.plan(n);
+            assert!(plans.iter().all(|p| p.is_dedicated()), "{mix:?} n={n}: {plans:?}");
+            let planned_updaters = plans.iter().filter(|p| p.update > 0.0).count();
+            let assigned_updaters = mix.assign(n).iter().filter(|r| **r == Role::Update).count();
+            assert_eq!(planned_updaters, assigned_updaters, "{mix:?} n={n}");
+        }
+    }
+
+    #[test]
+    fn role_schedule_matches_weights() {
+        // An interleaved thread's op stream converges to its weights.
+        let mut sched = RoleSchedule::new(ThreadMix::UPDATE_LOOKUP.plan(1)[0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..1000 {
+            counts[sched.next_role() as usize] += 1;
+        }
+        assert_eq!(counts, [250, 750, 0], "25/75 interleave");
+        // A dedicated plan always yields its role.
+        let mut sched = RoleSchedule::new(ThreadMix::dedicated(Role::Scan));
+        assert!((0..100).all(|_| sched.next_role() == Role::Scan));
+        // The 25/50/25 mix round-robins with period 4.
+        let mut sched = RoleSchedule::new(ThreadMix::MIXED.plan(1)[0]);
+        let cycle: Vec<Role> = (0..8).map(|_| sched.next_role()).collect();
+        assert_eq!(&cycle[..4], &cycle[4..], "schedule must be periodic");
+        assert_eq!(cycle.iter().filter(|r| **r == Role::Lookup).count(), 4);
+    }
+
+    #[test]
+    fn plan_interleaves_when_threads_cannot_represent_the_mix() {
+        // The t=1 mixed-scenario bug: a single thread must carry the full
+        // mix itself instead of silently running update-only.
+        let plans = ThreadMix::UPDATE_LOOKUP.plan(1);
+        assert_eq!(plans.len(), 1);
+        assert!((plans[0].update - 0.25).abs() < 1e-9, "{plans:?}");
+        assert!((plans[0].lookup - 0.75).abs() < 1e-9, "{plans:?}");
+        assert!(!plans[0].is_dedicated());
+
+        let plans = ThreadMix::MIXED.plan(2);
+        // 2 threads over (0.25, 0.5, 0.5, 0.25): one dedicated lookup
+        // thread plus one interleaved (0.5 update / 0.5 scan) thread.
+        let eff = ThreadMix::effective(&plans);
+        assert!((eff.update - 0.25).abs() < 1e-9, "{plans:?}");
+        assert!((eff.scan - 0.25).abs() < 1e-9, "{plans:?}");
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //!
 //! To avoid all threads hammering the same low-numbered keys *in key
 //! space order* (which would make skew indistinguishable from a small key
-//! range), ranks are scrambled over the key space with a Feistel-style
-//! permutation, like YCSB's `ScrambledZipfianGenerator`.
+//! range), ranks are scrambled over the key space with the shared
+//! [`crate::permute`] bijection, like YCSB's `ScrambledZipfianGenerator`.
 
 /// Zipfian rank sampler over `[0, n)`.
 #[derive(Clone, Debug)]
@@ -73,33 +73,9 @@ impl Zipfian {
         };
         let rank = rank.min(self.n - 1);
         if self.scramble {
-            self.permute(rank)
+            crate::permute::permute(rank, self.n)
         } else {
             rank
-        }
-    }
-
-    /// Cheap stateless permutation of `[0, n)`: an invertible multiply +
-    /// xor-shift mix on the next power of two, cycle-walked back into
-    /// range. Each round is a bijection on `[0, 2^bits)` (odd multiplier
-    /// mod 2^bits; xor with a right shift), so cycle-walking terminates.
-    #[inline]
-    fn permute(&self, x: u64) -> u64 {
-        if self.n <= 2 {
-            return x;
-        }
-        let bits = 64 - (self.n - 1).leading_zeros() as u64;
-        let mask = (1u64 << bits) - 1;
-        let shift = (bits / 2).max(1);
-        let mut v = x & mask;
-        loop {
-            v = v.wrapping_mul(0x9E3779B97F4A7C15) & mask; // odd: bijective mod 2^bits
-            v ^= v >> shift; // bijective (top bits stay in range)
-            v = v.wrapping_mul(0xBF58476D1CE4E5B9) & mask;
-            v ^= v >> shift;
-            if v < self.n {
-                return v;
-            }
         }
     }
 

@@ -53,6 +53,44 @@ fn sequential_model_equivalence_all_indices() {
 }
 
 #[test]
+fn scan_visits_exactly_min_n_entries_all_indices() {
+    // The benchmark harness credits scans by what the sink saw, so that
+    // accounting is only as honest as scan_from itself: for every index,
+    // scan_from(lo, n) must visit exactly min(n, #entries >= lo) entries
+    // — the right entries, in order — including starts near the top of
+    // the key space and in sparse regions.
+    for index in all_indices() {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = XorShift(0xBEEF ^ 3);
+        // Irregular, clustered key set over a sparse space.
+        for _ in 0..3_000 {
+            let r = rng.next();
+            let k = (r % 5_000) * ((r >> 40) % 4 + 1);
+            index.put(k, r);
+            model.insert(k, r);
+        }
+        let lows = [0u64, 1, 17, 4_999, 5_000, 9_999, 10_000, 19_999, 20_000, u64::MAX];
+        let limits = [0usize, 1, 7, 100, 2_999, 3_000, 50_000, usize::MAX];
+        for lo in lows {
+            for n in limits {
+                let got = index.scan_collect(&lo, n);
+                let want: Vec<(u64, u64)> =
+                    model.range(lo..).take(n).map(|(k, v)| (*k, *v)).collect();
+                assert_eq!(
+                    got.len(),
+                    want.len(),
+                    "{}: scan_from({lo}, {n}) visited {} entries, expected min(n, entries >= lo) = {}",
+                    index.name(),
+                    got.len(),
+                    want.len()
+                );
+                assert_eq!(got, want, "{}: scan_from({lo}, {n}) content", index.name());
+            }
+        }
+    }
+}
+
+#[test]
 fn scan_limits_and_bounds_all_indices() {
     for index in all_indices() {
         for k in (0..1000).step_by(2) {
