@@ -23,7 +23,7 @@ fn bench_batches(c: &mut Criterion) {
         group.throughput(Throughput::Elements(size as u64));
         for pattern in ["seq", "rand"] {
             for kind in [IndexKind::Jiffy, IndexKind::CaAvl, IndexKind::CaSl] {
-                let index = make_index_u64::<u64>(kind, KEY_SPACE);
+                let index = make_index_u64::<u64>(kind, KEY_SPACE, workload::KeyDist::Uniform);
                 prefill(&*index);
                 let mut rng = XorShift(0xBA7C);
                 group.bench_with_input(

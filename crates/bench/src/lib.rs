@@ -12,7 +12,7 @@ use mkbench::{make_index_u64, IndexKind};
 pub fn bench_lineup() -> Vec<(IndexKind, Arc<dyn OrderedIndex<u64, u64> + Send + Sync>)> {
     [IndexKind::Jiffy, IndexKind::CaAvl, IndexKind::CaImm, IndexKind::Lfca, IndexKind::Cslm]
         .into_iter()
-        .map(|k| (k, make_index_u64::<u64>(k, KEY_SPACE)))
+        .map(|k| (k, make_index_u64::<u64>(k, KEY_SPACE, workload::KeyDist::Uniform)))
         .collect()
 }
 

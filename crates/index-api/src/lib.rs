@@ -118,6 +118,43 @@ pub trait OrderedIndex<K: Ord + Clone, V: Clone>: Send + Sync {
     }
 }
 
+/// A pinned, read-only view of an index at one version.
+///
+/// While a view is held, the index retains whatever history the view
+/// might read; dropping it releases that history. Obtained through
+/// [`SnapshotIndex::pin_view`].
+pub trait ReadView<K, V> {
+    /// The version this view reads at. Version numbers are only
+    /// comparable *across* indices when the indices share one clock
+    /// (see `jiffy_clock`'s `Arc` clock sharing).
+    fn version(&self) -> i64;
+
+    /// The value of `key` at this view's version.
+    fn get(&self, key: &K) -> Option<V>;
+
+    /// Visit up to `n` entries with key `>= lo`, ascending, as of this
+    /// view's version.
+    fn scan_from(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V));
+
+    /// Advance the view's read version to `version` (a no-op if the
+    /// view is already at or past it — views only move forward, so the
+    /// index's history retention stays sound). Coordinators use this to
+    /// align several views, pinned at slightly different instants, on
+    /// one common cut version drawn from a shared clock.
+    fn advance_to(&mut self, version: i64);
+}
+
+/// Capability trait for indices that can hand out pinned snapshot views
+/// (`JiffyMap` does; most baselines cannot). The sharded coordinator in
+/// `jiffy-shard` consumes this to build a consistent cross-shard cut:
+/// pin one view per shard, then [`ReadView::advance_to`] all of them to
+/// a single version read from the clock the shards share.
+pub trait SnapshotIndex<K: Ord + Clone, V: Clone>: OrderedIndex<K, V> {
+    /// Pin a consistent read view of the current state. O(1) and
+    /// non-blocking for `JiffyMap`.
+    fn pin_view(&self) -> Box<dyn ReadView<K, V> + '_>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,651 @@
+//! **jiffy-shard** — a range/hash-partitioned sharded ordered index with
+//! coordinated cross-shard batches and snapshots.
+//!
+//! A single `JiffyMap` is the paper's unit of scale; this crate spreads
+//! load across `N` independent [`OrderedIndex`] shards while keeping the
+//! two features that make Jiffy interesting:
+//!
+//! * **Atomic cross-shard batches.** A batch is split per shard (each
+//!   sub-batch is atomic inside its shard); batches that touch more than
+//!   one shard additionally serialize on a global
+//!   [`CrossBatchEpoch`](jiffy_clock::CrossBatchEpoch), so concurrent
+//!   multi-shard writers are totally ordered and per-key last-writer-wins
+//!   cannot diverge between shards.
+//! * **Consistent cross-shard scans.** When the shards implement
+//!   [`SnapshotIndex`] *and* share one version clock (see
+//!   [`ShardedJiffy`]), a scan pins one snapshot per shard, reads a single
+//!   *cut version* from the shared clock, advances every snapshot to that
+//!   cut, and validates the pinning window against the cross-batch epoch
+//!   (retrying on a torn interval). Because all shards stamp writes from
+//!   the same globally monotone clock, "state at version `v`" is one
+//!   well-defined instant across the whole sharded map — the scan is
+//!   linearizable, not merely per-shard consistent.
+//!
+//! When the inner index cannot support coordination (e.g. `Cslm` shards,
+//! which have neither snapshots nor atomic batches), the wrapper keeps
+//! working with the inner index's native weaker semantics and — the
+//! honesty rule — advertises `supports_consistent_scan() == false` /
+//! `supports_atomic_batch() == false` rather than lie.
+
+#![warn(missing_docs)]
+
+mod router;
+
+pub use router::Router;
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use index_api::{Batch, BatchOp, OrderedIndex, ReadView, SnapshotIndex};
+use jiffy::{JiffyConfig, JiffyMap, MapKey, MapValue};
+use jiffy_clock::{CrossBatchEpoch, DefaultClock, VersionClock};
+
+/// A clock shared by every shard of one [`ShardedIndex`], so versions
+/// drawn by different shards are directly comparable (the foundation of
+/// the cross-shard snapshot cut).
+pub type SharedClock = Arc<dyn VersionClock>;
+
+/// The flagship instantiation: Jiffy shards on one shared clock, with
+/// coordinated batches and snapshots (both capability flags true).
+pub type ShardedJiffy<K, V> = ShardedIndex<K, V, JiffyMap<K, V, SharedClock>>;
+
+/// How a coordinator pins a shard's read view (captured at construction
+/// when — and only when — the shard type implements [`SnapshotIndex`]).
+type PinFn<K, V, I> = for<'a> fn(&'a I) -> Box<dyn ReadView<K, V> + 'a>;
+
+/// A range- or hash-partitioned index over `N` independent shards.
+///
+/// Built either *weak* ([`ShardedIndex::new`] — any [`OrderedIndex`]
+/// shards, per-shard semantics, both capability flags honestly `false`
+/// for `N > 1`) or *coordinated* ([`ShardedIndex::new_coordinated`] —
+/// shards that implement [`SnapshotIndex`] and share the passed clock,
+/// giving atomic cross-shard batches and linearizable cross-shard
+/// scans).
+///
+/// ```
+/// use index_api::{Batch, BatchOp, OrderedIndex};
+/// use jiffy_shard::{Router, ShardedJiffy};
+///
+/// // 4 Jiffy shards, equal key ranges over [0, 1000).
+/// let map: ShardedJiffy<u64, &str> =
+///     ShardedJiffy::with_router(Router::range_uniform(4, 1000), Default::default());
+///
+/// // A batch spanning three shards becomes visible atomically.
+/// map.batch_update(Batch::new(vec![
+///     BatchOp::Put(10, "a"),
+///     BatchOp::Put(500, "b"),
+///     BatchOp::Put(900, "c"),
+/// ]));
+///
+/// assert_eq!(map.get(&500), Some("b"));
+/// assert_eq!(map.scan_collect(&0, 10).len(), 3);
+/// assert!(map.supports_consistent_scan() && map.supports_atomic_batch());
+/// ```
+pub struct ShardedIndex<K, V, I> {
+    shards: Vec<I>,
+    router: Router<K>,
+    /// Serializes cross-shard batches; validates scan pinning windows.
+    epoch: CrossBatchEpoch,
+    /// Present in coordinated mode: the clock every shard draws versions
+    /// from, used to choose the scan cut version.
+    clock: Option<SharedClock>,
+    /// Present in coordinated mode: pins a shard's snapshot view.
+    pin: Option<PinFn<K, V, I>>,
+    label: &'static str,
+    _values: PhantomData<fn() -> V>,
+}
+
+impl<K, V, I> ShardedIndex<K, V, I>
+where
+    K: Ord + Clone + std::hash::Hash + Send + Sync,
+    V: Clone,
+    I: OrderedIndex<K, V>,
+{
+    /// Wrap pre-built shards behind `router` with *per-shard* semantics:
+    /// operations route to one shard; multi-shard batches and scans make
+    /// no cross-shard consistency promise (and the capability flags say
+    /// so). Use [`ShardedIndex::new_coordinated`] when the shard type
+    /// supports snapshots.
+    pub fn new(shards: Vec<I>, router: Router<K>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        assert_eq!(
+            shards.len(),
+            router.shard_count(),
+            "router addresses {} shards but {} were provided",
+            router.shard_count(),
+            shards.len()
+        );
+        ShardedIndex {
+            shards,
+            router,
+            epoch: CrossBatchEpoch::new(),
+            clock: None,
+            pin: None,
+            label: "sharded",
+            _values: PhantomData,
+        }
+    }
+
+    /// Wrap snapshot-capable shards with full coordination. `clock` must
+    /// be the *same* clock every shard stamps its writes with — that is
+    /// what makes one cut version meaningful across shards. (The
+    /// [`ShardedJiffy::with_router`] constructor wires this up.)
+    pub fn new_coordinated(shards: Vec<I>, router: Router<K>, clock: SharedClock) -> Self
+    where
+        I: SnapshotIndex<K, V>,
+    {
+        let mut this = Self::new(shards, router);
+        this.clock = Some(clock);
+        this.pin = Some(|shard| shard.pin_view());
+        this
+    }
+
+    /// Set the stable identifier reported by [`OrderedIndex::name`].
+    pub fn with_label(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (telemetry / tests).
+    pub fn shards(&self) -> &[I] {
+        &self.shards
+    }
+
+    /// The router partitioning the key space.
+    pub fn router(&self) -> &Router<K> {
+        &self.router
+    }
+
+    /// The shard that owns `key`.
+    pub fn shard_for(&self, key: &K) -> usize {
+        self.router.route(key)
+    }
+
+    /// Pin a consistent cut: one view per shard, all advanced to a single
+    /// version from the shared clock, validated against the cross-batch
+    /// epoch (retries while a cross-shard batch overlaps the window).
+    ///
+    /// Correctness sketch: a cross-shard batch that *completed* before the
+    /// quiescence check stamped all its sub-batches before the cut version
+    /// was read, so the whole batch is `<=` the cut and fully visible. A
+    /// batch that *begins* after the stamp re-check applies after the
+    /// clock passed the cut (the spin below), so all its stamps are `>`
+    /// the cut and it is fully invisible. Any batch in between changes the
+    /// stamp and forces a retry — the "torn interval".
+    fn pin_consistent_cut(&self) -> Vec<Box<dyn ReadView<K, V> + '_>> {
+        let pin = self.pin.expect("pin_consistent_cut requires coordinated mode");
+        let clock = self.clock.as_ref().expect("coordinated mode carries a clock");
+        loop {
+            let stamp = self.epoch.wait_quiescent();
+            let mut views: Vec<_> = self.shards.iter().map(|s| pin(s)).collect();
+            let cut = clock.now() as i64;
+            for view in views.iter_mut() {
+                view.advance_to(cut);
+            }
+            // Writes beginning after the validation below must receive
+            // versions strictly greater than the cut (the paper's
+            // `wait_until` idiom; with a TSC/nanosecond clock this loop
+            // essentially never iterates).
+            while clock.now() as i64 <= cut {
+                std::hint::spin_loop();
+            }
+            if self.epoch.stamp() == stamp {
+                return views;
+            }
+            // Torn interval: a cross-shard batch began while we pinned.
+            drop(views);
+        }
+    }
+
+    /// Consistent scan over the pinned cut.
+    fn coordinated_scan(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V)) {
+        let views = self.pin_consistent_cut();
+        self.fan_scan(&views, |view, l, m, s| view.scan_from(l, m, s), lo, n, sink);
+    }
+
+    /// Per-shard scan with the inner index's native consistency.
+    fn weak_scan(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V)) {
+        self.fan_scan(&self.shards, |shard, l, m, s| shard.scan_from(l, m, s), lo, n, sink);
+    }
+
+    /// Fan a limited ordered scan over per-shard sources (pinned views or
+    /// the shards themselves). Range routing walks sources in key order
+    /// starting at `lo`'s shard, crediting the shared limit as the sink
+    /// fires; hash routing collects up to `n` per source and merges.
+    fn fan_scan<S>(
+        &self,
+        sources: &[S],
+        scan: impl Fn(&S, &K, usize, &mut dyn FnMut(&K, &V)),
+        lo: &K,
+        n: usize,
+        sink: &mut dyn FnMut(&K, &V),
+    ) {
+        if self.router.is_ordered() {
+            let mut remaining = n;
+            for source in sources.iter().skip(self.router.route(lo)) {
+                if remaining == 0 {
+                    break;
+                }
+                scan(source, lo, remaining, &mut |k, v| {
+                    sink(k, v);
+                    remaining -= 1;
+                });
+            }
+        } else {
+            merge_scan(
+                sources.iter().map(|src| collect_from(|l, m, s| scan(src, l, m, s), lo, n)),
+                n,
+                sink,
+            );
+        }
+    }
+}
+
+/// Collect up to `n` entries from one shard's scan into a buffer (hash
+/// routing needs materialized per-shard runs to merge).
+fn collect_from<K: Clone, V: Clone>(
+    scan: impl Fn(&K, usize, &mut dyn FnMut(&K, &V)),
+    lo: &K,
+    n: usize,
+) -> Vec<(K, V)> {
+    let mut out = Vec::with_capacity(n.min(1024));
+    scan(lo, n, &mut |k, v| out.push((k.clone(), v.clone())));
+    out
+}
+
+/// N-way merge of per-shard ascending runs (shards hold disjoint keys,
+/// so no dedup is needed). O(n · shards) comparisons — fine for the
+/// shard counts this crate targets.
+fn merge_scan<K: Ord, V>(
+    runs: impl Iterator<Item = Vec<(K, V)>>,
+    n: usize,
+    sink: &mut dyn FnMut(&K, &V),
+) {
+    let runs: Vec<Vec<(K, V)>> = runs.collect();
+    let mut cursors = vec![0usize; runs.len()];
+    let mut emitted = 0usize;
+    while emitted < n {
+        let mut best: Option<usize> = None;
+        for (i, run) in runs.iter().enumerate() {
+            if cursors[i] < run.len()
+                && best.map_or(true, |b| run[cursors[i]].0 < runs[b][cursors[b]].0)
+            {
+                best = Some(i);
+            }
+        }
+        let Some(i) = best else { break };
+        let (k, v) = &runs[i][cursors[i]];
+        sink(k, v);
+        cursors[i] += 1;
+        emitted += 1;
+    }
+}
+
+impl<K: MapKey, V: MapValue> ShardedJiffy<K, V> {
+    /// Build `router.shard_count()` Jiffy shards that all stamp writes
+    /// from one shared [`DefaultClock`], coordinated end to end: atomic
+    /// cross-shard batches and linearizable cross-shard scans.
+    pub fn with_router(router: Router<K>, config: JiffyConfig) -> Self {
+        let clock: SharedClock = Arc::new(DefaultClock::default());
+        let shards = (0..router.shard_count())
+            .map(|_| JiffyMap::with_clock_and_config(Arc::clone(&clock), config.clone()))
+            .collect();
+        ShardedIndex::new_coordinated(shards, router, clock).with_label("sharded-jiffy")
+    }
+}
+
+impl<K, V, I> OrderedIndex<K, V> for ShardedIndex<K, V, I>
+where
+    K: Ord + Clone + std::hash::Hash + Send + Sync,
+    V: Clone + Send + Sync,
+    I: OrderedIndex<K, V>,
+{
+    fn get(&self, key: &K) -> Option<V> {
+        // Point reads never tear by themselves, but two sequential gets
+        // could watch a cross-shard batch land shard by shard; waiting
+        // out in-flight cross-batches (one atomic load when quiescent)
+        // closes that window.
+        if !self.epoch.is_quiescent() {
+            self.epoch.wait_quiescent();
+        }
+        self.shards[self.router.route(key)].get(key)
+    }
+
+    fn put(&self, key: K, value: V) {
+        self.shards[self.router.route(&key)].put(key, value)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        self.shards[self.router.route(key)].remove(key)
+    }
+
+    fn scan_from(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V)) {
+        if n == 0 {
+            return;
+        }
+        if self.shards.len() == 1 {
+            return self.shards[0].scan_from(lo, n, sink);
+        }
+        if self.pin.is_some() {
+            self.coordinated_scan(lo, n, sink)
+        } else {
+            self.weak_scan(lo, n, sink)
+        }
+    }
+
+    fn batch_update(&self, batch: Batch<K, V>) {
+        if self.shards.len() == 1 {
+            return self.shards[0].batch_update(batch);
+        }
+        let mut per_shard: Vec<Vec<BatchOp<K, V>>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for op in batch.into_ops() {
+            per_shard[self.router.route(op.key())].push(op);
+        }
+        let touched = per_shard.iter().filter(|ops| !ops.is_empty()).count();
+        if touched <= 1 {
+            // Single-shard batch: the shard's own atomicity suffices, no
+            // global coordination cost.
+            for (i, ops) in per_shard.into_iter().enumerate() {
+                if !ops.is_empty() {
+                    self.shards[i].batch_update(Batch::new(ops));
+                }
+            }
+            return;
+        }
+        // Cross-shard: serialize against other cross-shard batches and
+        // make the window detectable by readers. The guard completes the
+        // epoch on drop, so a panicking shard cannot wedge readers.
+        let _guard = self.epoch.begin();
+        for (i, ops) in per_shard.into_iter().enumerate() {
+            if !ops.is_empty() {
+                self.shards[i].batch_update(Batch::new(ops));
+            }
+        }
+    }
+
+    fn supports_consistent_scan(&self) -> bool {
+        if self.shards.len() == 1 {
+            return self.shards[0].supports_consistent_scan();
+        }
+        self.pin.is_some() && self.shards.iter().all(|s| s.supports_consistent_scan())
+    }
+
+    fn supports_atomic_batch(&self) -> bool {
+        let inner = self.shards.iter().all(|s| s.supports_atomic_batch());
+        if self.shards.len() == 1 {
+            return inner;
+        }
+        inner && self.pin.is_some()
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn sharded_jiffy(router: Router<u64>) -> ShardedJiffy<u64, u64> {
+        ShardedJiffy::with_router(router, JiffyConfig::default())
+    }
+
+    fn model_equivalence(map: &dyn OrderedIndex<u64, u64>) {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut state = 0x5EED_1234_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..8_000u64 {
+            let r = next();
+            let k = r % 1024;
+            match (r >> 33) % 5 {
+                0 => {
+                    assert_eq!(map.remove(&k), model.remove(&k).is_some(), "remove {k} @ {i}");
+                }
+                1 => {
+                    let ops: Vec<BatchOp<u64, u64>> = (0..8)
+                        .map(|j| {
+                            let bk = (k + j * 131) % 1024;
+                            if next() & 1 == 0 {
+                                BatchOp::Put(bk, i)
+                            } else {
+                                BatchOp::Remove(bk)
+                            }
+                        })
+                        .collect();
+                    for op in Batch::new(ops.clone()).into_ops() {
+                        match op {
+                            BatchOp::Put(bk, v) => {
+                                model.insert(bk, v);
+                            }
+                            BatchOp::Remove(bk) => {
+                                model.remove(&bk);
+                            }
+                        }
+                    }
+                    map.batch_update(Batch::new(ops));
+                }
+                _ => {
+                    map.put(k, i);
+                    model.insert(k, i);
+                }
+            }
+            if i % 1024 == 0 {
+                for probe in (0..1024).step_by(37) {
+                    assert_eq!(map.get(&probe), model.get(&probe).copied(), "get {probe} @ {i}");
+                }
+            }
+        }
+        let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(map.scan_collect(&0, usize::MAX), want, "full scan");
+        // Partial scans from mid-space (straddling shard boundaries).
+        for lo in [0u64, 100, 511, 512, 900] {
+            let want: Vec<(u64, u64)> = model.range(lo..).take(40).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(map.scan_collect(&lo, 40), want, "scan from {lo}");
+        }
+    }
+
+    #[test]
+    fn range_sharded_jiffy_matches_model() {
+        model_equivalence(&sharded_jiffy(Router::range(vec![128, 256, 700])));
+    }
+
+    #[test]
+    fn hash_sharded_jiffy_matches_model() {
+        model_equivalence(&sharded_jiffy(Router::hash(4)));
+    }
+
+    #[test]
+    fn weak_sharded_cslm_matches_model() {
+        let shards: Vec<baselines::Cslm<u64, u64>> =
+            (0..4).map(|_| baselines::Cslm::new()).collect();
+        let map = ShardedIndex::new(shards, Router::range(vec![128, 256, 700]))
+            .with_label("sharded-cslm");
+        assert_eq!(map.name(), "sharded-cslm");
+        model_equivalence(&map);
+    }
+
+    #[test]
+    fn capability_flags_are_honest() {
+        let jiffy = sharded_jiffy(Router::range(vec![500]));
+        assert!(jiffy.supports_consistent_scan());
+        assert!(jiffy.supports_atomic_batch());
+        assert_eq!(jiffy.name(), "sharded-jiffy");
+
+        let cslm = ShardedIndex::new(
+            (0..2).map(|_| baselines::Cslm::<u64, u64>::new()).collect(),
+            Router::range(vec![500]),
+        );
+        assert!(!cslm.supports_consistent_scan(), "weak shards must not claim consistency");
+        assert!(!cslm.supports_atomic_batch());
+
+        // A single weak shard reduces to the inner index's own flags.
+        let one = ShardedIndex::new(vec![baselines::Cslm::<u64, u64>::new()], Router::hash(1));
+        assert!(!one.supports_consistent_scan());
+
+        // A single Jiffy shard: trivially consistent, even without the
+        // coordinated constructor.
+        let one_jiffy: ShardedIndex<u64, u64, JiffyMap<u64, u64>> =
+            ShardedIndex::new(vec![JiffyMap::new()], Router::hash(1));
+        assert!(one_jiffy.supports_consistent_scan());
+        assert!(one_jiffy.supports_atomic_batch());
+    }
+
+    #[test]
+    fn cross_shard_batches_are_atomic_under_scans() {
+        // Writers stamp one key per shard with the same value; a
+        // consistent scan must never observe two different stamps.
+        let map = std::sync::Arc::new(sharded_jiffy(Router::range_uniform(4, 4000)));
+        let keys: Vec<u64> = vec![10, 1010, 2010, 3010];
+        map.batch_update(Batch::new(keys.iter().map(|k| BatchOp::Put(*k, 0)).collect()));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let map = std::sync::Arc::clone(&map);
+                let stop = &stop;
+                let keys = keys.clone();
+                s.spawn(move || {
+                    let mut stamp = t + 1;
+                    while !stop.load(Ordering::Relaxed) {
+                        map.batch_update(Batch::new(
+                            keys.iter().map(|k| BatchOp::Put(*k, stamp)).collect(),
+                        ));
+                        stamp += 2;
+                    }
+                });
+            }
+            for _ in 0..300 {
+                let entries = map.scan_collect(&0, usize::MAX);
+                assert_eq!(entries.len(), 4);
+                let stamps: Vec<u64> = entries.iter().map(|(_, v)| *v).collect();
+                assert!(
+                    stamps.windows(2).all(|w| w[0] == w[1]),
+                    "torn cross-shard batch: {stamps:?}"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn coordinated_cut_preserves_cross_shard_causality() {
+        // A writer updates shard 0 and only then shard 3, always keeping
+        // stamp(shard0) >= stamp(shard3). A linearizable cut may lag, but
+        // must never show shard 3 *ahead* of shard 0 — per-shard
+        // snapshots pinned naively at different instants would.
+        let map = std::sync::Arc::new(sharded_jiffy(Router::range_uniform(4, 4000)));
+        map.put(5, 0); // shard 0
+        map.put(3005, 0); // shard 3
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            {
+                let map = std::sync::Arc::clone(&map);
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut stamp = 1u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        map.put(5, stamp);
+                        map.put(3005, stamp);
+                        stamp += 1;
+                    }
+                });
+            }
+            for _ in 0..2_000 {
+                let entries = map.scan_collect(&0, usize::MAX);
+                let a = entries.iter().find(|(k, _)| *k == 5).unwrap().1;
+                let b = entries.iter().find(|(k, _)| *k == 3005).unwrap().1;
+                assert!(
+                    b <= a,
+                    "cut saw shard3 stamp {b} ahead of shard0 stamp {a}: causality inverted"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn sequential_gets_never_watch_a_batch_land_shard_by_shard() {
+        // get(k0) returning a batch's value means a later get(k1) must
+        // not return the pre-batch value (k0, k1 on different shards).
+        let map = std::sync::Arc::new(sharded_jiffy(Router::range_uniform(2, 2000)));
+        map.put(1, 0);
+        map.put(1001, 0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            {
+                let map = std::sync::Arc::clone(&map);
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut stamp = 1u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        map.batch_update(Batch::new(vec![
+                            BatchOp::Put(1, stamp),
+                            BatchOp::Put(1001, stamp),
+                        ]));
+                        stamp += 1;
+                    }
+                });
+            }
+            for _ in 0..30_000 {
+                // The batch writes shard 0 first; read in apply order so a
+                // torn window would show get(1) new, then get(1001) old.
+                let a = map.get(&1).unwrap();
+                let b = map.get(&1001).unwrap();
+                assert!(b >= a, "gets watched a batch land shard-by-shard: {a} then {b}");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn scan_limits_are_exact_across_boundaries() {
+        let map = sharded_jiffy(Router::range(vec![100, 200]));
+        for k in 0..300u64 {
+            map.put(k, k);
+        }
+        // A scan starting in shard 0 straddling into shard 2.
+        let got = map.scan_collect(&95, 110);
+        assert_eq!(got.len(), 110);
+        assert_eq!(got.first(), Some(&(95, 95)));
+        assert_eq!(got.last(), Some(&(204, 204)));
+        assert!(map.scan_collect(&299, 10).len() == 1);
+        assert!(map.scan_collect(&300, 10).is_empty());
+        assert!(map.scan_collect(&0, 0).is_empty());
+    }
+
+    #[test]
+    fn shard_accessors() {
+        let map = sharded_jiffy(Router::range(vec![100]));
+        assert_eq!(map.shard_count(), 2);
+        assert_eq!(map.shards().len(), 2);
+        assert_eq!(map.shard_for(&5), 0);
+        assert_eq!(map.shard_for(&100), 1);
+        assert!(map.router().is_ordered());
+        map.put(5, 1);
+        map.put(105, 2);
+        // Keys landed in their owning shards.
+        assert_eq!(map.shards()[0].get(&5), Some(1));
+        assert_eq!(map.shards()[1].get(&105), Some(2));
+        assert_eq!(map.shards()[0].get(&105), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "router addresses")]
+    fn shard_count_mismatch_panics() {
+        let shards: Vec<JiffyMap<u64, u64>> = vec![JiffyMap::new()];
+        let _ = ShardedIndex::new(shards, Router::range(vec![10]));
+    }
+}

@@ -1,0 +1,180 @@
+//! Key-to-shard routing.
+//!
+//! Two modes:
+//!
+//! * **Range**: `N - 1` strictly increasing split keys partition the key
+//!   space into `N` contiguous ranges (shard `i` owns
+//!   `[splits[i-1], splits[i])`, with open ends at both extremes). Range
+//!   mode keeps ordered scans cheap — they walk shards in key order —
+//!   and lets split points be chosen from the workload's key
+//!   distribution (`workload::shard_splits`) so skewed traffic still
+//!   spreads evenly.
+//! * **Hash**: a power-of-two shard count addressed by an FNV-1a hash of
+//!   the key. Hash mode is immune to range skew but turns every ordered
+//!   scan into an `N`-way merge — the classic trade-off this crate
+//!   exists to measure.
+
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a, hand-rolled so routing never allocates and stays a few
+/// instructions (std's default SipHash is keyed and heavier).
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Maps keys to shard indices. See the module docs for the two modes.
+#[derive(Clone, Debug)]
+pub enum Router<K> {
+    /// Contiguous ranges bounded by strictly increasing split keys.
+    Range {
+        /// `shard_count() - 1` split keys, strictly increasing; shard
+        /// `i` owns keys in `[splits[i-1], splits[i])`.
+        splits: Vec<K>,
+    },
+    /// FNV-hashed routing over a power-of-two shard count.
+    Hash {
+        /// Number of shards; must be a power of two.
+        shards: usize,
+    },
+}
+
+impl<K: Ord + Hash> Router<K> {
+    /// A range router from explicit split keys (must be strictly
+    /// increasing). `splits.len() + 1` shards.
+    pub fn range(splits: Vec<K>) -> Self {
+        assert!(splits.windows(2).all(|w| w[0] < w[1]), "range splits must be strictly increasing");
+        Router::Range { splits }
+    }
+
+    /// A hash router over `shards` shards (`shards` must be a power of
+    /// two, per the issue's "power-of-two hash mode").
+    pub fn hash(shards: usize) -> Self {
+        assert!(shards.is_power_of_two(), "hash mode needs a power-of-two shard count");
+        Router::Hash { shards }
+    }
+
+    /// How many shards this router addresses.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            Router::Range { splits } => splits.len() + 1,
+            Router::Hash { shards } => *shards,
+        }
+    }
+
+    /// Whether shard index order equals key order (true for range mode;
+    /// scans over a hash router need an N-way merge).
+    pub fn is_ordered(&self) -> bool {
+        matches!(self, Router::Range { .. })
+    }
+
+    /// The shard that owns `key`.
+    #[inline]
+    pub fn route(&self, key: &K) -> usize {
+        match self {
+            Router::Range { splits } => splits.partition_point(|s| s <= key),
+            Router::Hash { shards } => {
+                let mut h = Fnv1a(0xCBF2_9CE4_8422_2325);
+                key.hash(&mut h);
+                let h = h.finish();
+                ((h >> 32) ^ h) as usize & (shards - 1)
+            }
+        }
+    }
+}
+
+impl Router<u64> {
+    /// A range router with equal-width ranges over `[0, key_space)` —
+    /// the right choice for uniform traffic.
+    pub fn range_uniform(shards: usize, key_space: u64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(key_space >= shards as u64, "key space smaller than shard count");
+        Router::Range {
+            splits: (1..shards as u64).map(|i| key_space * i / shards as u64).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_routes_in_key_order() {
+        let r = Router::range(vec![10u64, 20, 30]);
+        assert_eq!(r.shard_count(), 4);
+        assert!(r.is_ordered());
+        assert_eq!(r.route(&0), 0);
+        assert_eq!(r.route(&9), 0);
+        assert_eq!(r.route(&10), 1);
+        assert_eq!(r.route(&19), 1);
+        assert_eq!(r.route(&20), 2);
+        assert_eq!(r.route(&30), 3);
+        assert_eq!(r.route(&u64::MAX), 3);
+    }
+
+    #[test]
+    fn range_uniform_covers_every_shard() {
+        let r = Router::range_uniform(8, 8000);
+        assert_eq!(r.shard_count(), 8);
+        let mut seen = vec![false; 8];
+        for k in 0..8000u64 {
+            seen[r.route(&k)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "{seen:?}");
+        // Equal-width: boundaries at multiples of 1000.
+        assert_eq!(r.route(&999), 0);
+        assert_eq!(r.route(&1000), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn range_rejects_unsorted_splits() {
+        let _ = Router::range(vec![5u64, 5]);
+    }
+
+    #[test]
+    fn hash_spreads_and_is_stable() {
+        let r = Router::<u64>::hash(8);
+        assert_eq!(r.shard_count(), 8);
+        assert!(!r.is_ordered());
+        let mut counts = vec![0usize; 8];
+        for k in 0..8000u64 {
+            let s = r.route(&k);
+            assert_eq!(s, r.route(&k), "routing must be deterministic");
+            counts[s] += 1;
+        }
+        // No shard starved or hogging (8000/8 = 1000 expected).
+        for c in counts {
+            assert!(c > 500 && c < 1500, "hash spread off: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hash_rejects_non_power_of_two() {
+        let _ = Router::<u64>::hash(6);
+    }
+
+    #[test]
+    fn single_shard_routers() {
+        let r = Router::range(Vec::<u64>::new());
+        assert_eq!(r.shard_count(), 1);
+        assert_eq!(r.route(&42), 0);
+        let h = Router::<u64>::hash(1);
+        assert_eq!(h.shard_count(), 1);
+        assert_eq!(h.route(&42), 0);
+    }
+}

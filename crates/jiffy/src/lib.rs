@@ -75,7 +75,7 @@ pub use iter::SnapshotIter;
 pub use map::{JiffyMap, MapStats, Snapshot};
 
 // Re-export the shared index API types so users need only this crate.
-pub use index_api::{Batch, BatchOp, OrderedIndex};
+pub use index_api::{Batch, BatchOp, OrderedIndex, ReadView, SnapshotIndex};
 // Re-export the clocks for ablation experiments.
 #[cfg(target_arch = "x86_64")]
 pub use jiffy_clock::TscClock;

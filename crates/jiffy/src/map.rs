@@ -293,6 +293,19 @@ impl<'a, K: MapKey, V: MapValue, C: VersionClock> Snapshot<'a, K, V, C> {
         self.slot.refresh(v);
         self.version = v;
     }
+
+    /// Advance the snapshot's read version to `version`; a no-op if the
+    /// snapshot is already at or past it. The registered slot only moves
+    /// forward, so GC safety is preserved (§3.3.4: the published version
+    /// must never decrease while held). Cross-index coordinators (see
+    /// `jiffy-shard`) use this to align snapshots of several maps that
+    /// share one clock on a single cut version.
+    pub fn advance_to(&mut self, version: i64) {
+        if version > self.version {
+            self.slot.refresh(version);
+            self.version = version;
+        }
+    }
 }
 
 impl<'a, K: MapKey, V: MapValue, C: VersionClock> Drop for Snapshot<'a, K, V, C> {

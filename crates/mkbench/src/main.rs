@@ -5,6 +5,7 @@
 //! mkbench figure <5..=10> [--threads 1,2,4] [--secs 0.5] [--keys 100000] [--out results/figN.csv] [--json BENCH_figN.json]
 //! mkbench quick          [--threads N] [--indices a,b,c] [--json BENCH_pr2.json]  # update/lookup/scan cells, compact lineup
 //! mkbench compare OLD.json NEW.json [--tolerance PCT]            # perf gate: exit 1 on throughput regression
+//! mkbench sharding       [--threads N] [--shards N] [--keys K]   # jiffy vs sharded-jiffy, uniform vs shard-skewed
 //! mkbench speedup        [--threads N] [--secs S] [--keys K]     # §4.3: Jiffy vs CA-AVL/CA-SL, 100-op random batches
 //! mkbench autoscale      [--secs S] [--keys K]                   # §4.3: revision sizes under write-only vs update-lookup
 //! mkbench ablation clock|hash|revsize [--threads ...] [--secs S] # A1/A2/A3
@@ -38,7 +39,11 @@ struct Args {
     keys: u64,
     out: Option<String>,
     json: Option<String>,
-    indices: Option<Vec<IndexKind>>,
+    /// Raw `--indices` names; resolved against `shards` after all flags
+    /// are parsed (so `--shards` works in any position).
+    indices: Option<Vec<String>>,
+    /// Default shard count for `sharded-*` indices named without `:<n>`.
+    shards: usize,
 }
 
 impl Args {
@@ -53,6 +58,21 @@ impl Args {
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
+        }
+    }
+
+    /// The `--indices` lineup, resolved with the `--shards` default;
+    /// malformed names are exit-2 usage errors.
+    fn lineup(&self, default: impl FnOnce() -> Vec<IndexKind>) -> Vec<IndexKind> {
+        match &self.indices {
+            None => default(),
+            Some(names) => names
+                .iter()
+                .map(|s| {
+                    IndexKind::parse_with_default_shards(s, self.shards)
+                        .unwrap_or_else(|msg| usage_error(&msg))
+                })
+                .collect(),
         }
     }
 
@@ -84,6 +104,7 @@ fn parse_flags(rest: &[String]) -> Args {
         out: None,
         json: None,
         indices: None,
+        shards: mkbench::DEFAULT_SHARDS,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -128,14 +149,15 @@ fn parse_flags(rest: &[String]) -> Args {
             }
             "--indices" => {
                 args.indices = Some(
-                    flag_value(rest, &mut i, "--indices")
-                        .split(',')
-                        .map(|s| {
-                            IndexKind::parse(s)
-                                .unwrap_or_else(|| usage_error(&format!("unknown index `{s}`")))
-                        })
-                        .collect(),
+                    flag_value(rest, &mut i, "--indices").split(',').map(String::from).collect(),
                 );
+            }
+            "--shards" => {
+                args.shards = flag_value(rest, &mut i, "--shards")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage_error("--shards takes an integer >= 1"));
             }
             other => usage_error(&format!("unknown flag `{other}`")),
         }
@@ -155,17 +177,18 @@ fn cfg_for(args: &Args, threads: usize) -> RunConfig {
     }
 }
 
-/// Run one scenario cell for one index at one thread count.
+/// Run one scenario cell for one index at one thread count. The
+/// scenario's key distribution feeds the sharded kinds' split selection.
 fn run_cell(shape: KvShape, kind: IndexKind, scenario: &Scenario, cfg: &RunConfig) -> Measurement {
     match shape {
         // 16 B keys / 100 B values: u64-derived keys with Arc'd payloads
         // (footnote 7: reference semantics keep copies payload-independent).
         KvShape::K16V100 => {
-            let idx = make_index_u64::<std::sync::Arc<[u8]>>(kind, cfg.key_space);
+            let idx = make_index_u64::<std::sync::Arc<[u8]>>(kind, cfg.key_space, scenario.dist);
             run_scenario(idx, scenario, cfg)
         }
         KvShape::K4V4 => {
-            let idx = make_index_u32::<u32>(kind, cfg.key_space);
+            let idx = make_index_u32::<u32>(kind, cfg.key_space, scenario.dist);
             run_scenario(idx, scenario, cfg)
         }
     }
@@ -177,8 +200,7 @@ fn cmd_figure(figure: u8, args: &Args) {
     let mut rows: Vec<Row> = Vec::new();
     for scenario in spec.scenarios() {
         let batch_row = scenario.batch != BatchMode::Single;
-        let lineup =
-            args.indices.clone().unwrap_or_else(|| indices_for_figure(spec.with_kiwi, batch_row));
+        let lineup = args.lineup(|| indices_for_figure(spec.with_kiwi, batch_row));
         for kind in lineup {
             for &threads in &args.threads {
                 let cfg = cfg_for(args, threads);
@@ -186,16 +208,11 @@ fn cmd_figure(figure: u8, args: &Args) {
                 eprintln!(
                     "[fig{figure}] {} {} t={threads}: {:.3} Mops/s (upd {:.3})",
                     scenario.id,
-                    kind.name(),
+                    kind.label(),
                     m.total_mops,
                     m.update_mops
                 );
-                rows.push(Row {
-                    scenario: scenario.id.clone(),
-                    index: kind.name().to_string(),
-                    threads,
-                    m,
-                });
+                rows.push(Row { scenario: scenario.id.clone(), index: kind.label(), threads, m });
             }
         }
     }
@@ -240,8 +257,18 @@ fn cmd_quick(args: &Args) {
             ),
         ),
     ];
-    let lineup = args.indices.clone().unwrap_or_else(|| {
-        vec![IndexKind::Jiffy, IndexKind::Cslm, IndexKind::CaAvl, IndexKind::Lfca]
+    // The sharded rows (2 and 8 shards) ride along by default: they are
+    // unmatched-informational under `compare` against pre-sharding
+    // baselines, so the BENCH_pr2.json gate is unaffected.
+    let lineup = args.lineup(|| {
+        vec![
+            IndexKind::Jiffy,
+            IndexKind::Cslm,
+            IndexKind::CaAvl,
+            IndexKind::Lfca,
+            IndexKind::ShardedJiffy(2),
+            IndexKind::ShardedJiffy(8),
+        ]
     });
     let mut rows: Vec<Row> = Vec::new();
     for (class, scenario) in &scenarios {
@@ -257,18 +284,13 @@ fn cmd_quick(args: &Args) {
                     .unwrap_or(0);
                 eprintln!(
                     "[quick/{class}] {} t={threads}: {:.3} Mops/s (upd {:.3}, read {:.3}, scan {:.3}; worst p99 {p99} ns)",
-                    kind.name(),
+                    kind.label(),
                     m.total_mops,
                     m.update_mops,
                     m.read_mops,
                     m.scan_mops
                 );
-                rows.push(Row {
-                    scenario: scenario.id.clone(),
-                    index: kind.name().to_string(),
-                    threads,
-                    m,
-                });
+                rows.push(Row { scenario: scenario.id.clone(), index: kind.label(), threads, m });
             }
         }
     }
@@ -317,6 +339,41 @@ fn cmd_compare(argv: &[String]) {
     print!("{}", outcome.render());
     if !outcome.passed() {
         std::process::exit(1);
+    }
+}
+
+/// Where sharding wins and where skew kills it: the update-heavy
+/// scenario over uniform vs shard-skewed traffic, unsharded Jiffy vs
+/// `sharded-jiffy` at 2 and 8 shards. Splits are chosen per distribution
+/// (`workload::shard_splits`), so the skewed run shows how much of the
+/// damage distribution-aware splitting can undo.
+fn cmd_sharding(args: &Args) {
+    let threads = *args.threads.iter().max().unwrap();
+    println!(
+        "# sharding: update-only single ops, t={threads}, keys {} (skew: {}% of traffic to the bottom 1/{} of the key space)",
+        args.keys,
+        workload::HOT_TRAFFIC_PCT,
+        workload::HOT_SPAN_DIV
+    );
+    let lineup = args
+        .lineup(|| vec![IndexKind::Jiffy, IndexKind::ShardedJiffy(2), IndexKind::ShardedJiffy(8)]);
+    for (label, dist) in [("uniform", KeyDist::Uniform), ("shard-skewed", KeyDist::HotRange)] {
+        let scenario =
+            Scenario::new(KvShape::K4V4, dist, ThreadMix::UPDATE_ONLY, 0, BatchMode::Single);
+        println!("## {label} ({})", scenario.id);
+        let mut baseline: Option<f64> = None;
+        for kind in &lineup {
+            let cfg = cfg_for(args, threads);
+            let m = run_cell(KvShape::K4V4, *kind, &scenario, &cfg);
+            let base = *baseline.get_or_insert(m.total_mops);
+            println!(
+                "{:<16} {:>8.3} Mops/s  ({:.2}x vs {})",
+                kind.label(),
+                m.total_mops,
+                m.total_mops / base.max(1e-9),
+                lineup[0].label()
+            );
+        }
     }
 }
 
@@ -489,9 +546,10 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: mkbench <figure N|quick|compare OLD NEW|speedup|autoscale|ablation WHICH> [flags]"
+            "usage: mkbench <figure N|quick|compare OLD NEW|sharding|speedup|autoscale|ablation WHICH> [flags]"
         );
         eprintln!("flags: --threads 1,2,4  --secs S  --warmup S  --keys K  --indices a,b,c");
+        eprintln!("       --shards N (default for sharded-* indices named without :<n>)");
         eprintln!("       --out results.csv  --json BENCH_label.json  --tolerance PCT (compare)");
         std::process::exit(2);
     };
@@ -499,6 +557,10 @@ fn main() {
         "quick" => {
             let args = parse_flags(&argv[1..]);
             cmd_quick(&args);
+        }
+        "sharding" => {
+            let args = parse_flags(&argv[1..]);
+            cmd_sharding(&args);
         }
         "compare" => {
             cmd_compare(&argv[1..]);

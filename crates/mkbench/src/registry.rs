@@ -8,10 +8,15 @@ use baselines::snaptree::RangePartitioner;
 use baselines::{CaTree, Cslm, KaryTree, Kiwi, LfcaTree, SnapTree};
 use index_api::OrderedIndex;
 use jiffy::{AtomicClock, JiffyConfig, JiffyMap};
-use workload::Value;
+use jiffy_shard::{Router, ShardedIndex, ShardedJiffy};
+use workload::{KeyDist, Value};
+
+/// Default shard count for `sharded-*` kinds parsed without an explicit
+/// `:<n>` suffix (overridable with mkbench's `--shards`).
+pub const DEFAULT_SHARDS: usize = 4;
 
 /// Every index of the paper's evaluation (plus the Jiffy ablation
-/// variants used by the A1/A2 experiments).
+/// variants used by the A1/A2 experiments and the sharded wrappers).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IndexKind {
     Jiffy,
@@ -21,6 +26,11 @@ pub enum IndexKind {
     JiffyNoHash,
     /// Jiffy with a fixed revision size (ablation A3, §3.3.6).
     JiffyFixed(usize),
+    /// `jiffy-shard`: N coordinated Jiffy shards, range-partitioned with
+    /// splits drawn from the scenario's key distribution.
+    ShardedJiffy(usize),
+    /// `jiffy-shard` over CSLM shards — the honest weak-flag wrapper.
+    ShardedCslm(usize),
     SnapTree,
     KAry,
     CaAvl,
@@ -38,6 +48,8 @@ impl IndexKind {
             IndexKind::JiffyAtomicClock => "jiffy-atomic",
             IndexKind::JiffyNoHash => "jiffy-nohash",
             IndexKind::JiffyFixed(_) => "jiffy-fixed",
+            IndexKind::ShardedJiffy(_) => "sharded-jiffy",
+            IndexKind::ShardedCslm(_) => "sharded-cslm",
             IndexKind::SnapTree => "snaptree",
             IndexKind::KAry => "k-ary",
             IndexKind::CaAvl => "ca-avl",
@@ -49,8 +61,41 @@ impl IndexKind {
         }
     }
 
-    pub fn parse(s: &str) -> Option<IndexKind> {
-        Some(match s {
+    /// Report-row label: [`name`](IndexKind::name) plus the parameter for
+    /// parameterized kinds (`sharded-jiffy:8`, `jiffy-fixed:64`), so rows
+    /// for different configurations stay distinguishable in tables and
+    /// `compare` matching.
+    pub fn label(&self) -> String {
+        match self {
+            IndexKind::JiffyFixed(n) => format!("jiffy-fixed:{n}"),
+            IndexKind::ShardedJiffy(n) => format!("sharded-jiffy:{n}"),
+            IndexKind::ShardedCslm(n) => format!("sharded-cslm:{n}"),
+            other => other.name().to_string(),
+        }
+    }
+
+    /// Parse a CLI index name. Parameterized kinds take a `:<n>` suffix
+    /// (`jiffy-fixed:<n>` requires one; `sharded-jiffy`/`sharded-cslm`
+    /// default to `default_shards` without one). Returns a user-facing
+    /// message on malformed input — callers turn it into the exit-2
+    /// usage error.
+    pub fn parse_with_default_shards(s: &str, default_shards: usize) -> Result<IndexKind, String> {
+        let parse_param =
+            |spec: &str, what: &str, default: Option<usize>| match spec.strip_prefix(':') {
+                None if spec.is_empty() => {
+                    default.ok_or_else(|| format!("`{s}` needs a {what}: use `{s}:<n>`"))
+                }
+                // Legacy spelling without the colon (`jiffy-fixed64`).
+                None => {
+                    spec.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        format!("`{s}`: {what} must be an integer >= 1, got `{spec}`")
+                    })
+                }
+                Some(digits) => digits.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                    format!("`{s}`: {what} must be an integer >= 1, got `{digits}`")
+                }),
+            };
+        Ok(match s {
             "jiffy" => IndexKind::Jiffy,
             "jiffy-atomic" => IndexKind::JiffyAtomicClock,
             "jiffy-nohash" => IndexKind::JiffyNoHash,
@@ -63,10 +108,23 @@ impl IndexKind {
             "kiwi" => IndexKind::Kiwi,
             "cslm" => IndexKind::Cslm,
             other => {
-                let fixed = other.strip_prefix("jiffy-fixed")?;
-                return fixed.parse().ok().map(IndexKind::JiffyFixed);
+                if let Some(rest) = other.strip_prefix("jiffy-fixed") {
+                    IndexKind::JiffyFixed(parse_param(rest, "revision size", None)?)
+                } else if let Some(rest) = other.strip_prefix("sharded-jiffy") {
+                    IndexKind::ShardedJiffy(parse_param(rest, "shard count", Some(default_shards))?)
+                } else if let Some(rest) = other.strip_prefix("sharded-cslm") {
+                    IndexKind::ShardedCslm(parse_param(rest, "shard count", Some(default_shards))?)
+                } else {
+                    return Err(format!("unknown index `{other}`"));
+                }
             }
         })
+    }
+
+    /// [`parse_with_default_shards`](IndexKind::parse_with_default_shards)
+    /// with the default shard count.
+    pub fn parse(s: &str) -> Result<IndexKind, String> {
+        Self::parse_with_default_shards(s, DEFAULT_SHARDS)
     }
 
     /// Whether the index supports atomic batch updates (which indices
@@ -78,6 +136,7 @@ impl IndexKind {
                 | IndexKind::JiffyAtomicClock
                 | IndexKind::JiffyNoHash
                 | IndexKind::JiffyFixed(_)
+                | IndexKind::ShardedJiffy(_)
                 | IndexKind::CaAvl
                 | IndexKind::CaSl
         )
@@ -88,12 +147,28 @@ fn nohash_config() -> JiffyConfig {
     JiffyConfig { disable_hash_index: true, ..Default::default() }
 }
 
+/// Range splits for a sharded kind, chosen from the scenario's key
+/// distribution so skewed traffic still spreads across shards.
+fn sharded_router_u64(shards: usize, key_space: u64, dist: KeyDist) -> Router<u64> {
+    Router::range(workload::shard_splits(dist, key_space, shards))
+}
+
+fn sharded_router_u32(shards: usize, key_space: u64, dist: KeyDist) -> Router<u32> {
+    // The 4 B shape's key space always fits u32.
+    Router::range(
+        workload::shard_splits(dist, key_space, shards).into_iter().map(|s| s as u32).collect(),
+    )
+}
+
 /// Build an index over `u64` keys (used for the 16 B/100 B shape, whose
 /// `Key16` keys wrap a u64; benchmarks use u64 directly plus 100 B
 /// values to keep comparisons apples-to-apples across all indices).
+/// `dist` is the scenario's key distribution — the sharded kinds derive
+/// their range splits from it; every other kind ignores it.
 pub fn make_index_u64<V: Value>(
     kind: IndexKind,
     key_space: u64,
+    dist: KeyDist,
 ) -> Arc<dyn OrderedIndex<u64, V> + Send + Sync> {
     match kind {
         IndexKind::Jiffy => Arc::new(JiffyMap::<u64, V>::new()),
@@ -107,6 +182,17 @@ pub fn make_index_u64<V: Value>(
         IndexKind::JiffyFixed(n) => {
             Arc::new(JiffyMap::<u64, V>::with_config(JiffyConfig::fixed(n)))
         }
+        IndexKind::ShardedJiffy(n) => Arc::new(ShardedJiffy::<u64, V>::with_router(
+            sharded_router_u64(n, key_space, dist),
+            JiffyConfig::default(),
+        )),
+        IndexKind::ShardedCslm(n) => Arc::new(
+            ShardedIndex::new(
+                (0..n).map(|_| Cslm::<u64, V>::new()).collect(),
+                sharded_router_u64(n, key_space, dist),
+            )
+            .with_label("sharded-cslm"),
+        ),
         IndexKind::SnapTree => {
             Arc::new(SnapTree::<u64, V, _>::with_partitioner(64, RangePartitioner { key_space }))
         }
@@ -121,10 +207,11 @@ pub fn make_index_u64<V: Value>(
 }
 
 /// Build an index over `u32` keys (the 4 B/4 B shape; the only shape the
-/// paper runs KiWi with).
+/// paper runs KiWi with). See [`make_index_u64`] for `dist`.
 pub fn make_index_u32<V: Value>(
     kind: IndexKind,
     key_space: u64,
+    dist: KeyDist,
 ) -> Arc<dyn OrderedIndex<u32, V> + Send + Sync> {
     match kind {
         IndexKind::Jiffy => Arc::new(JiffyMap::<u32, V>::new()),
@@ -138,6 +225,17 @@ pub fn make_index_u32<V: Value>(
         IndexKind::JiffyFixed(n) => {
             Arc::new(JiffyMap::<u32, V>::with_config(JiffyConfig::fixed(n)))
         }
+        IndexKind::ShardedJiffy(n) => Arc::new(ShardedJiffy::<u32, V>::with_router(
+            sharded_router_u32(n, key_space, dist),
+            JiffyConfig::default(),
+        )),
+        IndexKind::ShardedCslm(n) => Arc::new(
+            ShardedIndex::new(
+                (0..n).map(|_| Cslm::<u32, V>::new()).collect(),
+                sharded_router_u32(n, key_space, dist),
+            )
+            .with_label("sharded-cslm"),
+        ),
         IndexKind::SnapTree => {
             Arc::new(SnapTree::<u32, V, _>::with_partitioner(64, RangePartitioner { key_space }))
         }
@@ -193,10 +291,60 @@ mod tests {
             IndexKind::Kiwi,
             IndexKind::Cslm,
         ] {
-            assert_eq!(IndexKind::parse(kind.name()), Some(kind), "{kind:?}");
+            assert_eq!(IndexKind::parse(kind.name()), Ok(kind), "{kind:?}");
         }
-        assert_eq!(IndexKind::parse("jiffy-fixed64"), Some(IndexKind::JiffyFixed(64)));
-        assert_eq!(IndexKind::parse("nope"), None);
+        // Parameterized kinds round-trip through their labels.
+        for kind in [
+            IndexKind::JiffyFixed(64),
+            IndexKind::ShardedJiffy(2),
+            IndexKind::ShardedJiffy(8),
+            IndexKind::ShardedCslm(3),
+        ] {
+            assert_eq!(IndexKind::parse(&kind.label()), Ok(kind), "{kind:?}");
+        }
+        // Legacy no-colon spelling still accepted.
+        assert_eq!(IndexKind::parse("jiffy-fixed64"), Ok(IndexKind::JiffyFixed(64)));
+        assert!(IndexKind::parse("nope").is_err());
+    }
+
+    #[test]
+    fn parse_sharded_defaults_and_overrides() {
+        assert_eq!(IndexKind::parse("sharded-jiffy"), Ok(IndexKind::ShardedJiffy(DEFAULT_SHARDS)));
+        assert_eq!(
+            IndexKind::parse_with_default_shards("sharded-jiffy", 8),
+            Ok(IndexKind::ShardedJiffy(8))
+        );
+        assert_eq!(
+            IndexKind::parse_with_default_shards("sharded-cslm:2", 8),
+            Ok(IndexKind::ShardedCslm(2)),
+            "explicit :<n> beats the --shards default"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_params_with_a_message() {
+        for bad in [
+            "jiffy-fixed",
+            "jiffy-fixed:",
+            "jiffy-fixed:abc",
+            "jiffy-fixed:-3",
+            "jiffy-fixed:0",
+            "jiffy-fixed0", // legacy no-colon spelling validates too
+        ] {
+            let err = IndexKind::parse(bad).unwrap_err();
+            assert!(err.contains("revision size"), "{bad}: {err}");
+        }
+        for bad in [
+            "sharded-jiffy:",
+            "sharded-jiffy:zap",
+            "sharded-jiffy:0",
+            "sharded-jiffy0",
+            "sharded-cslm:-1",
+        ] {
+            let err = IndexKind::parse(bad).unwrap_err();
+            assert!(err.contains("shard count"), "{bad}: {err}");
+        }
+        assert!(IndexKind::parse("nope").unwrap_err().contains("unknown index"));
     }
 
     #[test]
@@ -206,6 +354,9 @@ mod tests {
             IndexKind::JiffyAtomicClock,
             IndexKind::JiffyNoHash,
             IndexKind::JiffyFixed(32),
+            IndexKind::ShardedJiffy(2),
+            IndexKind::ShardedJiffy(8),
+            IndexKind::ShardedCslm(4),
             IndexKind::SnapTree,
             IndexKind::KAry,
             IndexKind::CaAvl,
@@ -215,7 +366,7 @@ mod tests {
             IndexKind::Kiwi,
             IndexKind::Cslm,
         ] {
-            let idx = make_index_u64::<u32>(kind, 1000);
+            let idx = make_index_u64::<u32>(kind, 1000, KeyDist::Uniform);
             idx.put(5, 50);
             assert_eq!(idx.get(&5), Some(50), "{kind:?}");
             assert!(idx.remove(&5), "{kind:?}");
@@ -225,11 +376,43 @@ mod tests {
 
     #[test]
     fn every_index_constructs_and_works_u32() {
-        for kind in [IndexKind::Jiffy, IndexKind::Kiwi, IndexKind::CaAvl, IndexKind::Cslm] {
-            let idx = make_index_u32::<u32>(kind, 1000);
+        for kind in [
+            IndexKind::Jiffy,
+            IndexKind::Kiwi,
+            IndexKind::CaAvl,
+            IndexKind::Cslm,
+            IndexKind::ShardedJiffy(4),
+            IndexKind::ShardedCslm(2),
+        ] {
+            let idx = make_index_u32::<u32>(kind, 1000, KeyDist::Uniform);
             idx.put(7, 70);
             assert_eq!(idx.get(&7), Some(70), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn sharded_kinds_use_distribution_aware_splits() {
+        // Under hot-range traffic the shards must carve the hot range:
+        // the shard owning key 0 must not also own the whole cold space.
+        let idx = make_index_u64::<u32>(IndexKind::ShardedJiffy(8), 100_000, KeyDist::HotRange);
+        for k in (0..100_000).step_by(997) {
+            idx.put(k, k as u32);
+        }
+        let got = idx.scan_collect(&0, usize::MAX);
+        assert_eq!(got.len(), 101, "sharded scan must cover the full space");
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn sharded_capability_flags_in_registry() {
+        let jiffy = make_index_u64::<u32>(IndexKind::ShardedJiffy(4), 1000, KeyDist::Uniform);
+        assert!(jiffy.supports_consistent_scan());
+        assert!(jiffy.supports_atomic_batch());
+        assert_eq!(jiffy.name(), "sharded-jiffy");
+        let cslm = make_index_u64::<u32>(IndexKind::ShardedCslm(4), 1000, KeyDist::Uniform);
+        assert!(!cslm.supports_consistent_scan());
+        assert!(!cslm.supports_atomic_batch());
+        assert_eq!(cslm.name(), "sharded-cslm");
     }
 
     #[test]
@@ -237,6 +420,8 @@ mod tests {
         assert!(IndexKind::Jiffy.supports_batches());
         assert!(IndexKind::CaAvl.supports_batches());
         assert!(IndexKind::CaSl.supports_batches());
+        assert!(IndexKind::ShardedJiffy(4).supports_batches());
+        assert!(!IndexKind::ShardedCslm(4).supports_batches());
         assert!(!IndexKind::Lfca.supports_batches());
         assert!(!IndexKind::SnapTree.supports_batches());
         assert!(!IndexKind::Cslm.supports_batches());

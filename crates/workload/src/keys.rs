@@ -85,19 +85,34 @@ pub enum ValueShape {
     Large,
 }
 
-/// Key distribution (paper §4.2: uniform or Zipfian 0.99).
+/// Key distribution (paper §4.2: uniform or Zipfian 0.99; `HotRange`
+/// is ours — shard-adversarial traffic for the sharding experiments).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum KeyDist {
     Uniform,
     Zipfian,
+    /// Shard-skewed traffic: [`HOT_TRAFFIC_PCT`]% of draws land in the
+    /// bottom [`HOT_SPAN_DIV`]th of the key space (one shard's range
+    /// under uniform range partitioning), the rest are uniform over the
+    /// whole space. Zipfian skew hammers individual *keys*; this hammers
+    /// a contiguous *range* — the pattern that starves a range-sharded
+    /// index while leaving a hash-sharded or single index unbothered.
+    HotRange,
 }
 
+/// Share of `HotRange` draws aimed at the hot range, in percent.
+pub const HOT_TRAFFIC_PCT: u64 = 90;
+/// The hot range is the bottom `1/HOT_SPAN_DIV` of the key space.
+pub const HOT_SPAN_DIV: u64 = 10;
+
 impl KeyDist {
-    /// Single-letter tag used in the paper's plot ids (`u` / `z`).
+    /// Single-letter tag used in the paper's plot ids (`u` / `z`; `h`
+    /// for the shard-skewed hot-range distribution).
     pub fn tag(&self) -> &'static str {
         match self {
             KeyDist::Uniform => "u",
             KeyDist::Zipfian => "z",
+            KeyDist::HotRange => "h",
         }
     }
 }
@@ -114,7 +129,7 @@ pub struct KeyGen {
 impl KeyGen {
     pub fn new(dist: KeyDist, key_space: u64, seed: u64) -> Self {
         let zipf = match dist {
-            KeyDist::Uniform => None,
+            KeyDist::Uniform | KeyDist::HotRange => None,
             KeyDist::Zipfian => Some(Zipfian::new(key_space)),
         };
         KeyGen { dist, key_space, zipf, state: seed.max(1) }
@@ -138,6 +153,14 @@ impl KeyGen {
         match self.dist {
             KeyDist::Uniform => r % self.key_space,
             KeyDist::Zipfian => self.zipf.as_ref().unwrap().sample(r),
+            KeyDist::HotRange => {
+                let k = self.next_u64();
+                if r % 100 < HOT_TRAFFIC_PCT {
+                    k % (self.key_space / HOT_SPAN_DIV).max(1)
+                } else {
+                    k % self.key_space
+                }
+            }
         }
     }
 
@@ -150,6 +173,35 @@ impl KeyGen {
     pub fn key_space(&self) -> u64 {
         self.key_space
     }
+}
+
+/// Choose `shards - 1` strictly increasing split keys over
+/// `[0, key_space)` so that the *traffic* of `dist` — not the key space —
+/// spreads evenly across shards: sample the distribution and cut at its
+/// quantiles. For `Uniform` this degenerates to equal-width ranges; for
+/// `Zipfian` / `HotRange` the hot region is carved into narrow shards.
+/// Deterministic (fixed sampling seed), so every run of a benchmark
+/// partitions identically.
+pub fn shard_splits(dist: KeyDist, key_space: u64, shards: usize) -> Vec<u64> {
+    assert!(shards >= 1, "need at least one shard");
+    assert!(key_space >= shards as u64, "key space smaller than shard count");
+    if shards == 1 {
+        return Vec::new();
+    }
+    let samples = 4096usize.max(shards * 64);
+    let mut gen = KeyGen::new(dist, key_space, 0x5EED_0F57_1175);
+    let mut keys: Vec<u64> = (0..samples).map(|_| gen.next_key()).collect();
+    keys.sort_unstable();
+    let mut splits = Vec::with_capacity(shards - 1);
+    for i in 1..shards {
+        // Clamp each quantile so splits stay strictly increasing and
+        // every shard keeps at least one key, even when the distribution
+        // collapses many quantiles onto one hot key.
+        let lo_bound = splits.last().map_or(1, |s: &u64| s + 1);
+        let hi_bound = key_space - (shards - i) as u64;
+        splits.push(keys[i * samples / shards].clamp(lo_bound, hi_bound));
+    }
+    splits
 }
 
 #[cfg(test)]
@@ -198,6 +250,64 @@ mod tests {
         }
         let max = *counts.values().max().unwrap();
         assert!(max > 100, "zipf should have hot keys, max count {max}");
+    }
+
+    #[test]
+    fn hot_range_keygen_is_shard_skewed() {
+        let space = 100_000u64;
+        let mut g = KeyGen::new(KeyDist::HotRange, space, 42);
+        let mut hot = 0usize;
+        const DRAWS: usize = 100_000;
+        for _ in 0..DRAWS {
+            let k = g.next_key();
+            assert!(k < space);
+            if k < space / HOT_SPAN_DIV {
+                hot += 1;
+            }
+        }
+        // ~91% expected in the hot tenth (90% aimed + 10%·1/10 strays).
+        let frac = hot as f64 / DRAWS as f64;
+        assert!(frac > 0.85 && frac < 0.96, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn shard_splits_uniform_are_roughly_equal_width() {
+        let splits = shard_splits(KeyDist::Uniform, 100_000, 4);
+        assert_eq!(splits.len(), 3);
+        assert!(splits.windows(2).all(|w| w[0] < w[1]), "{splits:?}");
+        for (i, s) in splits.iter().enumerate() {
+            let ideal = 25_000 * (i as u64 + 1);
+            let err = s.abs_diff(ideal);
+            assert!(err < 5_000, "split {i} = {s}, ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn shard_splits_follow_the_traffic_not_the_key_space() {
+        // Under hot-range traffic the quantile splits must crowd into
+        // the hot tenth — that is what lets a range-sharded index spread
+        // skewed load.
+        let splits = shard_splits(KeyDist::HotRange, 100_000, 8);
+        assert_eq!(splits.len(), 7);
+        assert!(splits.windows(2).all(|w| w[0] < w[1]), "{splits:?}");
+        let inside_hot = splits.iter().filter(|s| **s <= 10_000).count();
+        assert!(inside_hot >= 5, "only {inside_hot} of 7 splits in the hot range: {splits:?}");
+    }
+
+    #[test]
+    fn shard_splits_always_strictly_increasing_and_in_range() {
+        for dist in [KeyDist::Uniform, KeyDist::Zipfian, KeyDist::HotRange] {
+            for shards in [1usize, 2, 3, 8, 16] {
+                let splits = shard_splits(dist, 1_000, shards);
+                assert_eq!(splits.len(), shards - 1, "{dist:?} {shards}");
+                assert!(splits.windows(2).all(|w| w[0] < w[1]), "{dist:?}: {splits:?}");
+                assert!(splits.iter().all(|s| *s >= 1 && *s < 1_000), "{dist:?}: {splits:?}");
+            }
+        }
+        // Degenerate: key space barely fits the shard count (Zipfian
+        // collapses nearly all samples onto the first keys).
+        let splits = shard_splits(KeyDist::Zipfian, 16, 16);
+        assert_eq!(splits, (1..16).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -13,7 +13,9 @@ mod permute;
 mod scenario;
 mod zipf;
 
-pub use keys::{Key16, KeyDist, KeyGen, Value, ValueShape};
+pub use keys::{
+    shard_splits, Key16, KeyDist, KeyGen, Value, ValueShape, HOT_SPAN_DIV, HOT_TRAFFIC_PCT,
+};
 pub use permute::permute;
 pub use scenario::{
     figure_scenarios, BatchMode, BatchPattern, FigureSpec, KvShape, Role, RoleSchedule, Scenario,

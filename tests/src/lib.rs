@@ -6,8 +6,19 @@ use baselines::catree::{AvlContainer, ImmContainer, SkipContainer};
 use baselines::snaptree::SingleShard;
 use baselines::{CaTree, Cslm, KaryTree, Kiwi, LfcaTree, SnapTree};
 use index_api::OrderedIndex;
+use jiffy_shard::{Router, ShardedIndex, ShardedJiffy};
 
-/// Every index in the evaluation, as trait objects over (u64, u64).
+/// Split points for the sharded test fixtures: chosen *inside* the key
+/// ranges the conformance tests exercise (hundreds to tens of
+/// thousands), so sequential sweeps, boundary scans, and concurrent
+/// churn all genuinely straddle shard boundaries.
+pub fn test_shard_splits() -> Vec<u64> {
+    vec![64, 512, 4096]
+}
+
+/// Every index in the evaluation, as trait objects over (u64, u64) —
+/// including the sharded wrappers (coordinated Jiffy shards in both
+/// router modes, and the honest weak-flag CSLM sharding).
 pub fn all_indices() -> Vec<Arc<dyn OrderedIndex<u64, u64> + Send + Sync>> {
     vec![
         Arc::new(jiffy::JiffyMap::<u64, u64>::new()),
@@ -19,6 +30,21 @@ pub fn all_indices() -> Vec<Arc<dyn OrderedIndex<u64, u64> + Send + Sync>> {
         Arc::new(KaryTree::<u64, u64>::new()),
         Arc::new(SnapTree::<u64, u64, SingleShard>::new()),
         Arc::new(Kiwi::<u64, u64>::new()),
+        Arc::new(ShardedJiffy::<u64, u64>::with_router(
+            Router::range(test_shard_splits()),
+            jiffy::JiffyConfig::default(),
+        )),
+        Arc::new(
+            ShardedJiffy::<u64, u64>::with_router(Router::hash(4), jiffy::JiffyConfig::default())
+                .with_label("sharded-jiffy-hash"),
+        ),
+        Arc::new(
+            ShardedIndex::new(
+                (0..4).map(|_| Cslm::<u64, u64>::new()).collect(),
+                Router::range(test_shard_splits()),
+            )
+            .with_label("sharded-cslm"),
+        ),
     ]
 }
 

@@ -69,7 +69,26 @@ fn scan_visits_exactly_min_n_entries_all_indices() {
             index.put(k, r);
             model.insert(k, r);
         }
-        let lows = [0u64, 1, 17, 4_999, 5_000, 9_999, 10_000, 19_999, 20_000, u64::MAX];
+        // Includes the sharded fixtures' split points (64/512/4096) and
+        // their predecessors, so limited scans straddle shard boundaries
+        // mid-flight and start exactly on them.
+        let lows = [
+            0u64,
+            1,
+            17,
+            63,
+            64,
+            511,
+            512,
+            4_096,
+            4_999,
+            5_000,
+            9_999,
+            10_000,
+            19_999,
+            20_000,
+            u64::MAX,
+        ];
         let limits = [0usize, 1, 7, 100, 2_999, 3_000, 50_000, usize::MAX];
         for lo in lows {
             for n in limits {
@@ -352,17 +371,24 @@ fn capability_flags_match_observed_behavior() {
 #[test]
 fn index_capability_flags_match_paper() {
     // §4.1: all tested indices have linearizable scans except CSLM;
-    // batch updates only in Jiffy, CA-AVL, CA-SL.
+    // batch updates only in Jiffy, CA-AVL, CA-SL. The sharded wrappers
+    // follow the honesty rule: coordinated Jiffy shards keep both flags,
+    // CSLM shards keep neither.
     let names_consistent: Vec<&str> = consistent_scan_indices().iter().map(|i| i.name()).collect();
     assert!(!names_consistent.contains(&"cslm"));
     assert!(names_consistent.contains(&"jiffy"));
+    assert!(names_consistent.contains(&"sharded-jiffy"));
+    assert!(names_consistent.contains(&"sharded-jiffy-hash"));
+    assert!(!names_consistent.contains(&"sharded-cslm"));
     let names_batch: Vec<&str> = atomic_batch_indices().iter().map(|i| i.name()).collect();
     // The paper's batch-capable set; our CA-imm shares the CA trees' 2PL
     // batch machinery, so it also qualifies (a strict superset is fine).
     assert!(names_batch.contains(&"jiffy"));
     assert!(names_batch.contains(&"ca-avl"));
     assert!(names_batch.contains(&"ca-sl"));
-    for unsupported in ["cslm", "lfca", "k-ary", "snaptree", "kiwi"] {
+    assert!(names_batch.contains(&"sharded-jiffy"));
+    assert!(names_batch.contains(&"sharded-jiffy-hash"));
+    for unsupported in ["cslm", "sharded-cslm", "lfca", "k-ary", "snaptree", "kiwi"] {
         assert!(!names_batch.contains(&unsupported), "{unsupported} must not claim atomic batches");
     }
 }

@@ -7,8 +7,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use index_api::{Batch, BatchOp};
+use index_api::{Batch, BatchOp, OrderedIndex};
 use jiffy::JiffyMap;
+use jiffy_shard::{Router, ShardedJiffy};
 use linearize::{check_bounded, Event, Op, Outcome};
 
 struct Recorder {
@@ -144,6 +145,96 @@ fn concurrent_batches_and_scans_linearize() {
             });
         });
         assert_linearizable(rec.into_history(), "batches+scans");
+    }
+}
+
+/// Cross-shard batches racing cross-shard scans and point ops on a
+/// sharded map: scans must never observe half a batch, and causally
+/// ordered writes to different shards must never appear inverted — the
+/// coordinated cut (per-shard snapshots aligned on one shared-clock
+/// version, validated against the cross-batch epoch) is what makes the
+/// combined history linearizable rather than merely per-shard
+/// consistent.
+#[test]
+fn sharded_cross_shard_batches_and_scans_linearize() {
+    for round in 0..30 {
+        // Two shards, split at key 3: each batch and each scan spans the
+        // boundary. Tiny revisions keep every op near split/merge paths.
+        let map: ShardedJiffy<u64, u64> = ShardedJiffy::with_router(
+            Router::range(vec![3]),
+            jiffy::JiffyConfig {
+                min_revision_size: 2,
+                max_revision_size: 8,
+                fixed_revision_size: Some(2),
+                ..Default::default()
+            },
+        );
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            // Two batchers on overlapping cross-shard key sets.
+            for t in 0..2u64 {
+                let map = &map;
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..3u64 {
+                        let stamp = round * 1000 + t * 100 + i;
+                        rec.run(|| {
+                            map.batch_update(Batch::new(vec![
+                                BatchOp::Put(1, stamp), // shard 0
+                                BatchOp::Put(4, stamp), // shard 1
+                            ]));
+                            (Op::Batch(vec![(1, Some(stamp)), (4, Some(stamp))]), ())
+                        });
+                    }
+                });
+            }
+            // A point-op thread hopping between shards.
+            {
+                let map = &map;
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..4u64 {
+                        let k = [0u64, 5, 2, 4][i as usize % 4];
+                        match i % 3 {
+                            0 => {
+                                rec.run(|| {
+                                    map.put(k, round * 10_000 + i);
+                                    (Op::Put(k, round * 10_000 + i), ())
+                                });
+                            }
+                            1 => {
+                                rec.run(|| {
+                                    let got = map.get(&k);
+                                    (Op::Get(k, got), ())
+                                });
+                            }
+                            _ => {
+                                rec.run(|| {
+                                    let had = map.remove(&k);
+                                    (Op::Remove(k, had), ())
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+            // One cross-shard scanner.
+            let map = &map;
+            let rec = &rec;
+            s.spawn(move || {
+                for _ in 0..4 {
+                    rec.run(|| {
+                        let got: Vec<(u64, u64)> = map
+                            .scan_collect(&0, usize::MAX)
+                            .into_iter()
+                            .filter(|(k, _)| *k <= 6)
+                            .collect();
+                        (Op::Scan(0, 6, got), ())
+                    });
+                }
+            });
+        });
+        assert_linearizable(rec.into_history(), "sharded batches+scans");
     }
 }
 
