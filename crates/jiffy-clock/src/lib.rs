@@ -82,6 +82,45 @@ impl TscClock {
     }
 }
 
+/// Normalize a raw TSC read against the clock's start value.
+///
+/// A TSC read *behind* `start` (cross-CPU skew: containers and VMs can
+/// migrate a thread to a host core whose TSC lags by a few hundred
+/// cycles) makes `raw - start` wrap to nearly `2^64`. This must saturate
+/// **low**, not high. The previous code capped the wrap at
+/// `i64::MAX - 1` instead — a near-infinite version number that (a)
+/// poisoned the monotone GC-floor cache forever, licensing the §3.3.4
+/// revision GC to reclaim history still pinned by live snapshots, and
+/// (b) turned any snapshot unlucky enough to register at it into a
+/// read-latest view. Both corruptions matched the rare
+/// `snapshot_gc_under_churn` failure seen on a virtualized 1-core box.
+///
+/// Residual exposure after this fix, stated precisely: the wrap branch
+/// is only reachable while some core's TSC is behind the *creation*
+/// read, i.e. during a skew-sized window (typically well under a
+/// microsecond) at the start of the clock's life, and raw TSC can in
+/// principle step backwards *between* cores by the skew amount at any
+/// time without tripping this guard at all. Low readings in those
+/// windows can transiently stamp an update or register a snapshot a few
+/// ticks early — a bounded real-time-ordering anomaly, which the paper
+/// accepts by assuming synchronized invariant TSC (use the
+/// `portable-clock` feature to run on `CLOCK_MONOTONIC` where that
+/// assumption is doubtful). What low readings can *not* do is break
+/// memory safety: GC floors only ever sink (retaining more history),
+/// and `JiffyMap::snapshot`/`Snapshot::refresh` clamp their versions up
+/// to the published floor / current version, so no reader can register
+/// below what the GC already reclaimed.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn normalize_tsc(raw: u64, start: u64) -> u64 {
+    let delta = raw.wrapping_sub(start);
+    if delta > i64::MAX as u64 - 1 {
+        0
+    } else {
+        delta
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 impl Default for TscClock {
     fn default() -> Self {
@@ -93,9 +132,8 @@ impl Default for TscClock {
 impl VersionClock for TscClock {
     #[inline]
     fn now(&self) -> u64 {
-        // `wrapping_sub` guards against the (never observed in practice)
-        // case of another socket's TSC being slightly behind `start`.
-        Self::raw().wrapping_sub(self.start).min(i64::MAX as u64 - 1)
+        // See `normalize_tsc` for why behind-`start` reads saturate low.
+        normalize_tsc(Self::raw(), self.start)
     }
 
     fn name(&self) -> &'static str {
@@ -159,7 +197,13 @@ impl Default for AtomicClock {
 impl VersionClock for AtomicClock {
     #[inline]
     fn now(&self) -> u64 {
-        self.counter.fetch_add(1, Ordering::Relaxed)
+        // SeqCst, not Relaxed: the §3.3.4 floor-safety argument chains a
+        // read's position in the counter's coherence order with loads of
+        // *other* locations (registry slots), which is only sound in the
+        // abstract memory model when the clock ops order globally. On
+        // x86 a `lock xadd` costs the same either way, so the ablation
+        // this clock exists for (A1 contention) is unaffected.
+        self.counter.fetch_add(1, Ordering::SeqCst)
     }
 
     fn name(&self) -> &'static str {
@@ -167,13 +211,19 @@ impl VersionClock for AtomicClock {
     }
 }
 
-/// A global epoch for *cross-index* batch updates.
+/// A global epoch for *cross-index* batch updates — the serialized
+/// **fallback** coordination point.
 ///
 /// One Jiffy instance makes a batch atomic internally; a batch that
 /// spans several instances (the shards of `jiffy-shard`) needs an outer
-/// coordination point. `CrossBatchEpoch` packs two 32-bit counters into
-/// one atomic word — batches *started* (high half) and batches
-/// *completed* (low half):
+/// coordination point. Snapshot-capable shards that also implement
+/// `index_api::TwoPhaseBatch` no longer use this epoch at all: their
+/// cross-shard batches share one pending version and commit
+/// concurrently (Jiffy's §3.3.2–§3.3.3 machinery, see `jiffy-shard`).
+/// The epoch remains for shard types without pending-version support,
+/// where mutual exclusion is the only way to keep multi-shard writers
+/// ordered. It packs two 32-bit counters into one atomic word — batches
+/// *started* (high half) and batches *completed* (low half):
 ///
 /// * a cross-index batch holds the epoch exclusively between
 ///   [`begin`](CrossBatchEpoch::begin) and guard drop (concurrent
@@ -339,6 +389,23 @@ mod tests {
         let a = c.now();
         std::thread::sleep(std::time::Duration::from_millis(1));
         assert!(c.now() > a);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn tsc_skew_saturates_low_not_high() {
+        // In range: plain difference.
+        assert_eq!(normalize_tsc(1_000, 400), 600);
+        assert_eq!(normalize_tsc(400, 400), 0);
+        // Behind start (cross-CPU skew): must clamp to 0, never to a
+        // near-infinite version that would poison the GC floor.
+        assert_eq!(normalize_tsc(399, 400), 0);
+        assert_eq!(normalize_tsc(0, 1), 0);
+        assert_eq!(normalize_tsc(1_000_000, 2_000_000), 0);
+        // Absurdly large forward deltas (would exceed i64 as a version)
+        // also clamp instead of overflowing the i64 version domain.
+        assert_eq!(normalize_tsc(u64::MAX, 0), 0);
+        assert_eq!(normalize_tsc(i64::MAX as u64 - 1, 0), i64::MAX as u64 - 1);
     }
 
     #[test]

@@ -5,26 +5,55 @@
 //! load across `N` independent [`OrderedIndex`] shards while keeping the
 //! two features that make Jiffy interesting:
 //!
-//! * **Atomic cross-shard batches.** A batch is split per shard (each
-//!   sub-batch is atomic inside its shard); batches that touch more than
-//!   one shard additionally serialize on a global
-//!   [`CrossBatchEpoch`](jiffy_clock::CrossBatchEpoch), so concurrent
-//!   multi-shard writers are totally ordered and per-key last-writer-wins
-//!   cannot diverge between shards.
+//! * **Atomic cross-shard batches, committed concurrently.** A batch is
+//!   split per shard (each sub-batch is atomic inside its shard). When
+//!   the shard type implements [`TwoPhaseBatch`] (Jiffy does), a
+//!   multi-shard batch runs the paper's pending-version protocol
+//!   *across* shards: phase 1 stages one sub-batch per shard, all bound
+//!   to a single pending version drawn once from the shared clock, and
+//!   installs them (invisible — readers skip pending revisions); phase 2
+//!   flips the shared version with one CAS, at which instant every
+//!   sub-batch on every shard becomes visible. Independent cross-shard
+//!   batches commit **concurrently** — there is no global lock, epoch,
+//!   or serialization point on this path. Any reader or writer that
+//!   encounters a pending entry *helps*: it installs the remaining
+//!   sub-batches through the batch's resolver and commits, so a stalled
+//!   initiator can never block the map.
 //! * **Consistent cross-shard scans.** When the shards implement
 //!   [`SnapshotIndex`] *and* share one version clock (see
-//!   [`ShardedJiffy`]), a scan pins one snapshot per shard, reads a single
-//!   *cut version* from the shared clock, advances every snapshot to that
-//!   cut, and validates the pinning window against the cross-batch epoch
-//!   (retrying on a torn interval). Because all shards stamp writes from
-//!   the same globally monotone clock, "state at version `v`" is one
-//!   well-defined instant across the whole sharded map — the scan is
-//!   linearizable, not merely per-shard consistent.
+//!   [`ShardedJiffy`]), a scan pins one snapshot per shard, reads a
+//!   single *cut version* from the shared clock, and advances every
+//!   snapshot to that cut. Because all shards stamp writes from the same
+//!   globally monotone clock — and a cross-shard batch has exactly one
+//!   version — "state at version `v`" is one well-defined instant across
+//!   the whole sharded map: the scan is linearizable, not merely
+//!   per-shard consistent. In-flight two-phase batches need no special
+//!   handling: a pending entry whose optimistic version is at or below
+//!   the cut is resolved by helping (then included or excluded by its
+//!   final version); one above the cut is skipped. Either way every
+//!   shard consults the same shared cell and reaches the same verdict.
 //!
-//! When the inner index cannot support coordination (e.g. `Cslm` shards,
-//! which have neither snapshots nor atomic batches), the wrapper keeps
-//! working with the inner index's native weaker semantics and — the
-//! honesty rule — advertises `supports_consistent_scan() == false` /
+//! # Deadlock freedom of cross-shard helping
+//!
+//! Within one shard, concurrent batches cannot block each other
+//! cyclically because both install towards lower keys (§3.1 rule 3).
+//! Across shards the analogous rule is enforced by this crate: every
+//! cross-shard batch — initiator and helpers alike, via the shared
+//! resolver — installs its sub-batches in **descending shard order**. A
+//! batch blocked at shard `s` (waiting out a rival's pending head there)
+//! has pending revisions only on shards `>= s`; its rival, to be blocked
+//! *by* it, must be stuck on one of those shards `z >= s`, and
+//! symmetrically `z <= s`, so both are stuck inside shard `s = z`, where
+//! the single-shard descending-key argument applies. The wait graph is
+//! acyclic, and helping drives whichever batch is ahead to completion.
+//!
+//! When the inner index cannot run two-phase batches but does offer
+//! snapshots, multi-shard batches fall back to serializing on a global
+//! [`CrossBatchEpoch`](jiffy_clock::CrossBatchEpoch) (correct, but
+//! one-at-a-time — the pre-two-phase behaviour). When the inner index
+//! supports neither (e.g. `Cslm` shards), the wrapper keeps working with
+//! the inner index's native weaker semantics and — the honesty rule —
+//! advertises `supports_consistent_scan() == false` /
 //! `supports_atomic_batch() == false` rather than lie.
 
 #![warn(missing_docs)]
@@ -34,9 +63,12 @@ mod router;
 pub use router::Router;
 
 use std::marker::PhantomData;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use index_api::{Batch, BatchOp, OrderedIndex, ReadView, SnapshotIndex};
+use index_api::{
+    Batch, BatchOp, BatchResolver, OrderedIndex, PendingVersion, PreparedBatch, ReadView,
+    SnapshotIndex, TwoPhaseBatch,
+};
 use jiffy::{JiffyConfig, JiffyMap, MapKey, MapValue};
 use jiffy_clock::{CrossBatchEpoch, DefaultClock, VersionClock};
 
@@ -46,12 +78,77 @@ use jiffy_clock::{CrossBatchEpoch, DefaultClock, VersionClock};
 pub type SharedClock = Arc<dyn VersionClock>;
 
 /// The flagship instantiation: Jiffy shards on one shared clock, with
-/// coordinated batches and snapshots (both capability flags true).
+/// two-phase cross-shard batches and coordinated snapshots (both
+/// capability flags true).
 pub type ShardedJiffy<K, V> = ShardedIndex<K, V, JiffyMap<K, V, SharedClock>>;
 
 /// How a coordinator pins a shard's read view (captured at construction
 /// when — and only when — the shard type implements [`SnapshotIndex`]).
 type PinFn<K, V, I> = for<'a> fn(&'a I) -> Box<dyn ReadView<K, V> + 'a>;
+
+/// Type-erased [`TwoPhaseBatch`] entry points, captured at construction
+/// when — and only when — the shard type implements the trait (the same
+/// capability-capture trick as [`PinFn`], so the one `ShardedIndex` type
+/// can honestly serve both protocol levels).
+struct TwoPhaseFns<K, V, I> {
+    pending: fn(&I) -> Arc<dyn PendingVersion>,
+    prepare: PrepareFn<K, V, I>,
+    /// Build the batch's shared resolver (install every staged
+    /// sub-batch in canonical order, then commit). A fn pointer filled
+    /// from a generic fn at construction, where the `'static` bounds the
+    /// `'static` resolver closure needs are in scope.
+    make_resolver: MakeResolverFn<I>,
+}
+
+type PrepareFn<K, V, I> =
+    fn(&I, Batch<K, V>, &Arc<dyn PendingVersion>, BatchResolver) -> Arc<dyn PreparedBatch>;
+type MakeResolverFn<I> =
+    fn(std::sync::Weak<[I]>, Arc<dyn PendingVersion>, Arc<Mutex<StagedSubs>>) -> BatchResolver;
+
+/// The staged sub-batches of one in-flight cross-shard batch, in
+/// canonical (descending shard) installation order. Emptied at commit.
+type StagedSubs = Vec<(usize, Arc<dyn PreparedBatch>)>;
+
+/// The cross-shard help-to-completion routine: install every sub-batch
+/// on its shard — descending shard order, the deadlock-freedom rule —
+/// then commit the shared ticket. Invoked by the initiator and by any
+/// reader/writer that encounters one of the batch's pending entries.
+///
+/// Reference-cycle discipline: the resolver is retained by every
+/// revision the batch installed (via the sub-batch descriptors), so
+/// anything it holds strongly outlives the batch. It therefore holds the
+/// shard array *weakly* (a strong ref would keep the whole sharded map
+/// alive through its own revisions — a permanent cycle) and *empties*
+/// the staged set once the ticket commits (the staged handles reference
+/// the descriptors that reference this resolver — the other half of the
+/// cycle). After commit the retained closure is small and acyclic.
+fn make_two_phase_resolver<K, V, I>(
+    shards: std::sync::Weak<[I]>,
+    ticket: Arc<dyn PendingVersion>,
+    subs: Arc<Mutex<StagedSubs>>,
+) -> BatchResolver
+where
+    K: Ord + Clone + 'static,
+    V: Clone + 'static,
+    I: TwoPhaseBatch<K, V> + 'static,
+{
+    Arc::new(move || {
+        // A dead upgrade means the sharded map was dropped, which is
+        // only possible once no operation can reach this batch.
+        let Some(shards) = shards.upgrade() else { return };
+        // Snapshot the staged set outside the lock; installs can take a
+        // while and helpers must not serialize on each other.
+        let staged: StagedSubs =
+            subs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        for (i, prepared) in staged.iter() {
+            shards[*i].install_prepared(prepared.as_ref());
+        }
+        shards[0].commit_pending(ticket.as_ref());
+        // Committed: break the descriptor <-> resolver cycle for every
+        // sub-batch at once (idempotent; racing helpers hold clones).
+        subs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    })
+}
 
 /// A range- or hash-partitioned index over `N` independent shards.
 ///
@@ -82,15 +179,20 @@ type PinFn<K, V, I> = for<'a> fn(&'a I) -> Box<dyn ReadView<K, V> + 'a>;
 /// assert!(map.supports_consistent_scan() && map.supports_atomic_batch());
 /// ```
 pub struct ShardedIndex<K, V, I> {
-    shards: Vec<I>,
+    /// `Arc` so in-flight two-phase batch resolvers can hold the shards
+    /// past the borrow of `self` (they live inside shard revisions).
+    shards: Arc<[I]>,
     router: Router<K>,
-    /// Serializes cross-shard batches; validates scan pinning windows.
+    /// Fallback path only: serializes cross-shard batches of shard types
+    /// without [`TwoPhaseBatch`]; validates their scan pinning windows.
     epoch: CrossBatchEpoch,
     /// Present in coordinated mode: the clock every shard draws versions
     /// from, used to choose the scan cut version.
     clock: Option<SharedClock>,
     /// Present in coordinated mode: pins a shard's snapshot view.
     pin: Option<PinFn<K, V, I>>,
+    /// Present in two-phase mode: the pending-version batch protocol.
+    two_phase: Option<TwoPhaseFns<K, V, I>>,
     label: &'static str,
     _values: PhantomData<fn() -> V>,
 }
@@ -116,20 +218,23 @@ where
             shards.len()
         );
         ShardedIndex {
-            shards,
+            shards: shards.into(),
             router,
             epoch: CrossBatchEpoch::new(),
             clock: None,
             pin: None,
+            two_phase: None,
             label: "sharded",
             _values: PhantomData,
         }
     }
 
-    /// Wrap snapshot-capable shards with full coordination. `clock` must
-    /// be the *same* clock every shard stamps its writes with — that is
-    /// what makes one cut version meaningful across shards. (The
-    /// [`ShardedJiffy::with_router`] constructor wires this up.)
+    /// Wrap snapshot-capable shards with coordinated scans and
+    /// epoch-serialized cross-shard batches (the fallback batch path —
+    /// correct but one-at-a-time). `clock` must be the *same* clock
+    /// every shard stamps its writes with — that is what makes one cut
+    /// version meaningful across shards. Prefer
+    /// [`ShardedIndex::new_two_phase`] when the shard type supports it.
     pub fn new_coordinated(shards: Vec<I>, router: Router<K>, clock: SharedClock) -> Self
     where
         I: SnapshotIndex<K, V>,
@@ -137,6 +242,28 @@ where
         let mut this = Self::new(shards, router);
         this.clock = Some(clock);
         this.pin = Some(|shard| shard.pin_view());
+        this
+    }
+
+    /// Wrap snapshot-capable, two-phase-capable shards with full
+    /// coordination: linearizable cross-shard scans *and* concurrent
+    /// atomic cross-shard batches via the shared pending-version
+    /// protocol (no epoch serialization on the commit path). The
+    /// [`ShardedJiffy::with_router`] constructor wires this up.
+    pub fn new_two_phase(shards: Vec<I>, router: Router<K>, clock: SharedClock) -> Self
+    where
+        I: SnapshotIndex<K, V> + TwoPhaseBatch<K, V> + 'static,
+        K: 'static,
+        V: Send + Sync + 'static,
+    {
+        let mut this = Self::new_coordinated(shards, router, clock);
+        this.two_phase = Some(TwoPhaseFns {
+            pending: |shard| shard.pending_version(),
+            prepare: |shard, batch, pending, resolver| {
+                shard.prepare_batch(batch, pending, resolver)
+            },
+            make_resolver: make_two_phase_resolver::<K, V, I>,
+        });
         this
     }
 
@@ -167,39 +294,93 @@ where
     }
 
     /// Pin a consistent cut: one view per shard, all advanced to a single
-    /// version from the shared clock, validated against the cross-batch
-    /// epoch (retries while a cross-shard batch overlaps the window).
+    /// version from the shared clock.
     ///
-    /// Correctness sketch: a cross-shard batch that *completed* before the
-    /// quiescence check stamped all its sub-batches before the cut version
-    /// was read, so the whole batch is `<=` the cut and fully visible. A
-    /// batch that *begins* after the stamp re-check applies after the
-    /// clock passed the cut (the spin below), so all its stamps are `>`
-    /// the cut and it is fully invisible. Any batch in between changes the
-    /// stamp and forces a retry — the "torn interval".
+    /// Two-phase mode needs no validation loop: a cross-shard batch has
+    /// exactly one version (the shared pending cell), so every shard's
+    /// snapshot read reaches the same include/exclude verdict — a
+    /// pending entry at or below the cut is *helped* (the reader-side
+    /// resolution of the §3.3.3 protocol, which installs the batch's
+    /// remaining sub-batches and commits) and then judged by its final
+    /// version; one above the cut is skipped outright.
+    ///
+    /// Fallback (epoch) mode keeps the validated pinning window:
+    /// sub-batches carry independent versions there, so the cut is only
+    /// torn-free if no cross-shard batch overlapped it. Correctness
+    /// sketch: a cross-shard batch that *completed* before the
+    /// quiescence check stamped all its sub-batches before the cut
+    /// version was read, so the whole batch is `<=` the cut and fully
+    /// visible. A batch that *begins* after the stamp re-check applies
+    /// after the clock passed the cut (the spin below), so all its
+    /// stamps are `>` the cut and it is fully invisible. Any batch in
+    /// between changes the stamp and forces a retry — the "torn
+    /// interval".
     fn pin_consistent_cut(&self) -> Vec<Box<dyn ReadView<K, V> + '_>> {
         let pin = self.pin.expect("pin_consistent_cut requires coordinated mode");
         let clock = self.clock.as_ref().expect("coordinated mode carries a clock");
         loop {
-            let stamp = self.epoch.wait_quiescent();
+            let stamp =
+                if self.two_phase.is_none() { Some(self.epoch.wait_quiescent()) } else { None };
             let mut views: Vec<_> = self.shards.iter().map(|s| pin(s)).collect();
             let cut = clock.now() as i64;
             for view in views.iter_mut() {
                 view.advance_to(cut);
             }
-            // Writes beginning after the validation below must receive
-            // versions strictly greater than the cut (the paper's
-            // `wait_until` idiom; with a TSC/nanosecond clock this loop
-            // essentially never iterates).
+            // Writes beginning after this point must receive versions
+            // strictly greater than the cut (the paper's `wait_until`
+            // idiom; with a TSC/nanosecond clock this loop essentially
+            // never iterates).
             while clock.now() as i64 <= cut {
                 std::hint::spin_loop();
             }
-            if self.epoch.stamp() == stamp {
-                return views;
+            match stamp {
+                None => return views, // two-phase: no torn intervals exist
+                Some(stamp) if self.epoch.stamp() == stamp => return views,
+                // Torn interval: a cross-shard batch began while we
+                // pinned. Retry.
+                Some(_) => drop(views),
             }
-            // Torn interval: a cross-shard batch began while we pinned.
-            drop(views);
         }
+    }
+
+    /// Commit a multi-shard batch through the shared pending-version
+    /// protocol: stage every sub-batch under one ticket, install
+    /// (descending shard order), flip the ticket. Independent batches on
+    /// this path never wait on each other; overlapping ones sort
+    /// themselves out through §3.3.3 helping.
+    fn two_phase_batch(&self, tp: &TwoPhaseFns<K, V, I>, per_shard: Vec<Vec<BatchOp<K, V>>>) {
+        // One pending version for the whole batch, drawn once from the
+        // shared clock (every shard stamps from it, so shard 0's draw is
+        // the batch's version candidate).
+        let ticket = (tp.pending)(&self.shards[0]);
+        let subs: Arc<Mutex<StagedSubs>> = Arc::new(Mutex::new(Vec::new()));
+        let resolver = (tp.make_resolver)(
+            Arc::downgrade(&self.shards),
+            Arc::clone(&ticket),
+            Arc::clone(&subs),
+        );
+        // Phase 1a (stage): bind each sub-batch to the ticket — nothing
+        // visible yet. Collected in descending shard order, the
+        // canonical installation order (see the module-level
+        // deadlock-freedom argument).
+        let staged: StagedSubs = per_shard
+            .into_iter()
+            .enumerate()
+            .rev()
+            .filter(|(_, ops)| !ops.is_empty())
+            .map(|(i, ops)| {
+                (i, (tp.prepare)(&self.shards[i], Batch::new(ops), &ticket, Arc::clone(&resolver)))
+            })
+            .collect();
+        // Publish the staged set before the first install so any helper
+        // that reaches a pending revision can finish the whole batch
+        // (visibility rides the revision publications: helpers only find
+        // the resolver through installed revisions, which the resolver
+        // installs after this store).
+        *subs.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = staged;
+        // Phase 1b (install) + phase 2 (commit): exactly what a helper
+        // does, so just run the resolver ourselves.
+        resolver();
     }
 
     /// Consistent scan over the pinned cut.
@@ -288,14 +469,15 @@ fn merge_scan<K: Ord, V>(
 
 impl<K: MapKey, V: MapValue> ShardedJiffy<K, V> {
     /// Build `router.shard_count()` Jiffy shards that all stamp writes
-    /// from one shared [`DefaultClock`], coordinated end to end: atomic
-    /// cross-shard batches and linearizable cross-shard scans.
+    /// from one shared [`DefaultClock`], coordinated end to end:
+    /// concurrent two-phase cross-shard batches and linearizable
+    /// cross-shard scans.
     pub fn with_router(router: Router<K>, config: JiffyConfig) -> Self {
         let clock: SharedClock = Arc::new(DefaultClock::default());
         let shards = (0..router.shard_count())
             .map(|_| JiffyMap::with_clock_and_config(Arc::clone(&clock), config.clone()))
             .collect();
-        ShardedIndex::new_coordinated(shards, router, clock).with_label("sharded-jiffy")
+        ShardedIndex::new_two_phase(shards, router, clock).with_label("sharded-jiffy")
     }
 }
 
@@ -306,11 +488,14 @@ where
     I: OrderedIndex<K, V>,
 {
     fn get(&self, key: &K) -> Option<V> {
-        // Point reads never tear by themselves, but two sequential gets
-        // could watch a cross-shard batch land shard by shard; waiting
-        // out in-flight cross-batches (one atomic load when quiescent)
+        // Two-phase mode: a cross-shard batch flips everywhere at one
+        // shared-version CAS, so a get routed straight to its shard can
+        // never watch a batch land shard by shard — no wait, ever.
+        // Fallback mode applies sub-batches with independent versions,
+        // so sequential gets could observe a partial batch; waiting out
+        // in-flight cross-batches (one atomic load when quiescent)
         // closes that window.
-        if !self.epoch.is_quiescent() {
+        if self.two_phase.is_none() && !self.epoch.is_quiescent() {
             self.epoch.wait_quiescent();
         }
         self.shards[self.router.route(key)].get(key)
@@ -358,8 +543,11 @@ where
             }
             return;
         }
-        // Cross-shard: serialize against other cross-shard batches and
-        // make the window detectable by readers. The guard completes the
+        if let Some(two_phase) = &self.two_phase {
+            return self.two_phase_batch(two_phase, per_shard);
+        }
+        // Fallback: serialize against other cross-shard batches and make
+        // the window detectable by readers. The guard completes the
         // epoch on drop, so a panicking shard cannot wedge readers.
         let _guard = self.epoch.begin();
         for (i, ops) in per_shard.into_iter().enumerate() {
@@ -381,7 +569,10 @@ where
         if self.shards.len() == 1 {
             return inner;
         }
-        inner && self.pin.is_some()
+        // Multi-shard batches are atomic on either coordinated path:
+        // two-phase (one shared version) or the epoch fallback
+        // (serialized, readers wait out the window).
+        inner && (self.two_phase.is_some() || self.pin.is_some())
     }
 
     fn name(&self) -> &'static str {

@@ -13,20 +13,50 @@
 //! keys). `progress` counts how many leading (highest-key) operations
 //! have already been installed; helpers resume from there, so any thread
 //! can complete a stalled batch (§3.3.3 item 4).
+//!
+//! A descriptor normally owns its version cell. For a *two-phase* batch
+//! (one sub-batch of a cross-index batch, see `two_phase.rs`) the cell is
+//! shared — every participating index's descriptor reads the same cell,
+//! so all of them flip at one CAS — and the descriptor carries the
+//! coordinator's *resolver*: local installation completes without
+//! finalizing (the shared version belongs to the whole cross-index
+//! batch), and any thread that needs the version settled invokes the
+//! resolver, which installs every sibling sub-batch and commits.
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use index_api::BatchOp;
+use index_api::{BatchOp, BatchResolver};
 use jiffy_clock::VersionClock;
 
 use crate::node::NodeKey;
 use crate::revision::Delta;
 use crate::version::VersionCell;
 
+/// Where a descriptor's version lives: its own cell, or one shared with
+/// the sibling sub-batches of a cross-index two-phase batch.
+pub(crate) enum BatchCell {
+    Own(VersionCell),
+    Shared(Arc<VersionCell>),
+}
+
+impl BatchCell {
+    #[inline]
+    fn cell(&self) -> &VersionCell {
+        match self {
+            BatchCell::Own(c) => c,
+            BatchCell::Shared(c) => c,
+        }
+    }
+}
+
 /// Shared state of one in-flight (or completed) batch update.
 pub(crate) struct BatchDescriptor<K, V> {
-    version: VersionCell,
+    version: BatchCell,
+    /// Present on two-phase sub-batches: the cross-index
+    /// help-to-completion routine (install every sibling, then commit).
+    resolver: Option<BatchResolver>,
     /// Operations sorted by key, strictly descending, one op per key.
     ops: Box<[BatchOp<K, V>]>,
     /// Number of leading ops already installed in some node's revision.
@@ -38,12 +68,33 @@ pub(crate) struct BatchDescriptor<K, V> {
 impl<K, V> BatchDescriptor<K, V> {
     #[inline]
     pub(crate) fn version_cell(&self) -> &VersionCell {
-        &self.version
+        self.version.cell()
+    }
+
+    /// Whether this descriptor is one sub-batch of a cross-index
+    /// two-phase batch (its version cell is shared and must only be
+    /// finalized through the cross-index commit).
+    #[inline]
+    pub(crate) fn is_two_phase(&self) -> bool {
+        self.resolver.is_some()
+    }
+
+    /// Drive the *whole* cross-index batch to completion via the
+    /// coordinator's resolver (no-op for ordinary descriptors or when
+    /// the shared version is already final). On return the version is
+    /// final — callers waiting on a pending head can make progress.
+    pub(crate) fn resolve_external(&self) {
+        if let Some(resolver) = &self.resolver {
+            if !self.is_finalized() {
+                resolver();
+            }
+            debug_assert!(self.is_finalized(), "resolver must commit the shared version");
+        }
     }
 
     #[inline]
     pub(crate) fn is_finalized(&self) -> bool {
-        self.version.load() >= 0
+        self.version.cell().load() >= 0
     }
 
     #[inline]
@@ -66,6 +117,26 @@ impl<K: Ord + Clone, V: Clone> BatchDescriptor<K, V> {
     /// Build a descriptor from ops sorted ascending (the canonical
     /// [`index_api::Batch`] order); stores them descending.
     pub(crate) fn new<C: VersionClock>(clock: &C, ops_ascending: Vec<BatchOp<K, V>>) -> Self {
+        Self::build(BatchCell::Own(VersionCell::new_optimistic(clock)), None, ops_ascending)
+    }
+
+    /// Build a two-phase sub-batch descriptor: the version lives in
+    /// `cell` (shared with the sibling sub-batches) and `resolver` is
+    /// the coordinator's cross-index help-to-completion routine.
+    pub(crate) fn new_two_phase(
+        cell: Arc<VersionCell>,
+        resolver: BatchResolver,
+        ops_ascending: Vec<BatchOp<K, V>>,
+    ) -> Self {
+        debug_assert!(cell.load() < 0, "a two-phase sub-batch binds to a still-pending version");
+        Self::build(BatchCell::Shared(cell), Some(resolver), ops_ascending)
+    }
+
+    fn build(
+        version: BatchCell,
+        resolver: Option<BatchResolver>,
+        ops_ascending: Vec<BatchOp<K, V>>,
+    ) -> Self {
         debug_assert!(
             ops_ascending.windows(2).all(|w| w[0].key() < w[1].key()),
             "batch ops must be sorted by strictly ascending key"
@@ -73,7 +144,8 @@ impl<K: Ord + Clone, V: Clone> BatchDescriptor<K, V> {
         let mut ops = ops_ascending;
         ops.reverse();
         BatchDescriptor {
-            version: VersionCell::new_optimistic(clock),
+            version,
+            resolver,
             ops: ops.into_boxed_slice(),
             progress: AtomicUsize::new(0),
             _marker: PhantomData,

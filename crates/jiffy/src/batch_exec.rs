@@ -44,6 +44,16 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         self.bump_update_tick();
     }
 
+    /// Help `desc` to *full* completion: local installation plus — for a
+    /// two-phase sub-batch — the sibling sub-batches on the other
+    /// participating indices and the shared commit, via the resolver. On
+    /// return the descriptor's version is final, which is what every
+    /// pending-head encounter needs to make progress.
+    pub(crate) fn help_batch_fully(&self, desc: &Arc<BatchDescriptor<K, V>>) {
+        self.help_batch(desc);
+        desc.resolve_external();
+    }
+
     /// Drive `desc` to completion from wherever it currently stands.
     /// Callable by the initiating thread and by any helper.
     ///
@@ -53,13 +63,37 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// garbage backlog grow without bound.
     pub(crate) fn help_batch(&self, desc: &Arc<BatchDescriptor<K, V>>) {
         let with_index = !self.config.disable_hash_index;
+        #[cfg(debug_assertions)]
+        let mut spins = 0u64;
         loop {
+            #[cfg(debug_assertions)]
+            {
+                spins += 1;
+                if spins > 30_000_000 {
+                    panic!(
+                        "help_batch livelock: progress {}/{} two_phase={} finalized={}",
+                        desc.progress(),
+                        desc.len(),
+                        desc.is_two_phase(),
+                        desc.is_finalized()
+                    );
+                }
+            }
             if desc.is_finalized() {
                 return;
             }
             let guard = &epoch::pin();
             let i = desc.progress();
             if i >= desc.len() {
+                if desc.is_two_phase() {
+                    // One sub-batch of a cross-index batch: the shared
+                    // version belongs to the whole batch and is published
+                    // by the cross-index commit (every sibling sub-batch
+                    // must be installed first). Local installation is
+                    // done; callers that need the version settled go
+                    // through `BatchDescriptor::resolve_external`.
+                    return;
+                }
                 // Everything installed: publish the final version.
                 finalize_cell(&self.clock, desc.version_cell());
                 return;
@@ -99,6 +133,16 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             }
             if node.next.load(Ordering::Acquire, guard) != next_snapshot {
                 continue;
+            }
+            if let Some(succ) = unsafe { next_snapshot.as_ref() } {
+                if succ.key.le(key) {
+                    // Stale floor: a split moved this op's key to a new
+                    // right node after the traversal read `next`;
+                    // installing the group here would plant ops beyond
+                    // the node's boundary (the same `key < next.key`
+                    // re-check as the single-key paths).
+                    continue;
+                }
             }
 
             // Install this group.

@@ -67,15 +67,20 @@ mod revision;
 mod scan;
 mod snapshot;
 mod split;
+mod two_phase;
 mod version;
 
 pub use config::JiffyConfig;
 pub use inner::{MapKey, MapValue};
 pub use iter::SnapshotIter;
 pub use map::{JiffyMap, MapStats, Snapshot};
+pub use two_phase::{TwoPhasePrepared, TwoPhaseTicket};
 
 // Re-export the shared index API types so users need only this crate.
-pub use index_api::{Batch, BatchOp, OrderedIndex, ReadView, SnapshotIndex};
+pub use index_api::{
+    Batch, BatchOp, BatchPhase, BatchResolver, OrderedIndex, PendingVersion, PreparedBatch,
+    ReadView, SnapshotIndex, TwoPhaseBatch,
+};
 // Re-export the clocks for ablation experiments.
 #[cfg(target_arch = "x86_64")]
 pub use jiffy_clock::TscClock;

@@ -36,7 +36,7 @@ use crate::snapshot::SnapSlot;
 /// assert_eq!(keys, vec![2, 3]);
 /// ```
 pub struct JiffyMap<K, V, C: VersionClock = DefaultClock> {
-    inner: JiffyInner<K, V, C>,
+    pub(crate) inner: JiffyInner<K, V, C>,
 }
 
 impl<K: MapKey, V: MapValue> JiffyMap<K, V, DefaultClock> {
@@ -94,11 +94,19 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyMap<K, V, C> {
     /// slows down concurrent updates (§3.3.4). The snapshot pins history:
     /// hold it only as long as needed, or [`Snapshot::refresh`] it.
     pub fn snapshot(&self) -> Snapshot<'_, K, V, C> {
-        let v0 = self.inner.clock.now() as i64;
+        // Clamp up to the published GC floor: the revision GC has
+        // already reclaimed below it, so registering any lower would
+        // read into freed history. With a healthy clock the clamp is a
+        // no-op (the floor is derived from past clock reads); it is the
+        // backstop that keeps snapshots memory-safe even if the clock
+        // misbehaves (e.g. a cross-CPU TSC skew window, see
+        // `jiffy_clock`'s `normalize_tsc`).
+        let floor = self.inner.gc_floor();
+        let v0 = (self.inner.clock.now() as i64).max(floor);
         let slot = self.inner.snapshots.register(v0);
         // Re-read after the registration is visible so the GC can never
         // have cut past our version (§3.3.4's "refresh immediately").
-        let version = self.inner.clock.now() as i64;
+        let version = (self.inner.clock.now() as i64).max(v0);
         slot.refresh(version);
         Snapshot { map: self, slot, version }
     }
@@ -287,9 +295,12 @@ impl<'a, K: MapKey, V: MapValue, C: VersionClock> Snapshot<'a, K, V, C> {
         });
     }
 
-    /// Advance the snapshot to "now", releasing pinned history.
+    /// Advance the snapshot to "now", releasing pinned history. The
+    /// version never moves backwards (the registered slot must not
+    /// decrease while held, §3.3.4 — also the backstop against a
+    /// non-monotone clock reading).
     pub fn refresh(&mut self) {
-        let v = self.map.inner.clock.now() as i64;
+        let v = (self.map.inner.clock.now() as i64).max(self.version);
         self.slot.refresh(v);
         self.version = v;
     }

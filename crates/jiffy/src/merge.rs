@@ -44,7 +44,16 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
 
         // Phase 1: ensure a merge revision is installed and adopted.
         let mut mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
+        #[cfg(debug_assertions)]
+        let mut spins = 0u64;
         while mr_s.is_null() {
+            #[cfg(debug_assertions)]
+            {
+                spins += 1;
+                if spins > 30_000_000 {
+                    panic!("help_merge_terminator livelock: mterm_ver={}", mterm.version());
+                }
+            }
             let Some(pred_s) = self.find_pred(o_s, guard) else {
                 // `o` unreachable pre-adoption can only mean another
                 // helper raced ahead; re-read and retry.
@@ -57,6 +66,22 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 continue;
             }
             let phead_s = pred.head.load(Ordering::Acquire, guard);
+            // Revalidate adoption AFTER reading the predecessor's head.
+            // A racing helper may have installed and adopted a merge
+            // revision for this terminator, completed it (termination,
+            // unlink, version finalization — all strictly after the
+            // adoption CAS), and let a writer stack fresh revisions on
+            // the now-finalized head: `phead` then already *contains*
+            // `o`'s merged data. Building a second merge revision from
+            // it would duplicate `o`'s range above the head — born
+            // final (the shared cell is already finalized), carrying
+            // `o`'s stale pre-merge history as live data and its right
+            // branch twice. Because adoption happens-before any such
+            // head growth, re-checking `merge_rev` here excludes it.
+            if !ti.merge_rev.load(Ordering::Acquire, guard).is_null() {
+                mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
+                continue;
+            }
             let phead = unsafe { phead_s.deref() };
             if let Some(pmi) = phead.as_merge() {
                 if pmi.mterm.load(Ordering::Acquire, guard) == mterm_s {
@@ -202,7 +227,16 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         self.unlink_tower(o_s, guard);
         // Unlink from level 0: find_pred unlinks terminated targets as it
         // walks; loop until `o` is unreachable.
+        #[cfg(debug_assertions)]
+        let mut spins = 0u64;
         while self.find_pred(o_s, guard).is_some() {
+            #[cfg(debug_assertions)]
+            {
+                spins += 1;
+                if spins > 30_000_000 {
+                    panic!("complete_merge unlink livelock");
+                }
+            }
             std::hint::spin_loop();
         }
 

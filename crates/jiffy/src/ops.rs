@@ -24,7 +24,16 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// any pending operation/structure change, and return once the head is
     /// finalized and the neighbourhood validated.
     pub(crate) fn locate_for_update<'g>(&self, key: &K, guard: &'g Guard) -> Located<'g, K, V> {
+        #[cfg(debug_assertions)]
+        let mut spins = 0u64;
         loop {
+            #[cfg(debug_assertions)]
+            {
+                spins += 1;
+                if spins > 30_000_000 {
+                    panic!("locate_for_update livelock");
+                }
+            }
             let node_s = self.find_node_for_key(key, guard);
             let node = unsafe { node_s.deref() };
             let next_snapshot = node.next.load(Ordering::Acquire, guard);
@@ -44,6 +53,16 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             }
             if node.next.load(Ordering::Acquire, guard) != next_snapshot {
                 continue; // a split or merge happened underneath us
+            }
+            if let Some(succ) = unsafe { next_snapshot.as_ref() } {
+                if succ.key.le(key) {
+                    // The walk's floor view went stale: a split carved
+                    // the key's range out to a new right node after the
+                    // traversal read this node's `next`. Installing here
+                    // would plant the key beyond the node's boundary
+                    // (Algorithm 1's `key < next.key` re-check).
+                    continue;
+                }
             }
             return Located { node: node_s, head: head_s };
         }
@@ -67,7 +86,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 self.complete_merge(rev_s, guard);
                 if let Some(desc) = rev.batch_descriptor() {
                     let desc = desc.clone();
-                    self.help_batch(&desc);
+                    self.help_batch_fully(&desc);
                 }
             }
             RevKind::LeftSplit(_) => {
@@ -75,7 +94,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 match rev.batch_descriptor() {
                     Some(desc) => {
                         let desc = desc.clone();
-                        self.help_batch(&desc);
+                        self.help_batch_fully(&desc);
                     }
                     None => {
                         finalize_cell(&self.clock, rev.vref.cell());
@@ -88,7 +107,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 match rev.batch_descriptor() {
                     Some(desc) => {
                         let desc = desc.clone();
-                        self.help_batch(&desc);
+                        self.help_batch_fully(&desc);
                     }
                     None => {
                         finalize_cell(&self.clock, rev.vref.cell());
@@ -98,7 +117,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             RevKind::Regular => match rev.batch_descriptor() {
                 Some(desc) => {
                     let desc = desc.clone();
-                    self.help_batch(&desc);
+                    self.help_batch_fully(&desc);
                 }
                 None => {
                     finalize_cell(&self.clock, rev.vref.cell());

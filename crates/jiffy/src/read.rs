@@ -44,30 +44,56 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             if node.next.load(Ordering::Acquire, guard) != next_snapshot {
                 continue;
             }
+            if let Some(succ) = unsafe { next_snapshot.as_ref() } {
+                if succ.key.le(key) {
+                    // Stale floor: a split moved the key's range to a
+                    // new right node after the traversal read `next`;
+                    // reading here would return the left half's (old)
+                    // view of the key (Algorithm 2's `key < next.key`
+                    // re-check).
+                    continue;
+                }
+            }
             return (node_s, head_s);
         }
     }
 
     /// Get the most recent value for `key` (`get`, Algorithm 2 lines 1-2,
     /// 25-34).
+    ///
+    /// Unlike snapshot reads, `get` holds no registered snapshot, so the
+    /// revision GC floor is not bounded by this reader: a revision this
+    /// walk observed as *pending* (and therefore skipped) can finalize
+    /// and become the GC keep point mid-walk, with everything behind it
+    /// cut — the skip then runs off the severed chain. Running off the
+    /// end is exactly that signature (a revision list always ends at the
+    /// never-collected initial revision otherwise), so the walk restarts
+    /// from a fresh head, which by then is (or sits above) a finalized
+    /// revision. Snapshot readers don't need this: their registered
+    /// version bounds the floor, so the keep point is never skippable
+    /// for them.
     pub(crate) fn get(&self, key: &K) -> Option<V> {
         let guard = &epoch::pin();
-        let (_, head_s) = self.locate_for_read(key, guard);
-        self.note_read(head_s, guard);
-        let mut rev_s = head_s;
-        loop {
-            if rev_s.is_null() {
-                return None;
+        'restart: loop {
+            let (_, head_s) = self.locate_for_read(key, guard);
+            self.note_read(head_s, guard);
+            let mut rev_s = head_s;
+            loop {
+                if rev_s.is_null() {
+                    continue 'restart;
+                }
+                let rev = unsafe { rev_s.deref() };
+                if rev.version() >= 0 {
+                    return rev.data.get(key).cloned();
+                }
+                // Pending: skip, choosing the branch that covers the key.
+                rev_s = match rev.as_merge() {
+                    Some(mi) if mi.right_key <= *key => {
+                        mi.right_next.load(Ordering::Acquire, guard)
+                    }
+                    _ => rev.next.load(Ordering::Acquire, guard),
+                };
             }
-            let rev = unsafe { rev_s.deref() };
-            if rev.version() >= 0 {
-                return rev.data.get(key).cloned();
-            }
-            // Pending: skip, choosing the branch that covers the key.
-            rev_s = match rev.as_merge() {
-                Some(mi) if mi.right_key <= *key => mi.right_next.load(Ordering::Acquire, guard),
-                _ => rev.next.load(Ordering::Acquire, guard),
-            };
         }
     }
 

@@ -64,6 +64,13 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                         NodeKey::NegInf => unreachable!("base node is never a successor"),
                     }
                 };
+                if upper.as_ref().is_some_and(|u| u <= &cursor) {
+                    // Stale floor: a split carved the cursor's range out
+                    // to a new right node after the traversal read
+                    // `next` — this window would be empty (or worse,
+                    // move the cursor backwards). Relocate.
+                    continue;
+                }
                 break (node_s, head_s, upper);
             };
             self.note_read(head_s, guard);

@@ -12,11 +12,14 @@
 //!
 //! Safety of the min computation: a scanner may miss a slot that is being
 //! claimed concurrently, but any snapshot registered after the scan began
-//! gets a version no lower than the clock at that moment, so a stale
-//! minimum is always a *conservative* (lower) bound — it can only retain
-//! extra garbage, never free something a reader needs. For the same
-//! reason a reused slot's stale version (visible for an instant before the
-//! claimer stores its own) is harmless: it is older, hence lower.
+//! gets a version no lower than the clock *at the moment the scan began*
+//! — which is why `min_version` caps its result by a clock value read
+//! before the walk (see the method docs for the preemption race the cap
+//! closes). A stale minimum is therefore always a *conservative* (lower)
+//! bound — it can only retain extra garbage, never free something a
+//! reader needs. For the same reason a reused slot's stale version
+//! (visible for an instant before the claimer stores its own) is
+//! harmless: it is older, hence lower.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 
@@ -100,10 +103,25 @@ impl SnapRegistry {
         }
     }
 
-    /// Minimum registered snapshot version; `now` (a fresh clock read) if
-    /// no snapshot is active. The result is a safe lower bound per the
-    /// module-level argument.
+    /// Minimum registered snapshot version, **capped by a clock value
+    /// read before the walk begins**; the pre-walk value alone if no
+    /// snapshot is active.
+    ///
+    /// The cap is what makes the result a safe GC floor under
+    /// preemption. A scanner can miss a slot whose claim races the walk;
+    /// the claimer re-reads the clock *after* claiming (see
+    /// `JiffyMap::snapshot`), so its final version is `>=` any clock
+    /// value read before the claim — in particular `>=` our pre-walk
+    /// read. Without the cap, both of the walk's other inputs can exceed
+    /// that bound when the scanner is descheduled mid-walk: the old code
+    /// read the no-snapshot fallback *after* the walk (deschedule after
+    /// the walk, reader registers at 110, scanner wakes and reads 150 →
+    /// floor 150 over a live reader at 110), and a slot visited late in
+    /// the walk can carry a version stamped after the missed claim. Both
+    /// holes let the §3.3.4 revision GC cut history a just-registered
+    /// snapshot still needs.
     pub(crate) fn min_version<C: VersionClock>(&self, clock: &C) -> i64 {
+        let pre_walk = clock.now() as i64;
         let mut min: Option<i64> = None;
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
@@ -114,7 +132,7 @@ impl SnapRegistry {
             }
             cur = slot.next;
         }
-        min.unwrap_or_else(|| clock.now() as i64)
+        min.map_or(pre_walk, |m| m.min(pre_walk))
     }
 
     /// Number of slots ever allocated (for tests/telemetry).
@@ -145,19 +163,45 @@ mod tests {
     use super::*;
     use jiffy_clock::AtomicClock;
 
+    /// Advance `clock` past `target` (slot versions must be past clock
+    /// reads for the pre-walk cap to be inactive, as in real use).
+    fn advance_past(clock: &AtomicClock, target: i64) {
+        while (clock.now() as i64) <= target {}
+    }
+
     #[test]
     fn register_and_min() {
         let clock = AtomicClock::new();
         let reg = SnapRegistry::new();
         let a = reg.register(100);
         let b = reg.register(50);
+        advance_past(&clock, 100);
         assert_eq!(reg.min_version(&clock), 50);
         b.release();
         assert_eq!(reg.min_version(&clock), 100);
         a.release();
-        // No active snapshots: min falls back to "now".
+        // No active snapshots: min falls back to a fresh clock read.
         let now_floor = clock.now() as i64;
         assert!(reg.min_version(&clock) >= now_floor);
+    }
+
+    #[test]
+    fn min_never_exceeds_a_pre_call_clock_read() {
+        // The §3.3.4 floor must be capped by a clock value read before
+        // the slot walk: a slot claimed-but-missed during the walk
+        // re-reads the clock after claiming, so its version is >= any
+        // pre-walk read. Registered versions *above* the current clock
+        // (impossible in real use, adversarial here) must not leak
+        // through as the floor.
+        let clock = AtomicClock::new();
+        let reg = SnapRegistry::new();
+        let _slot = reg.register(1_000_000);
+        let pre = clock.now() as i64;
+        let floor = reg.min_version(&clock);
+        assert!(
+            floor <= pre + 1,
+            "floor {floor} exceeds the pre-call clock {pre}: unsafe for missed registrations"
+        );
     }
 
     #[test]
@@ -176,10 +220,98 @@ mod tests {
         let clock = AtomicClock::new();
         let reg = SnapRegistry::new();
         let s = reg.register(10);
+        advance_past(&clock, 10);
         assert_eq!(reg.min_version(&clock), 10);
         s.refresh(500);
         assert_eq!(s.version(), 500);
+        advance_past(&clock, 500);
         assert_eq!(reg.min_version(&clock), 500);
+    }
+
+    /// A monotone clock that yields the thread on a fraction of reads —
+    /// injected preemption at the exact points (`clock.now()` calls)
+    /// where the §3.3.4 floor race needs the scheduler to strike. On the
+    /// pre-fix `min_version` (post-walk fallback read, uncapped minima)
+    /// this makes `floor_never_passes_a_racing_registration` fail within
+    /// milliseconds; the pre-walk cap makes it a theorem.
+    struct YieldyClock {
+        inner: AtomicClock,
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl YieldyClock {
+        fn new() -> Self {
+            YieldyClock { inner: AtomicClock::new(), calls: std::sync::atomic::AtomicU64::new(0) }
+        }
+    }
+
+    impl VersionClock for YieldyClock {
+        fn now(&self) -> u64 {
+            if self.calls.fetch_add(1, Ordering::Relaxed) % 7 == 0 {
+                std::thread::yield_now();
+            }
+            self.inner.now()
+        }
+
+        fn name(&self) -> &'static str {
+            "yieldy"
+        }
+    }
+
+    #[test]
+    fn floor_never_passes_a_racing_registration() {
+        // Safety property of the GC floor: once a registration has
+        // re-read the clock and refreshed its slot (the §3.3.4 "refresh
+        // immediately" step, exactly what `JiffyMap::snapshot` does), no
+        // floor published afterwards may exceed that slot's version —
+        // otherwise the revision GC can reclaim history the snapshot
+        // still needs. `published` plays the role of `cached_min`.
+        use std::sync::atomic::AtomicI64;
+        let clock = YieldyClock::new();
+        let reg = SnapRegistry::new();
+        let published = AtomicI64::new(0);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (reg, clock, published, stop) = (&reg, &clock, &published, &stop);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let floor = reg.min_version(clock);
+                        published.fetch_max(floor, Ordering::AcqRel);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let (reg, clock, published, stop) = (&reg, &clock, &published, &stop);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // JiffyMap::snapshot's registration protocol...
+                        let v0 = clock.now() as i64;
+                        let slot = reg.register(v0);
+                        let version = clock.now() as i64;
+                        slot.refresh(version);
+                        // ...then hold the snapshot briefly, as any real
+                        // reader does. The invariant under test: while a
+                        // slot is active at `version`, no published
+                        // floor may exceed it (a violating floor lands
+                        // moments after the refresh, when the suspended
+                        // scanner wakes up — so keep re-checking).
+                        for _ in 0..40 {
+                            let floor = published.load(Ordering::Acquire);
+                            assert!(
+                                floor <= version,
+                                "GC floor {floor} passed a live registration at {version}: \
+                                 min_version raced the registry walk"
+                            );
+                            std::thread::yield_now();
+                        }
+                        slot.release();
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 
     #[test]
@@ -209,6 +341,7 @@ mod tests {
         let clock = AtomicClock::new();
         let reg = SnapRegistry::new();
         let slots: Vec<_> = (0..10).map(|i| reg.register(1000 - i)).collect();
+        advance_past(&clock, 1000);
         assert_eq!(reg.min_version(&clock), 991);
         for s in slots {
             s.release();

@@ -46,7 +46,16 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         let node = unsafe { node_s.deref() };
         let lsr = unsafe { lsr_s.deref() };
         let info = lsr.as_split().expect("help_split takes a left split revision").clone();
+        #[cfg(debug_assertions)]
+        let mut spins = 0u64;
         loop {
+            #[cfg(debug_assertions)]
+            {
+                spins += 1;
+                if spins > 30_000_000 {
+                    panic!("help_split livelock: lsr_ver={}", lsr.version());
+                }
+            }
             if lsr.version() >= 0 {
                 // Split already completed (possibly long ago). If a stale
                 // temp of ours lingers, the next traversal removes it.

@@ -1,0 +1,281 @@
+//! Cross-index two-phase batches: Jiffy's pending-version protocol
+//! (§3.3.2–§3.3.3) lifted across map instances.
+//!
+//! Inside one `JiffyMap`, a batch is atomic because every revision it
+//! creates reads its version through one shared [`BatchDescriptor`]: the
+//! CAS that finalizes the descriptor's version cell is the batch's
+//! linearization point. Nothing in that argument requires the revisions
+//! to live in one map — only that they read *one* cell and that all
+//! version numbers come from *one* clock. This module exposes exactly
+//! that generalization through [`index_api::TwoPhaseBatch`]:
+//!
+//! * [`JiffyMap::pending_version`] draws one optimistic version from the
+//!   map's clock and wraps it in a ticket ([`TwoPhaseTicket`], state
+//!   machine `Pending -> Committed/Aborted`);
+//! * [`JiffyMap::prepare_batch`] stages a sub-batch whose descriptor
+//!   *shares* the ticket's cell and carries the coordinator's resolver;
+//! * [`JiffyMap::install_prepared`] installs the staged revisions (all
+//!   still invisible: readers skip pending revisions, and the shared
+//!   cell is still negative);
+//! * [`JiffyMap::commit_pending`] finalizes the shared cell — at that
+//!   single CAS every sub-batch on every participating map becomes
+//!   visible at once.
+//!
+//! Helping: any thread that encounters one of the batch's pending
+//! revisions (a reader resolving a snapshot, a writer stacking a new
+//! revision, another batch) first drives the *local* installation via
+//! the ordinary §3.3.3 helping loop, then invokes the resolver, which
+//! installs every sibling sub-batch and commits. A stalled initiator
+//! therefore never blocks anyone — the exact progress property the
+//! `CrossBatchEpoch` serialization this replaces could not offer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use index_api::{Batch, BatchPhase, BatchResolver, PendingVersion, PreparedBatch, TwoPhaseBatch};
+use jiffy_clock::VersionClock;
+
+use crate::batch::BatchDescriptor;
+use crate::inner::{MapKey, MapValue};
+use crate::version::{finalize_cell, optimistic_version, VersionCell};
+use crate::JiffyMap;
+
+/// The shared pending version of one cross-index batch. All sub-batch
+/// descriptors bound to this ticket read the same [`VersionCell`], so the
+/// commit CAS flips every one of them simultaneously.
+pub struct TwoPhaseTicket {
+    cell: Arc<VersionCell>,
+    aborted: AtomicBool,
+}
+
+impl TwoPhaseTicket {
+    pub(crate) fn cell(&self) -> &Arc<VersionCell> {
+        &self.cell
+    }
+}
+
+impl PendingVersion for TwoPhaseTicket {
+    fn version(&self) -> i64 {
+        self.cell.load()
+    }
+
+    fn phase(&self) -> BatchPhase {
+        if self.aborted.load(Ordering::Acquire) {
+            BatchPhase::Aborted
+        } else if self.cell.load() >= 0 {
+            BatchPhase::Committed
+        } else {
+            BatchPhase::Pending
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// One staged sub-batch (phase 1) of a cross-index two-phase batch.
+pub struct TwoPhasePrepared<K, V> {
+    desc: Arc<BatchDescriptor<K, V>>,
+}
+
+impl<K: MapKey, V: MapValue> PreparedBatch for TwoPhasePrepared<K, V> {
+    fn is_installed(&self) -> bool {
+        self.desc.progress() >= self.desc.len()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+fn ticket_of(pending: &dyn PendingVersion) -> &TwoPhaseTicket {
+    pending
+        .as_any()
+        .downcast_ref::<TwoPhaseTicket>()
+        .expect("the pending version must come from JiffyMap::pending_version")
+}
+
+impl<K: MapKey, V: MapValue, C: VersionClock> TwoPhaseBatch<K, V> for JiffyMap<K, V, C> {
+    fn pending_version(&self) -> Arc<dyn PendingVersion> {
+        Arc::new(TwoPhaseTicket {
+            cell: Arc::new(VersionCell::with_value(optimistic_version(&self.inner.clock))),
+            aborted: AtomicBool::new(false),
+        })
+    }
+
+    fn prepare_batch(
+        &self,
+        batch: Batch<K, V>,
+        pending: &Arc<dyn PendingVersion>,
+        resolver: BatchResolver,
+    ) -> Arc<dyn PreparedBatch> {
+        let ticket = ticket_of(pending.as_ref());
+        debug_assert_eq!(
+            ticket.phase(),
+            BatchPhase::Pending,
+            "sub-batches may only be staged on a still-pending ticket"
+        );
+        Arc::new(TwoPhasePrepared {
+            desc: Arc::new(BatchDescriptor::new_two_phase(
+                Arc::clone(ticket.cell()),
+                resolver,
+                batch.into_ops(),
+            )),
+        })
+    }
+
+    fn install_prepared(&self, prepared: &dyn PreparedBatch) {
+        let prepared = prepared
+            .as_any()
+            .downcast_ref::<TwoPhasePrepared<K, V>>()
+            .expect("the prepared batch must come from this map type's prepare_batch");
+        if prepared.desc.len() == 0 {
+            return;
+        }
+        self.inner.help_batch(&prepared.desc);
+        self.inner.bump_update_tick();
+    }
+
+    fn commit_pending(&self, pending: &dyn PendingVersion) -> i64 {
+        let ticket = ticket_of(pending);
+        debug_assert!(
+            !ticket.aborted.load(Ordering::Acquire),
+            "an aborted ticket must never be committed"
+        );
+        finalize_cell(&self.inner.clock, ticket.cell())
+    }
+
+    fn abort_pending(&self, pending: &dyn PendingVersion) -> bool {
+        let ticket = ticket_of(pending);
+        if ticket.cell.load() >= 0 {
+            return false;
+        }
+        ticket.aborted.store(true, Ordering::Release);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use index_api::BatchOp;
+
+    type SharedMap = JiffyMap<u64, u64, Arc<dyn VersionClock>>;
+    type StagedSubs = Vec<(usize, Arc<dyn PreparedBatch>)>;
+
+    fn two_maps_one_clock() -> (Arc<SharedMap>, Arc<SharedMap>) {
+        // Reuse the sharding wiring: one DefaultClock shared via Arc.
+        let clock: Arc<dyn VersionClock> = Arc::new(jiffy_clock::DefaultClock::default());
+        let a = Arc::new(JiffyMap::with_clock_and_config(
+            Arc::clone(&clock),
+            crate::JiffyConfig::default(),
+        ));
+        let b = Arc::new(JiffyMap::with_clock_and_config(clock, crate::JiffyConfig::default()));
+        (a, b)
+    }
+
+    fn resolver_for(
+        maps: &[Arc<SharedMap>; 2],
+        ticket: &Arc<dyn PendingVersion>,
+        subs: &Arc<std::sync::OnceLock<StagedSubs>>,
+    ) -> BatchResolver {
+        let maps = [Arc::clone(&maps[0]), Arc::clone(&maps[1])];
+        let ticket = Arc::clone(ticket);
+        let subs = Arc::clone(subs);
+        Arc::new(move || {
+            let Some(subs) = subs.get() else { return };
+            for (i, prepared) in subs.iter() {
+                maps[*i].install_prepared(prepared.as_ref());
+            }
+            maps[0].commit_pending(ticket.as_ref());
+        })
+    }
+
+    #[test]
+    fn two_phase_commit_is_atomic_across_maps() {
+        let (a, b) = two_maps_one_clock();
+        a.put(1, 0);
+        b.put(2, 0);
+        let maps = [Arc::clone(&a), Arc::clone(&b)];
+        let ticket = a.pending_version();
+        assert_eq!(ticket.phase(), BatchPhase::Pending);
+        assert!(ticket.version() < 0);
+        let subs = Arc::new(std::sync::OnceLock::new());
+        let resolver = resolver_for(&maps, &ticket, &subs);
+        let pa =
+            a.prepare_batch(Batch::new(vec![BatchOp::Put(1, 7)]), &ticket, Arc::clone(&resolver));
+        let pb = b.prepare_batch(Batch::new(vec![BatchOp::Put(2, 7)]), &ticket, resolver);
+        subs.set(vec![(0, Arc::clone(&pa)), (1, Arc::clone(&pb))]).ok();
+
+        // Staged but not installed: nothing changed.
+        assert!(!pa.is_installed() && !pb.is_installed());
+        assert_eq!((a.get(&1), b.get(&2)), (Some(0), Some(0)));
+
+        // Installed but pending: still nothing visible.
+        a.install_prepared(pa.as_ref());
+        b.install_prepared(pb.as_ref());
+        assert!(pa.is_installed() && pb.is_installed());
+        assert_eq!((a.get(&1), b.get(&2)), (Some(0), Some(0)));
+
+        // Commit: both flip at once.
+        let v = a.commit_pending(ticket.as_ref());
+        assert!(v > 0);
+        assert_eq!(ticket.phase(), BatchPhase::Committed);
+        assert_eq!(ticket.version(), v);
+        assert_eq!((a.get(&1), b.get(&2)), (Some(7), Some(7)));
+        // Commit is idempotent.
+        assert_eq!(b.commit_pending(ticket.as_ref()), v);
+    }
+
+    #[test]
+    fn reader_helping_completes_a_stalled_batch() {
+        // Install only map A's half, then make a snapshot reader of A
+        // resolve the pending entry: the resolver must install B's half
+        // and commit, without the initiator ever finishing.
+        let (a, b) = two_maps_one_clock();
+        a.put(1, 0);
+        b.put(2, 0);
+        let maps = [Arc::clone(&a), Arc::clone(&b)];
+        let ticket = a.pending_version();
+        let subs = Arc::new(std::sync::OnceLock::new());
+        let resolver = resolver_for(&maps, &ticket, &subs);
+        let pa =
+            a.prepare_batch(Batch::new(vec![BatchOp::Put(1, 9)]), &ticket, Arc::clone(&resolver));
+        let pb = b.prepare_batch(Batch::new(vec![BatchOp::Put(2, 9)]), &ticket, resolver);
+        subs.set(vec![(0, Arc::clone(&pa)), (1, Arc::clone(&pb))]).ok();
+        a.install_prepared(pa.as_ref());
+        // Initiator "stalls" here: B not installed, nothing committed.
+        assert!(!pb.is_installed());
+
+        // A snapshot read of the pending key helps the whole batch.
+        let snap = a.snapshot();
+        let got = snap.get(&1);
+        assert_eq!(ticket.phase(), BatchPhase::Committed, "reader must resolve the batch");
+        assert!(pb.is_installed(), "helping must install the sibling sub-batch");
+        assert_eq!(b.get(&2), Some(9));
+        // The reader itself sees pre- or post-batch state depending on
+        // where the commit version landed relative to its snapshot — but
+        // never a torn mix, and a fresh read sees the batch.
+        assert!(got == Some(0) || got == Some(9));
+        assert_eq!(a.get(&1), Some(9));
+    }
+
+    #[test]
+    fn abort_before_install_is_clean() {
+        let (a, b) = two_maps_one_clock();
+        let ticket = a.pending_version();
+        let subs: Arc<std::sync::OnceLock<StagedSubs>> = Arc::new(std::sync::OnceLock::new());
+        let resolver = resolver_for(&[Arc::clone(&a), Arc::clone(&b)], &ticket, &subs);
+        let _pa = a.prepare_batch(Batch::new(vec![BatchOp::Put(5, 5)]), &ticket, resolver);
+        assert!(a.abort_pending(ticket.as_ref()));
+        assert_eq!(ticket.phase(), BatchPhase::Aborted);
+        // Nothing was installed, so the map is untouched.
+        assert_eq!(a.get(&5), None);
+        // An aborted ticket reports its phase but a committed one wins
+        // the abort race the other way.
+        let t2 = a.pending_version();
+        a.commit_pending(t2.as_ref());
+        assert!(!a.abort_pending(t2.as_ref()), "commit must beat a late abort");
+    }
+}

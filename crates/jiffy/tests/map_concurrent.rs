@@ -294,6 +294,153 @@ fn snapshot_gc_under_churn_keeps_old_reads_valid() {
 }
 
 #[test]
+fn merge_helper_races_keep_ranges_disjoint() {
+    // Targeted stress for the reproduced ~1/40 debug-suite flake (the
+    // `concat` "merge ranges must be adjacent and ordered" assert out of
+    // `help_merge_terminator`, see CHANGES.md PR 4): a helper that read
+    // the predecessor's head while stalled in merge phase 1 could build
+    // a SECOND merge revision after the real one was adopted, completed,
+    // and buried under fresh revisions — duplicating the merged node's
+    // range, with stale history born-visible. The fix revalidates
+    // `merge_rev` after reading the head; this test recreates the
+    // conditions as hard as possible: constant merges (tiny revisions,
+    // small key space, remove-heavy churn), constant helping (snapshot
+    // readers + writers on the same nodes), and 3x oversubscription so
+    // helpers get preempted inside the phase-1 window. In debug builds
+    // the concat/adoption asserts police the invariant directly; the
+    // final sweep checks get/scan agreement either way.
+    // A dozen keys over 3-6 nodes: every merge, helper, and follow-up
+    // put collides on the same few heads.
+    const KEYS: u64 = 12;
+    let map: Arc<JiffyMap<u64, u64>> = Arc::new(JiffyMap::with_config(tiny_config()));
+    for k in 0..KEYS {
+        map.put(k, 1);
+    }
+    let stop = AtomicBool::new(false);
+    thread::scope(|s| {
+        let n = 3 * threads();
+        for t in 0..n as u64 {
+            let map = &map;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut rng = XorShift(0x9E37 ^ (t + 1));
+                let mut i = 2u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = rng.next() % KEYS;
+                    if t % 3 == 2 {
+                        // Helper traffic: snapshot reads resolve pending
+                        // merges/updates on whatever node covers k.
+                        let snap = map.snapshot();
+                        std::hint::black_box(snap.get(&k));
+                    } else {
+                        // Merge-heavy churn: remove then immediately
+                        // repopulate, so nodes oscillate around the
+                        // merge threshold and freshly merged heads grow
+                        // new revisions at once (the racy window).
+                        map.remove(&k);
+                        map.put(k, i);
+                        i += 1;
+                    }
+                    if i % 128 == 0 {
+                        thread::yield_now();
+                    }
+                }
+            });
+        }
+        thread::sleep(Duration::from_millis(2000));
+        stop.store(true, Ordering::Relaxed);
+    });
+    // Structure intact: sorted unique scan, and gets agree with it.
+    let snap = map.snapshot();
+    let all = snap.range(&0, usize::MAX);
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "duplicate or unsorted keys after churn");
+    for (k, v) in &all {
+        assert_eq!(map.get(k), Some(*v), "get({k}) disagrees with scan");
+    }
+}
+
+#[test]
+fn snapshot_registration_races_gc_floor_under_preemption() {
+    // Targeted §3.3.4 stress for the GC-floor race fixed in PR 4 (one of
+    // the defects found while root-causing the ~1/40 full-suite flake;
+    // see CHANGES.md): the floor (`SnapRegistry::min_version`) used to
+    // read its no-snapshot fallback clock *after* walking the slot list
+    // and never capped slot-derived minima, so a floor scanner
+    // descheduled mid-walk could publish a floor ABOVE a snapshot
+    // registered during the walk — licensing the revision GC to cut
+    // history that snapshot still needs (observable as a fresh snapshot
+    // missing keys that were never removed).
+    //
+    // Reproduce the conditions deliberately: maximal floor-publication
+    // frequency (`updates_per_min_scan: 1` — every update rescans the
+    // registry), 3x thread oversubscription, and yield injection around
+    // snapshot registration so the preemption the 1-core box produced by
+    // accident happens by design.
+    let map: Arc<JiffyMap<u64, u64>> = Arc::new(JiffyMap::with_config(JiffyConfig {
+        min_revision_size: 2,
+        max_revision_size: 8,
+        fixed_revision_size: Some(4),
+        updates_per_min_scan: 1,
+        ..Default::default()
+    }));
+    const KEYS: u64 = 64;
+    for k in 0..KEYS {
+        map.put(k, 1);
+    }
+    let stop = AtomicBool::new(false);
+    let snapshots_taken = AtomicU64::new(0);
+    let oversubscribed = 3 * threads();
+    thread::scope(|s| {
+        // Writers: hot churn over a small key space; puts only, so every
+        // key stays present forever — any snapshot missing one read
+        // through a GC overshoot.
+        for t in 0..oversubscribed as u64 / 2 {
+            let map = &map;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut rng = XorShift(0xF100D ^ (t + 1));
+                let mut i = 2u64;
+                while !stop.load(Ordering::Relaxed) {
+                    map.put(rng.next() % KEYS, i);
+                    i += 1;
+                    if i % 64 == 0 {
+                        thread::yield_now();
+                    }
+                }
+            });
+        }
+        // Snapshotters: short-lived snapshots, registered as fast as
+        // possible, with yields stretching the registration window the
+        // floor race needs.
+        for t in 0..(oversubscribed as u64 / 2).max(1) {
+            let map = &map;
+            let stop = &stop;
+            let snapshots_taken = &snapshots_taken;
+            s.spawn(move || {
+                let mut rng = XorShift(0x5EE ^ (t + 1));
+                while !stop.load(Ordering::Relaxed) {
+                    thread::yield_now();
+                    let snap = map.snapshot();
+                    thread::yield_now();
+                    for _ in 0..4 {
+                        let k = rng.next() % KEYS;
+                        assert!(
+                            snap.get(&k).is_some(),
+                            "key {k} (never removed) vanished from a fresh snapshot: \
+                             the GC floor passed a live registration"
+                        );
+                    }
+                    snapshots_taken.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        thread::sleep(Duration::from_millis(1500));
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(snapshots_taken.load(Ordering::Relaxed) > 100, "snapshotters made no progress");
+}
+
+#[test]
 fn mixed_workload_smoke() {
     // Everything at once: puts, removes, gets, scans, batches, snapshots.
     let map: Arc<JiffyMap<u64, u64>> = Arc::new(JiffyMap::with_config(tiny_config()));

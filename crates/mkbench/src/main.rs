@@ -342,6 +342,112 @@ fn cmd_compare(argv: &[String]) {
     }
 }
 
+/// Build a Jiffy-sharded map on one shared clock with either batch
+/// coordination path: `two_phase == false` reconstructs the pre-PR-4
+/// epoch-serialized coordinator (kept as the fallback for non-two-phase
+/// shard types), `true` is the shipping pending-version protocol.
+fn sharded_jiffy_batch_bench(
+    shards: usize,
+    key_space: u64,
+    two_phase: bool,
+) -> jiffy_shard::ShardedIndex<u64, u64, jiffy::JiffyMap<u64, u64, jiffy_shard::SharedClock>> {
+    let clock: jiffy_shard::SharedClock = Arc::new(jiffy::DefaultClock::default());
+    let router = jiffy_shard::Router::range_uniform(shards, key_space);
+    let built: Vec<_> = (0..shards)
+        .map(|_| {
+            jiffy::JiffyMap::with_clock_and_config(
+                Arc::clone(&clock),
+                jiffy::JiffyConfig::default(),
+            )
+        })
+        .collect();
+    if two_phase {
+        jiffy_shard::ShardedIndex::new_two_phase(built, router, clock)
+    } else {
+        jiffy_shard::ShardedIndex::new_coordinated(built, router, clock)
+    }
+}
+
+/// The `cross-batch` contention scenario: every batch touches every
+/// shard — the workload `CrossBatchEpoch` serialized — in two shapes.
+/// *overlapping*: all writers hammer the same key per shard (max
+/// conflict; two-phase pays for helping storms that the epoch's simple
+/// mutual exclusion avoids). *disjoint*: each writer owns its keys
+/// (zero logical conflict; the epoch still serializes these, two-phase
+/// commits them independently — the shape this protocol exists for).
+fn cmd_sharding_cross_batch(args: &Args) {
+    use index_api::OrderedIndex as _;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    // Honor --shards; a cross-shard batch needs at least two shards to
+    // exist, so 1 bumps to the minimum meaningful count (announced in
+    // the header line below).
+    let shards = args.shards.max(2);
+    println!(
+        "## cross-batch contention (all-shard batches, {shards} shards, epoch-serialized vs two-phase)"
+    );
+    for disjoint in [false, true] {
+        println!("# {} writers", if disjoint { "disjoint-key" } else { "overlapping-key" });
+        for &t in &args.threads {
+            let mut rates = Vec::new();
+            let mut line = format!("t={t:<2}");
+            for (label, two_phase) in [("serialized", false), ("two-phase", true)] {
+                let map = sharded_jiffy_batch_bench(shards, args.keys, two_phase);
+                // The router splits [0, keys) into `shards` equal ranges
+                // of exactly this width.
+                let span = (args.keys / shards as u64).max(1);
+                // One key per shard per writer, so every batch crosses
+                // all shards; disjoint mode spreads writers inside each
+                // shard's range. Offsets are clamped strictly inside the
+                // span so the all-shard premise survives any --keys
+                // value (disjointness additionally needs span > t + 2,
+                // true at any realistic key-space size).
+                let keys_for = |w: u64| -> Vec<u64> {
+                    (0..shards as u64)
+                        .map(|s| {
+                            let offset = if disjoint {
+                                1 + (w + 1) * span.saturating_sub(1) / (t as u64 + 2)
+                            } else {
+                                span / 2
+                            };
+                            s * span + offset.min(span - 1)
+                        })
+                        .collect()
+                };
+                for w in 0..t as u64 {
+                    map.batch_update(workload_batch(&keys_for(w), 0));
+                }
+                let stop = AtomicBool::new(false);
+                let commits = AtomicU64::new(0);
+                std::thread::scope(|s| {
+                    for w in 0..t as u64 {
+                        let keys = keys_for(w);
+                        let (map, stop, commits) = (&map, &stop, &commits);
+                        s.spawn(move || {
+                            let mut stamp = w + 1;
+                            while !stop.load(Ordering::Relaxed) {
+                                map.batch_update(workload_batch(&keys, stamp));
+                                commits.fetch_add(1, Ordering::Relaxed);
+                                stamp += t as u64;
+                            }
+                        });
+                    }
+                    std::thread::sleep(Duration::from_secs_f64(args.secs));
+                    stop.store(true, Ordering::Relaxed);
+                });
+                let rate = commits.load(Ordering::Relaxed) as f64 / args.secs;
+                rates.push(rate);
+                line.push_str(&format!("  {label}: {rate:>10.0} batches/s"));
+            }
+            line.push_str(&format!("  ({:.2}x)", rates[1] / rates[0].max(1e-9)));
+            println!("{line}");
+        }
+    }
+}
+
+fn workload_batch(keys: &[u64], stamp: u64) -> index_api::Batch<u64, u64> {
+    index_api::Batch::new(keys.iter().map(|k| index_api::BatchOp::Put(*k, stamp)).collect())
+}
+
 /// Where sharding wins and where skew kills it: the update-heavy
 /// scenario over uniform vs shard-skewed traffic, unsharded Jiffy vs
 /// `sharded-jiffy` at 2 and 8 shards. Splits are chosen per distribution
@@ -375,6 +481,7 @@ fn cmd_sharding(args: &Args) {
             );
         }
     }
+    cmd_sharding_cross_batch(args);
 }
 
 /// §4.3 headline: large random batches, Jiffy vs the lock-based CA trees.

@@ -238,6 +238,107 @@ fn sharded_cross_shard_batches_and_scans_linearize() {
     }
 }
 
+/// The two-phase successor of the test above: N *overlapping*
+/// cross-shard batches race point ops and consistent scans with **no**
+/// epoch serialization anywhere on the commit path — every multi-shard
+/// batch runs the shared pending-version protocol and concurrent
+/// batches commit independently (the PR-3 version of this test ran all
+/// cross-shard batches one-at-a-time behind `CrossBatchEpoch`). The
+/// Wing–Gong checker then certifies the combined history: batches must
+/// appear atomic, scans must cut consistently across shards, and the
+/// helping performed by readers/writers that run into pending entries
+/// must never manufacture an impossible interleaving.
+#[test]
+fn concurrent_cross_shard_batches_linearize() {
+    for round in 0..30 {
+        // Three shards split at 3 and 6; batches span all three.
+        let map: ShardedJiffy<u64, u64> = ShardedJiffy::with_router(
+            Router::range(vec![3, 6]),
+            jiffy::JiffyConfig {
+                min_revision_size: 2,
+                max_revision_size: 8,
+                fixed_revision_size: Some(2),
+                ..Default::default()
+            },
+        );
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            // Three overlapping all-shard batchers (the serialized
+            // design's worst case: they used to take the epoch in turn).
+            for t in 0..3u64 {
+                let map = &map;
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..3u64 {
+                        let stamp = round * 1000 + t * 100 + i;
+                        rec.run(|| {
+                            map.batch_update(Batch::new(vec![
+                                BatchOp::Put(1, stamp), // shard 0
+                                BatchOp::Put(4, stamp), // shard 1
+                                BatchOp::Put(7, stamp), // shard 2
+                            ]));
+                            (
+                                Op::Batch(vec![
+                                    (1, Some(stamp)),
+                                    (4, Some(stamp)),
+                                    (7, Some(stamp)),
+                                ]),
+                                (),
+                            )
+                        });
+                    }
+                });
+            }
+            // A point-op thread hopping across all three shards.
+            {
+                let map = &map;
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..4u64 {
+                        let k = [0u64, 4, 8, 1][i as usize % 4];
+                        match i % 3 {
+                            0 => {
+                                rec.run(|| {
+                                    map.put(k, round * 10_000 + i);
+                                    (Op::Put(k, round * 10_000 + i), ())
+                                });
+                            }
+                            1 => {
+                                rec.run(|| {
+                                    let got = map.get(&k);
+                                    (Op::Get(k, got), ())
+                                });
+                            }
+                            _ => {
+                                rec.run(|| {
+                                    let had = map.remove(&k);
+                                    (Op::Remove(k, had), ())
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+            // One consistent cross-shard scanner.
+            let map = &map;
+            let rec = &rec;
+            s.spawn(move || {
+                for _ in 0..4 {
+                    rec.run(|| {
+                        let got: Vec<(u64, u64)> = map
+                            .scan_collect(&0, usize::MAX)
+                            .into_iter()
+                            .filter(|(k, _)| *k <= 8)
+                            .collect();
+                        (Op::Scan(0, 8, got), ())
+                    });
+                }
+            });
+        });
+        assert_linearizable(rec.into_history(), "two-phase cross-shard batches");
+    }
+}
+
 /// Mixed removes and batches around node splits/merges.
 #[test]
 fn mixed_ops_through_structure_changes_linearize() {
