@@ -1,5 +1,5 @@
 //! A classic mutable AVL tree — the per-leaf container of CA-AVL
-//! (Sagonas & Winblad [44]). Single-threaded; the CA tree provides the
+//! (Sagonas & Winblad \[44\]). Single-threaded; the CA tree provides the
 //! locking around it.
 
 /// A node of the AVL tree.

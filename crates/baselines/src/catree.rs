@@ -36,7 +36,7 @@ use crate::avl::Avl;
 use crate::imm::ImmArray;
 use crate::seqskip::SeqSkipList;
 
-/// Contention-statistic tuning (constants in the spirit of [44]).
+/// Contention-statistic tuning (constants in the spirit of \[44\]).
 const STAT_CONTENDED: i32 = 250;
 const STAT_UNCONTENDED: i32 = -1;
 const SPLIT_THRESHOLD: i32 = 1000;

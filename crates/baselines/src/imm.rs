@@ -1,5 +1,5 @@
 //! An immutable sorted-array container — the per-leaf container of
-//! CA-imm [43] and of the LFCA tree [51] (and the k-ary tree's leaves).
+//! CA-imm \[43\] and of the LFCA tree \[51\] (and the k-ary tree's leaves).
 //! Analogous to a Jiffy revision, but versionless: updates build a whole
 //! new container.
 

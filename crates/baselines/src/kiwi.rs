@@ -1,5 +1,5 @@
 //! A KiWi-style chunked index — the paper's "KiWi" baseline (Basin et
-//! al., PPoPP'17 [9]), in the reduced form the paper could compare
+//! al., PPoPP'17 \[9\]), in the reduced form the paper could compare
 //! against (the public KiWi codebase "supports only 4 B integer keys").
 //!
 //! Shape reproduced: the index is a linked list of *chunks*, each

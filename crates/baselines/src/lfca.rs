@@ -1,5 +1,5 @@
 //! A lock-free contention-adapting tree with immutable containers — the
-//! paper's LFCA baseline (Winblad, Sagonas & Jonsson, SPAA'18 [51]).
+//! paper's LFCA baseline (Winblad, Sagonas & Jonsson, SPAA'18 \[51\]).
 //!
 //! Leaves hold an immutable sorted array behind an atomic pointer;
 //! updates copy the array and CAS the pointer. A contended leaf is

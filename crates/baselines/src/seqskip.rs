@@ -1,5 +1,5 @@
 //! A sequential skip list — the per-leaf container of CA-SL
-//! (Sagonas & Winblad [44]). Single-threaded; the CA tree provides the
+//! (Sagonas & Winblad \[44\]). Single-threaded; the CA tree provides the
 //! locking around it.
 
 const MAX_LEVEL: usize = 12;

@@ -1,5 +1,5 @@
 //! A SnapTree-style index — the paper's "SnapTree" baseline (Bronson et
-//! al., PPoPP'10 [12]): a lock-based balanced tree whose headline feature
+//! al., PPoPP'10 \[12\]): a lock-based balanced tree whose headline feature
 //! is a linearizable `clone()` used for snapshots and range scans, at
 //! the cost of stalling concurrent updates.
 //!

@@ -11,6 +11,18 @@
 //! [`OrderedIndex::supports_atomic_batch`], exactly as the paper notes that
 //! Java CSLM "does not support either consistent range scans nor atomic
 //! batch updates".
+//!
+//! Beyond the core surface, optional *capability traits* let coordinators
+//! (such as `jiffy-shard`) drive richer protocols when the index supports
+//! them: [`SnapshotIndex`] (pinned read views), [`TwoPhaseBatch`]
+//! (cross-index atomic batches under one shared pending version) and
+//! [`BulkLoad`] (efficient pre-loading, the workhorse of snapshot-assisted
+//! shard migration). Every trait here is also implemented for `Arc<T>`
+//! (shared handles), so coordinators can hold the *same* index instance in
+//! several routing generations at once — the foundation of online
+//! resharding.
+
+#![warn(missing_docs)]
 
 /// One operation inside a batch update.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -59,14 +71,17 @@ impl<K: Ord, V> Batch<K, V> {
         &self.ops
     }
 
+    /// Number of operations in the canonical batch (one per distinct key).
     pub fn len(&self) -> usize {
         self.ops.len()
     }
 
+    /// Whether the batch contains no operations.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
 
+    /// Consume the batch, yielding its ops sorted by key, ascending.
     pub fn into_ops(self) -> Vec<BatchOp<K, V>> {
         self.ops
     }
@@ -256,6 +271,104 @@ pub trait TwoPhaseBatch<K: Ord + Clone, V: Clone>: OrderedIndex<K, V> {
     /// Abandon a ticket *no part of which was ever installed*. Returns
     /// `false` (and does nothing) if the ticket already committed.
     fn abort_pending(&self, pending: &dyn PendingVersion) -> bool;
+}
+
+/// Capability trait for indices that can ingest a large entry set more
+/// cheaply than one `put` per key. The contract is deliberately loose —
+/// entries may be applied in internal chunks and interleaved with
+/// concurrent operations — because the primary consumer (`jiffy-shard`'s
+/// online resharding) only bulk-loads into indices that are not yet
+/// reachable by any reader: a migration copies a snapshot of the source
+/// shard into freshly built target shards *before* publishing them, so
+/// chunk boundaries are never observable.
+///
+/// Entries with duplicate keys resolve last-wins, like repeated `put`s.
+pub trait BulkLoad<K: Ord + Clone, V: Clone>: OrderedIndex<K, V> {
+    /// Load `entries` into the index.
+    fn bulk_load(&self, entries: Vec<(K, V)>);
+}
+
+// --- Shared-handle (Arc) forwarding impls -------------------------------
+//
+// A coordinator that reshapes its routing online must hold one index
+// instance in two routing generations at the same time (the shards that a
+// migration does not touch carry over by handle, not by copy). These
+// blanket impls make `Arc<T>` a first-class index so `jiffy-shard` can
+// build layouts out of `Arc<JiffyMap>` shards.
+
+impl<K: Ord + Clone, V: Clone, T: OrderedIndex<K, V> + ?Sized> OrderedIndex<K, V>
+    for std::sync::Arc<T>
+{
+    fn get(&self, key: &K) -> Option<V> {
+        (**self).get(key)
+    }
+
+    fn put(&self, key: K, value: V) {
+        (**self).put(key, value)
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        (**self).remove(key)
+    }
+
+    fn scan_from(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V)) {
+        (**self).scan_from(lo, n, sink)
+    }
+
+    fn batch_update(&self, batch: Batch<K, V>) {
+        (**self).batch_update(batch)
+    }
+
+    fn supports_consistent_scan(&self) -> bool {
+        (**self).supports_consistent_scan()
+    }
+
+    fn supports_atomic_batch(&self) -> bool {
+        (**self).supports_atomic_batch()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone, T: SnapshotIndex<K, V>> SnapshotIndex<K, V> for std::sync::Arc<T> {
+    fn pin_view(&self) -> Box<dyn ReadView<K, V> + '_> {
+        (**self).pin_view()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone, T: TwoPhaseBatch<K, V>> TwoPhaseBatch<K, V> for std::sync::Arc<T> {
+    fn pending_version(&self) -> std::sync::Arc<dyn PendingVersion> {
+        (**self).pending_version()
+    }
+
+    fn prepare_batch(
+        &self,
+        batch: Batch<K, V>,
+        pending: &std::sync::Arc<dyn PendingVersion>,
+        resolver: BatchResolver,
+    ) -> std::sync::Arc<dyn PreparedBatch> {
+        (**self).prepare_batch(batch, pending, resolver)
+    }
+
+    fn install_prepared(&self, prepared: &dyn PreparedBatch) {
+        (**self).install_prepared(prepared)
+    }
+
+    fn commit_pending(&self, pending: &dyn PendingVersion) -> i64 {
+        (**self).commit_pending(pending)
+    }
+
+    fn abort_pending(&self, pending: &dyn PendingVersion) -> bool {
+        (**self).abort_pending(pending)
+    }
+}
+
+impl<K: Ord + Clone, V: Clone, T: BulkLoad<K, V>> BulkLoad<K, V> for std::sync::Arc<T> {
+    fn bulk_load(&self, entries: Vec<(K, V)>) {
+        (**self).bulk_load(entries)
+    }
 }
 
 #[cfg(test)]

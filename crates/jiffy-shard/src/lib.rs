@@ -49,7 +49,7 @@
 //!
 //! When the inner index cannot run two-phase batches but does offer
 //! snapshots, multi-shard batches fall back to serializing on a global
-//! [`CrossBatchEpoch`](jiffy_clock::CrossBatchEpoch) (correct, but
+//! [`jiffy_clock::CrossBatchEpoch`] (correct, but
 //! one-at-a-time — the pre-two-phase behaviour). When the inner index
 //! supports neither (e.g. `Cslm` shards), the wrapper keeps working with
 //! the inner index's native weaker semantics and — the honesty rule —
@@ -58,12 +58,17 @@
 
 #![warn(missing_docs)]
 
+mod reshard;
 mod router;
 
+pub use reshard::{ElasticJiffy, ReshardError, ReshardEvent, Resharder};
 pub use router::Router;
 
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crossbeam_utils::CachePadded;
 
 use index_api::{
     Batch, BatchOp, BatchResolver, OrderedIndex, PendingVersion, PreparedBatch, ReadView,
@@ -193,8 +198,41 @@ pub struct ShardedIndex<K, V, I> {
     pin: Option<PinFn<K, V, I>>,
     /// Present in two-phase mode: the pending-version batch protocol.
     two_phase: Option<TwoPhaseFns<K, V, I>>,
+    /// Per-shard traffic counters behind [`ShardedIndex::debug_stats`]:
+    /// the observed key-frequency signal that drives online split
+    /// re-derivation (see [`Resharder`]).
+    loads: Box<[ShardCounters]>,
     label: &'static str,
     _values: PhantomData<fn() -> V>,
+}
+
+/// One shard's traffic counters (cache-padded so hot shards don't false-
+/// share with their neighbours; relaxed increments keep the hot paths at
+/// one uncontended RMW).
+#[derive(Default)]
+struct ShardCounters {
+    reads: CachePadded<AtomicU64>,
+    updates: CachePadded<AtomicU64>,
+}
+
+/// Observed traffic of one shard, as reported by
+/// [`ShardedIndex::debug_stats`]. Counters accumulate since construction
+/// (relaxed atomics: exact under quiescence, drift-free under
+/// contention).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Point lookups routed to this shard.
+    pub reads: u64,
+    /// Updates routed to this shard: puts, removes, and per-shard batch
+    /// operations.
+    pub updates: u64,
+}
+
+impl ShardLoad {
+    /// Total operations routed to this shard.
+    pub fn total(&self) -> u64 {
+        self.reads + self.updates
+    }
 }
 
 impl<K, V, I> ShardedIndex<K, V, I>
@@ -217,6 +255,7 @@ where
             router.shard_count(),
             shards.len()
         );
+        let loads = (0..router.shard_count()).map(|_| ShardCounters::default()).collect();
         ShardedIndex {
             shards: shards.into(),
             router,
@@ -224,6 +263,7 @@ where
             clock: None,
             pin: None,
             two_phase: None,
+            loads,
             label: "sharded",
             _values: PhantomData,
         }
@@ -250,6 +290,32 @@ where
     /// atomic cross-shard batches via the shared pending-version
     /// protocol (no epoch serialization on the commit path). The
     /// [`ShardedJiffy::with_router`] constructor wires this up.
+    ///
+    /// `clock` must be the same clock every shard stamps its writes
+    /// with — that is what makes one commit version and one scan cut
+    /// meaningful across shards:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use index_api::{Batch, BatchOp, OrderedIndex};
+    /// use jiffy::{JiffyConfig, JiffyMap};
+    /// use jiffy_shard::{Router, ShardedIndex, SharedClock};
+    ///
+    /// // Two Jiffy shards drawing versions from ONE shared clock.
+    /// let clock: SharedClock = Arc::new(jiffy::DefaultClock::default());
+    /// let shards: Vec<JiffyMap<u64, u64, SharedClock>> = (0..2)
+    ///     .map(|_| JiffyMap::with_clock_and_config(Arc::clone(&clock), JiffyConfig::default()))
+    ///     .collect();
+    /// let map = ShardedIndex::new_two_phase(shards, Router::range(vec![100]), clock);
+    ///
+    /// // A batch spanning both shards becomes visible at one commit CAS,
+    /// // and a consistent scan can never observe half of it.
+    /// map.batch_update(Batch::new(vec![BatchOp::Put(1, 10), BatchOp::Put(200, 20)]));
+    /// assert_eq!(map.get(&1), Some(10));
+    /// assert_eq!(map.get(&200), Some(20));
+    /// assert_eq!(map.scan_collect(&0, usize::MAX), vec![(1, 10), (200, 20)]);
+    /// assert!(map.supports_atomic_batch() && map.supports_consistent_scan());
+    /// ```
     pub fn new_two_phase(shards: Vec<I>, router: Router<K>, clock: SharedClock) -> Self
     where
         I: SnapshotIndex<K, V> + TwoPhaseBatch<K, V> + 'static,
@@ -291,6 +357,22 @@ where
     /// The shard that owns `key`.
     pub fn shard_for(&self, key: &K) -> usize {
         self.router.route(key)
+    }
+
+    /// Per-shard traffic counters (reads and updates routed to each
+    /// shard since construction). This is the observability surface for
+    /// autoscale/reshard decisions: a [`Resharder`] compares the
+    /// distribution of these counters against the even spread the
+    /// construction-time splits (`workload::shard_splits`) aimed for,
+    /// and re-derives split points online when traffic drifts.
+    pub fn debug_stats(&self) -> Vec<ShardLoad> {
+        self.loads
+            .iter()
+            .map(|c| ShardLoad {
+                reads: c.reads.load(Ordering::Relaxed),
+                updates: c.updates.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Pin a consistent cut: one view per shard, all advanced to a single
@@ -498,15 +580,21 @@ where
         if self.two_phase.is_none() && !self.epoch.is_quiescent() {
             self.epoch.wait_quiescent();
         }
-        self.shards[self.router.route(key)].get(key)
+        let shard = self.router.route(key);
+        self.loads[shard].reads.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].get(key)
     }
 
     fn put(&self, key: K, value: V) {
-        self.shards[self.router.route(&key)].put(key, value)
+        let shard = self.router.route(&key);
+        self.loads[shard].updates.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].put(key, value)
     }
 
     fn remove(&self, key: &K) -> bool {
-        self.shards[self.router.route(key)].remove(key)
+        let shard = self.router.route(key);
+        self.loads[shard].updates.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].remove(key)
     }
 
     fn scan_from(&self, lo: &K, n: usize, sink: &mut dyn FnMut(&K, &V)) {
@@ -525,12 +613,18 @@ where
 
     fn batch_update(&self, batch: Batch<K, V>) {
         if self.shards.len() == 1 {
+            self.loads[0].updates.fetch_add(batch.len() as u64, Ordering::Relaxed);
             return self.shards[0].batch_update(batch);
         }
         let mut per_shard: Vec<Vec<BatchOp<K, V>>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for op in batch.into_ops() {
             per_shard[self.router.route(op.key())].push(op);
+        }
+        for (i, ops) in per_shard.iter().enumerate() {
+            if !ops.is_empty() {
+                self.loads[i].updates.fetch_add(ops.len() as u64, Ordering::Relaxed);
+            }
         }
         let touched = per_shard.iter().filter(|ops| !ops.is_empty()).count();
         if touched <= 1 {

@@ -16,6 +16,8 @@
 
 use std::hash::{Hash, Hasher};
 
+use crate::reshard::ReshardError;
+
 /// FNV-1a, hand-rolled so routing never allocates and stays a few
 /// instructions (std's default SipHash is keyed and heavier).
 struct Fnv1a(u64);
@@ -95,6 +97,73 @@ impl<K: Ord + Hash> Router<K> {
     }
 }
 
+impl<K: Ord + Clone + Hash> Router<K> {
+    /// The key range shard `shard` owns, as `(lo, hi)` with `lo`
+    /// inclusive, `hi` exclusive and `None` meaning unbounded (`-inf` /
+    /// `+inf`). Range mode only: a hash router has no contiguous shard
+    /// ranges, so this returns `None` there (and for an out-of-range
+    /// shard index).
+    pub fn shard_bounds(&self, shard: usize) -> Option<(Option<&K>, Option<&K>)> {
+        match self {
+            Router::Hash { .. } => None,
+            Router::Range { splits } => {
+                if shard > splits.len() {
+                    return None;
+                }
+                let lo = if shard == 0 { None } else { Some(&splits[shard - 1]) };
+                Some((lo, splits.get(shard)))
+            }
+        }
+    }
+
+    /// Derive the router that results from splitting the shard owning
+    /// `at` into two at that key: the left half keeps `[lo, at)`, the
+    /// right half takes `[at, hi)`. Returns the new router plus the index
+    /// of the shard that was split (whose two successors sit at that
+    /// index and the next).
+    ///
+    /// Errors: a hash router cannot range-split
+    /// ([`ReshardError::HashRouter`]); a split point equal to an existing
+    /// boundary would produce a shard owning no keys *and* a
+    /// non-strictly-increasing split vector, so it is rejected
+    /// ([`ReshardError::BoundaryCollision`]).
+    pub fn with_split_inserted(&self, at: K) -> Result<(Router<K>, usize), ReshardError> {
+        let Router::Range { splits } = self else { return Err(ReshardError::HashRouter) };
+        let shard = self.route(&at);
+        if shard > 0 && splits[shard - 1] == at {
+            return Err(ReshardError::BoundaryCollision);
+        }
+        let mut new = splits.clone();
+        new.insert(shard, at);
+        Ok((Router::Range { splits: new }, shard))
+    }
+
+    /// Derive the router that results from merging shards `left` and
+    /// `left + 1` into one (dropping the boundary between them). Either
+    /// side may be empty of keys — a merge is exactly how an empty shard
+    /// left behind by traffic drift is retired.
+    ///
+    /// Errors: [`ReshardError::HashRouter`] in hash mode,
+    /// [`ReshardError::ShardOutOfRange`] when `left + 1` is not a shard.
+    pub fn with_split_removed(&self, left: usize) -> Result<Router<K>, ReshardError> {
+        let Router::Range { splits } = self else { return Err(ReshardError::HashRouter) };
+        if left + 1 > splits.len() {
+            return Err(ReshardError::ShardOutOfRange(left + 1));
+        }
+        let mut new = splits.clone();
+        new.remove(left);
+        Ok(Router::Range { splits: new })
+    }
+
+    /// The split keys of a range router (empty slice in hash mode).
+    pub fn splits(&self) -> &[K] {
+        match self {
+            Router::Range { splits } => splits,
+            Router::Hash { .. } => &[],
+        }
+    }
+}
+
 impl Router<u64> {
     /// A range router with equal-width ranges over `[0, key_space)` —
     /// the right choice for uniform traffic.
@@ -166,6 +235,62 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn hash_rejects_non_power_of_two() {
         let _ = Router::<u64>::hash(6);
+    }
+
+    #[test]
+    fn shard_bounds_cover_the_space() {
+        let r = Router::range(vec![10u64, 20]);
+        assert_eq!(r.shard_bounds(0), Some((None, Some(&10))));
+        assert_eq!(r.shard_bounds(1), Some((Some(&10), Some(&20))));
+        assert_eq!(r.shard_bounds(2), Some((Some(&20), None)));
+        assert_eq!(r.shard_bounds(3), None, "out-of-range shard");
+        assert_eq!(Router::<u64>::hash(4).shard_bounds(0), None, "hash mode has no ranges");
+    }
+
+    #[test]
+    fn split_insertion_splits_the_owning_shard() {
+        let r = Router::range(vec![10u64, 20]);
+        let (r2, shard) = r.with_split_inserted(15).unwrap();
+        assert_eq!(shard, 1);
+        assert_eq!(r2.splits(), &[10, 15, 20]);
+        assert_eq!(r2.shard_count(), 4);
+        // Splitting the unbounded edge shards works too.
+        let (lo, _) = r.with_split_inserted(5).unwrap();
+        assert_eq!(lo.splits(), &[5, 10, 20]);
+        let (hi, shard) = r.with_split_inserted(1000).unwrap();
+        assert_eq!(hi.splits(), &[10, 20, 1000]);
+        assert_eq!(shard, 2);
+    }
+
+    #[test]
+    fn split_at_existing_boundary_is_rejected() {
+        let r = Router::range(vec![10u64, 20]);
+        assert_eq!(r.with_split_inserted(10).unwrap_err(), ReshardError::BoundaryCollision);
+        assert_eq!(r.with_split_inserted(20).unwrap_err(), ReshardError::BoundaryCollision);
+        // ...but a key 0 split of the lowest shard is legal (the left
+        // half simply owns no representable u64 keys — an empty shard,
+        // retired later by a merge).
+        let (r2, shard) = r.with_split_inserted(0).unwrap();
+        assert_eq!((r2.splits(), shard), (&[0u64, 10, 20][..], 0));
+    }
+
+    #[test]
+    fn merge_removes_one_boundary() {
+        let r = Router::range(vec![10u64, 20]);
+        assert_eq!(r.with_split_removed(0).unwrap().splits(), &[20]);
+        assert_eq!(r.with_split_removed(1).unwrap().splits(), &[10]);
+        assert_eq!(r.with_split_removed(2).unwrap_err(), ReshardError::ShardOutOfRange(3));
+        // A single-shard router has nothing to merge.
+        let one = Router::range(Vec::<u64>::new());
+        assert_eq!(one.with_split_removed(0).unwrap_err(), ReshardError::ShardOutOfRange(1));
+    }
+
+    #[test]
+    fn hash_mode_rejects_range_reshard_ops() {
+        let h = Router::<u64>::hash(4);
+        assert_eq!(h.with_split_inserted(7).unwrap_err(), ReshardError::HashRouter);
+        assert_eq!(h.with_split_removed(0).unwrap_err(), ReshardError::HashRouter);
+        assert!(h.splits().is_empty());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! into the shared benchmark harness, the conformance tests, and the
 //! sharded coordinator.
 
-use index_api::{Batch, OrderedIndex, ReadView, SnapshotIndex};
+use index_api::{Batch, BatchOp, BulkLoad, OrderedIndex, ReadView, SnapshotIndex};
 use jiffy_clock::VersionClock;
 
 use crate::inner::{MapKey, MapValue};
@@ -56,5 +56,24 @@ impl<K: MapKey, V: MapValue, C: VersionClock> ReadView<K, V> for Snapshot<'_, K,
 impl<K: MapKey, V: MapValue, C: VersionClock> SnapshotIndex<K, V> for JiffyMap<K, V, C> {
     fn pin_view(&self) -> Box<dyn ReadView<K, V> + '_> {
         Box::new(self.snapshot())
+    }
+}
+
+impl<K: MapKey, V: MapValue, C: VersionClock> BulkLoad<K, V> for JiffyMap<K, V, C> {
+    fn bulk_load(&self, entries: Vec<(K, V)>) {
+        // Chunked atomic batches: each chunk rides the ordinary batch
+        // machinery (one descriptor, one version), so a bulk load into a
+        // shared map is a sequence of atomic steps rather than a torn
+        // stream of puts. The primary caller (resharding's migration
+        // copy) loads into maps nothing else can reach yet, where the
+        // chunking is unobservable anyway. 512 keeps each descriptor's
+        // revision work near the autoscaler's preferred revision sizes.
+        const CHUNK: usize = 512;
+        let mut entries = entries.into_iter().peekable();
+        while entries.peek().is_some() {
+            let ops: Vec<BatchOp<K, V>> =
+                entries.by_ref().take(CHUNK).map(|(k, v)| BatchOp::Put(k, v)).collect();
+            self.batch(Batch::new(ops));
+        }
     }
 }

@@ -78,8 +78,8 @@ pub use two_phase::{TwoPhasePrepared, TwoPhaseTicket};
 
 // Re-export the shared index API types so users need only this crate.
 pub use index_api::{
-    Batch, BatchOp, BatchPhase, BatchResolver, OrderedIndex, PendingVersion, PreparedBatch,
-    ReadView, SnapshotIndex, TwoPhaseBatch,
+    Batch, BatchOp, BatchPhase, BatchResolver, BulkLoad, OrderedIndex, PendingVersion,
+    PreparedBatch, ReadView, SnapshotIndex, TwoPhaseBatch,
 };
 // Re-export the clocks for ablation experiments.
 #[cfg(target_arch = "x86_64")]

@@ -243,6 +243,33 @@ impl<'a, K: MapKey, V: MapValue, C: VersionClock> Snapshot<'a, K, V, C> {
         out
     }
 
+    /// Stream every entry with key in `[lo, hi)` — `None` meaning
+    /// unbounded on that side — as of this snapshot's version, ascending.
+    ///
+    /// This is the export surface of snapshot-assisted shard migration
+    /// (`jiffy-shard`'s online resharding): a resharder pins a snapshot
+    /// at its *cut version*, exports the migrating key range into the new
+    /// shard layout with this method, and later drains the delta above
+    /// the cut the same way. Unlike [`scan_from`](Snapshot::scan_from) it
+    /// has no entry limit and can start below the smallest key (`lo =
+    /// None`), which matters because a shard's range is half-open at both
+    /// extremes.
+    pub fn export_range(&self, lo: Option<&K>, hi: Option<&K>, sink: &mut dyn FnMut(&K, &V)) {
+        let mut visit = |k: &K, v: &V| -> bool {
+            if let Some(hi) = hi {
+                if k >= hi {
+                    return false;
+                }
+            }
+            sink(k, v);
+            true
+        };
+        match lo {
+            None => self.map.inner.scan_min(self.version, &mut visit),
+            Some(lo) => self.map.inner.scan_at(lo, self.version, &mut visit),
+        }
+    }
+
     /// Exact number of entries at this snapshot (O(n): scans).
     pub fn len(&self) -> usize {
         let mut n = 0usize;

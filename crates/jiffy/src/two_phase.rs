@@ -41,7 +41,7 @@ use crate::version::{finalize_cell, optimistic_version, VersionCell};
 use crate::JiffyMap;
 
 /// The shared pending version of one cross-index batch. All sub-batch
-/// descriptors bound to this ticket read the same [`VersionCell`], so the
+/// descriptors bound to this ticket read the same version cell, so the
 /// commit CAS flips every one of them simultaneously.
 pub struct TwoPhaseTicket {
     cell: Arc<VersionCell>,

@@ -6,6 +6,7 @@
 //! mkbench quick          [--threads N] [--indices a,b,c] [--json BENCH_pr2.json]  # update/lookup/scan cells, compact lineup
 //! mkbench compare OLD.json NEW.json [--tolerance PCT]            # perf gate: exit 1 on throughput regression
 //! mkbench sharding       [--threads N] [--shards N] [--keys K]   # jiffy vs sharded-jiffy, uniform vs shard-skewed
+//! mkbench reshard        [--threads N] [--shards N] [--keys K]   # throughput through live shard split/merge (elastic-jiffy)
 //! mkbench speedup        [--threads N] [--secs S] [--keys K]     # §4.3: Jiffy vs CA-AVL/CA-SL, 100-op random batches
 //! mkbench autoscale      [--secs S] [--keys K]                   # §4.3: revision sizes under write-only vs update-lookup
 //! mkbench ablation clock|hash|revsize [--threads ...] [--secs S] # A1/A2/A3
@@ -484,6 +485,138 @@ fn cmd_sharding(args: &Args) {
     cmd_sharding_cross_batch(args);
 }
 
+/// `mkbench reshard` — throughput through **live shard migrations**: the
+/// paper's snapshot machinery (§3.4) plus the two-phase batch path
+/// (§3.3.2–§3.3.3) lifted to whole shards (`jiffy_shard::ElasticJiffy`).
+/// Three measured windows under the mixed workload (25% update / 50%
+/// lookup / 25% scans of 100):
+///
+/// 1. steady state on the starting layout (`--shards`, min 2);
+/// 2. a window with migrations continuously in flight — the widest shard
+///    is split and immediately re-merged, in a loop;
+/// 3. steady state after splitting every starting shard (2× the shards).
+///
+/// Each op (a scan counts as one) increments one relaxed counter, the
+/// same cost in every window, so the three numbers are comparable.
+fn cmd_reshard(args: &Args) {
+    use index_api::OrderedIndex as _;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    if args.indices.is_some() {
+        usage_error("reshard always runs elastic-jiffy; --indices is not accepted");
+    }
+    let threads = *args.threads.iter().max().unwrap();
+    let shards = args.shards.max(2);
+    let key_space = args.keys;
+    let map = Arc::new(jiffy_shard::ElasticJiffy::<u64, u64>::with_router(
+        jiffy_shard::Router::range_uniform(shards, key_space),
+        jiffy::JiffyConfig::default(),
+    ));
+    for i in 0..key_space / 2 {
+        map.put(workload::permute(i, key_space), i);
+    }
+    println!(
+        "# reshard: elastic-jiffy, mixed workload (25u/50l/25s, scan 100), t={threads}, keys {key_space}, {shards} shards to start"
+    );
+
+    let measure = |label: &str, during: Option<&dyn Fn(&AtomicBool)>| -> f64 {
+        let stop = AtomicBool::new(false);
+        let ops = AtomicU64::new(0);
+        let plans = workload::ThreadMix::MIXED.plan(threads);
+        std::thread::scope(|s| {
+            for (tid, plan) in plans.iter().enumerate() {
+                let map = Arc::clone(&map);
+                let (stop, ops) = (&stop, &ops);
+                let mut sched = workload::RoleSchedule::new(*plan);
+                s.spawn(move || {
+                    let mut gen = workload::KeyGen::new(
+                        workload::KeyDist::Uniform,
+                        key_space,
+                        tid as u64 + 1,
+                    );
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = gen.next_key();
+                        match sched.next_role() {
+                            workload::Role::Update => {
+                                if gen.next_raw() & 1 == 0 {
+                                    map.put(k, k);
+                                } else {
+                                    map.remove(&k);
+                                }
+                            }
+                            workload::Role::Lookup => {
+                                std::hint::black_box(map.get(&k));
+                            }
+                            workload::Role::Scan => {
+                                std::hint::black_box(map.scan_collect(&k, 100));
+                            }
+                        }
+                        ops.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            let start = std::time::Instant::now();
+            match during {
+                None => std::thread::sleep(Duration::from_secs_f64(args.secs)),
+                Some(f) => f(&stop),
+            }
+            let elapsed = start.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            let mops = ops.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64() / 1e6;
+            println!("{label:<34} {mops:>8.3} Mops/s  ({} shards now)", map.shard_count());
+            mops
+        })
+    };
+
+    let steady_before = measure(&format!("steady @ {shards} shards"), None);
+
+    // Mid-migration window: split the widest shard at its midpoint and
+    // merge it straight back, continuously, so a migration is live for
+    // as much of the window as the cutovers allow.
+    let migrations = AtomicU64::new(0);
+    let churn = |_stop: &AtomicBool| {
+        let deadline = std::time::Instant::now() + Duration::from_secs_f64(args.secs);
+        while std::time::Instant::now() < deadline {
+            let mut bounds = vec![0u64];
+            bounds.extend(map.splits());
+            bounds.push(key_space);
+            let widest = bounds
+                .windows(2)
+                .enumerate()
+                .max_by_key(|(_, w)| w[1] - w[0])
+                .map(|(i, w)| (i, w[0] + (w[1] - w[0]) / 2))
+                .expect("at least one shard");
+            let (left, mid) = widest;
+            if map.split_at(mid).is_ok() {
+                map.merge_at(left).expect("the boundary just inserted can be removed");
+                migrations.fetch_add(2, Ordering::Relaxed);
+            }
+        }
+    };
+    let mid = measure("mid-migration (split+merge loop)", Some(&churn));
+    println!(
+        "{:<34} {} migrations committed in the window",
+        "",
+        migrations.load(Ordering::Relaxed)
+    );
+
+    // Split every starting shard at its midpoint: the elastic end state.
+    let mut bounds = vec![0u64];
+    bounds.extend(map.splits());
+    bounds.push(key_space);
+    for w in bounds.windows(2) {
+        let mid = w[0] + (w[1] - w[0]) / 2;
+        if mid > w[0] {
+            map.split_at(mid).unwrap_or_else(|e| usage_error(&format!("split at {mid}: {e}")));
+        }
+    }
+    let steady_after = measure(&format!("steady @ {} shards", map.shard_count()), None);
+    println!(
+        "mid-migration/steady: {:.2}x   post-split/steady: {:.2}x",
+        mid / steady_before.max(1e-9),
+        steady_after / steady_before.max(1e-9)
+    );
+}
+
 /// §4.3 headline: large random batches, Jiffy vs the lock-based CA trees.
 fn cmd_speedup(args: &Args) {
     let threads = *args.threads.iter().max().unwrap();
@@ -653,7 +786,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: mkbench <figure N|quick|compare OLD NEW|sharding|speedup|autoscale|ablation WHICH> [flags]"
+            "usage: mkbench <figure N|quick|compare OLD NEW|sharding|reshard|speedup|autoscale|ablation WHICH> [flags]"
         );
         eprintln!("flags: --threads 1,2,4  --secs S  --warmup S  --keys K  --indices a,b,c");
         eprintln!("       --shards N (default for sharded-* indices named without :<n>)");
@@ -668,6 +801,10 @@ fn main() {
         "sharding" => {
             let args = parse_flags(&argv[1..]);
             cmd_sharding(&args);
+        }
+        "reshard" => {
+            let args = parse_flags(&argv[1..]);
+            cmd_reshard(&args);
         }
         "compare" => {
             cmd_compare(&argv[1..]);

@@ -8,11 +8,13 @@
 //! This crate reproduces all of those ingredients, scaled by a CLI
 //! factor, plus the scenario grid naming used in the paper's plots.
 
+mod drift;
 mod keys;
 mod permute;
 mod scenario;
 mod zipf;
 
+pub use drift::{load_imbalance, merge_cold_shards, split_hot_shard};
 pub use keys::{
     shard_splits, Key16, KeyDist, KeyGen, Value, ValueShape, HOT_SPAN_DIV, HOT_TRAFFIC_PCT,
 };
