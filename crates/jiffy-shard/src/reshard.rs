@@ -189,11 +189,32 @@ impl WriterGate {
     /// Callers only invoke this on a *superseded* epoch's gate, whose
     /// registration stream is guaranteed to dry up; see the module docs
     /// for why a registration this wait misses cannot matter.
+    ///
+    /// The read order is load-bearing: `completed` is read **before**
+    /// `started`. With that order, `completed >= started` proves
+    /// exits-before-t1 >= entries-before-t2 (t1 < t2), i.e. every writer
+    /// registered by t2 had already exited by t1 — quiescence. Reading
+    /// `started` first admits a race: a late writer (one that loaded the
+    /// pre-stage epoch, registered *after* the `started` snapshot, failed
+    /// re-validation, and dropped its ticket) would inflate `completed`
+    /// to match the stale `started` snapshot while an earlier, still
+    /// running writer keeps applying to a source shard — and the drain
+    /// would lose that write.
     fn await_quiescence(&self) {
+        self.await_quiescence_with(|| {});
+    }
+
+    /// The wait loop, with an injection point between the two counter
+    /// loads so tests can replay the exact interleaving the read order
+    /// defends against (the window is two adjacent atomic loads —
+    /// unhittable reliably from another thread). `await_quiescence`
+    /// passes a no-op.
+    fn await_quiescence_with(&self, mut between_loads: impl FnMut()) {
         let mut spins = 0u32;
         loop {
-            let started = self.started.load(Ordering::SeqCst);
-            if self.completed.load(Ordering::SeqCst) >= started {
+            let completed = self.completed.load(Ordering::SeqCst);
+            between_loads();
+            if completed >= self.started.load(Ordering::SeqCst) {
                 return;
             }
             spins += 1;
@@ -1117,6 +1138,42 @@ mod tests {
         for (k, v) in entries.iter().take(200) {
             assert_eq!(map.get(k), Some(*v));
         }
+    }
+
+    #[test]
+    fn gate_quiescence_is_not_fooled_by_late_register_retry_writers() {
+        // Deterministic regression for the quiescence read order, replayed
+        // through the injection point between the wait loop's two loads.
+        // One writer registers and stalls mid-application (the pre-CAS
+        // writer the drain must wait out). Between the waiter's two
+        // counter loads, a late writer — one that loaded the superseded
+        // epoch, registers, fails re-validation, and drops its ticket —
+        // lands a full enter/exit pair. With `started` read before
+        // `completed`, that pair inflates `completed` (1) to match the
+        // stale `started` snapshot (1) and quiescence is declared while
+        // the stalled writer is still running; reading `completed` first
+        // makes the wait outlast the held ticket.
+        let gate = WriterGate::default();
+        let mut stalled = Some(gate.enter()); // the in-flight pre-CAS writer
+        let mut released = false;
+        let mut rounds = 0u32;
+        gate.await_quiescence_with(|| {
+            rounds += 1;
+            match rounds {
+                // The late register-then-retry writer, exactly in the
+                // window between the waiter's two loads.
+                1 => drop(gate.enter()),
+                // Then let the stalled writer finish so the (correct)
+                // wait can terminate.
+                2 => {
+                    released = true;
+                    drop(stalled.take());
+                }
+                _ => {}
+            }
+        });
+        assert!(released, "quiescence declared while a registered writer was still in flight");
+        assert!(rounds >= 3, "the wait must re-check after the late enter/exit pair");
     }
 
     #[test]

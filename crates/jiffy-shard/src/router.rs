@@ -147,8 +147,10 @@ impl<K: Ord + Clone + Hash> Router<K> {
     /// [`ReshardError::ShardOutOfRange`] when `left + 1` is not a shard.
     pub fn with_split_removed(&self, left: usize) -> Result<Router<K>, ReshardError> {
         let Router::Range { splits } = self else { return Err(ReshardError::HashRouter) };
-        if left + 1 > splits.len() {
-            return Err(ReshardError::ShardOutOfRange(left + 1));
+        // Validate before computing `left + 1`: with `left = usize::MAX`
+        // the addition itself would overflow.
+        if left >= splits.len() {
+            return Err(ReshardError::ShardOutOfRange(left.saturating_add(1)));
         }
         let mut new = splits.clone();
         new.remove(left);
@@ -283,6 +285,11 @@ mod tests {
         // A single-shard router has nothing to merge.
         let one = Router::range(Vec::<u64>::new());
         assert_eq!(one.with_split_removed(0).unwrap_err(), ReshardError::ShardOutOfRange(1));
+        // Pathological indices must error, not overflow `left + 1`.
+        assert_eq!(
+            r.with_split_removed(usize::MAX).unwrap_err(),
+            ReshardError::ShardOutOfRange(usize::MAX)
+        );
     }
 
     #[test]
