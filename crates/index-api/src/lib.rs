@@ -131,6 +131,50 @@ pub trait OrderedIndex<K: Ord + Clone, V: Clone>: Send + Sync {
         self.scan_from(lo, n, &mut |k, v| out.push((k.clone(), v.clone())));
         out
     }
+
+    /// Internal-structure telemetry for autoscale/reshard policy, if the
+    /// index exposes any (Jiffy's §3.3.6 revision-size signal). `None`
+    /// for indices without versioned revisions — callers must treat the
+    /// signal as advisory, not assume it.
+    fn revision_stats(&self) -> Option<RevisionStats> {
+        None
+    }
+}
+
+/// Revision-structure telemetry reported by
+/// [`revision_stats`](OrderedIndex::revision_stats): how large the
+/// multi-entry revisions backing the index have grown. This is the
+/// §3.3.6 signal an autoscaler steers on, aggregated so a sharding layer
+/// can compare shards (integer fields keep it `Eq`/hashable; the derived
+/// mean is a method).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RevisionStats {
+    /// Live structure nodes, each owning one revision list.
+    pub nodes: u64,
+    /// Entries summed over the newest finalized revision of each node.
+    pub entries: u64,
+    /// Deepest revision list observed.
+    pub max_revision_depth: u64,
+}
+
+impl RevisionStats {
+    /// Mean entries per head revision — the quantity the §3.3.6 policy
+    /// adjusts (small under write-heavy load, large under read-heavy).
+    pub fn mean_revision_size(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.nodes as f64
+        }
+    }
+
+    /// Elementwise accumulation (sum nodes/entries, max depth) for
+    /// cross-shard aggregation.
+    pub fn merge(&mut self, other: &RevisionStats) {
+        self.nodes += other.nodes;
+        self.entries += other.entries;
+        self.max_revision_depth = self.max_revision_depth.max(other.max_revision_depth);
+    }
 }
 
 /// A pinned, read-only view of an index at one version.
@@ -329,6 +373,10 @@ impl<K: Ord + Clone, V: Clone, T: OrderedIndex<K, V> + ?Sized> OrderedIndex<K, V
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn revision_stats(&self) -> Option<RevisionStats> {
+        (**self).revision_stats()
     }
 }
 

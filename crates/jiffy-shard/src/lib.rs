@@ -226,6 +226,13 @@ pub struct ShardLoad {
     /// Updates routed to this shard: puts, removes, and per-shard batch
     /// operations.
     pub updates: u64,
+    /// The shard's §3.3.6 revision-structure telemetry
+    /// ([`OrderedIndex::revision_stats`]), when the shard type exposes
+    /// it. Where traffic counters say how *often* a shard is hit,
+    /// this says how *expensive* each hit has become (revision growth),
+    /// so a [`Resharder`]/autoscaler can tell a hot-but-cheap shard from
+    /// a shard whose structure is degrading.
+    pub revisions: Option<index_api::RevisionStats>,
 }
 
 impl ShardLoad {
@@ -368,9 +375,11 @@ where
     pub fn debug_stats(&self) -> Vec<ShardLoad> {
         self.loads
             .iter()
-            .map(|c| ShardLoad {
+            .zip(self.shards.iter())
+            .map(|(c, shard)| ShardLoad {
                 reads: c.reads.load(Ordering::Relaxed),
                 updates: c.updates.load(Ordering::Relaxed),
+                revisions: shard.revision_stats(),
             })
             .collect()
     }
@@ -479,7 +488,8 @@ where
     /// Fan a limited ordered scan over per-shard sources (pinned views or
     /// the shards themselves). Range routing walks sources in key order
     /// starting at `lo`'s shard, crediting the shared limit as the sink
-    /// fires; hash routing collects up to `n` per source and merges.
+    /// fires; hash routing streams a k-way heap merge over bounded
+    /// per-shard chunks.
     fn fan_scan<S>(
         &self,
         sources: &[S],
@@ -500,52 +510,76 @@ where
                 });
             }
         } else {
-            merge_scan(
-                sources.iter().map(|src| collect_from(|l, m, s| scan(src, l, m, s), lo, n)),
-                n,
-                sink,
-            );
+            merge_scan(sources, scan, lo, n, sink);
         }
     }
 }
 
-/// Collect up to `n` entries from one shard's scan into a buffer (hash
-/// routing needs materialized per-shard runs to merge).
-fn collect_from<K: Clone, V: Clone>(
-    scan: impl Fn(&K, usize, &mut dyn FnMut(&K, &V)),
-    lo: &K,
-    n: usize,
-) -> Vec<(K, V)> {
-    let mut out = Vec::with_capacity(n.min(1024));
-    scan(lo, n, &mut |k, v| out.push((k.clone(), v.clone())));
-    out
-}
+/// Per-shard chunk size for the streaming hash-route merge. Large enough
+/// to amortize the re-descent a chunk refill costs, small enough that a
+/// `scan(lo, 1_000_000)` over 8 shards buffers ~2k entries, not 8M.
+const MERGE_CHUNK: usize = 256;
 
-/// N-way merge of per-shard ascending runs (shards hold disjoint keys,
-/// so no dedup is needed). O(n · shards) comparisons — fine for the
-/// shard counts this crate targets.
-fn merge_scan<K: Ord, V>(
-    runs: impl Iterator<Item = Vec<(K, V)>>,
+/// Streaming k-way merge of per-shard ascending scans (shards hold
+/// disjoint keys, so no dedup is needed). Each source is read in bounded
+/// chunks and refilled from its last emitted key on exhaustion, so scan
+/// memory is O(shards · chunk) instead of the former O(n · shards)
+/// whole-run materialization; a min-heap orders the source fronts, so
+/// comparisons are O(n · log shards).
+///
+/// Refills restart *at* the last emitted key (scans are
+/// lower-bound-inclusive) and drop everything `<=` it: against an
+/// immutable pinned view that skips exactly the duplicate; against a
+/// live shard (weak scans) it also stays correct when that key was
+/// concurrently removed. A short chunk marks the source exhausted — an
+/// immutable view cannot grow, and a weak scan makes no promise about
+/// concurrent inserts behind the cursor.
+fn merge_scan<S, K: Ord + Clone, V: Clone>(
+    sources: &[S],
+    scan: impl Fn(&S, &K, usize, &mut dyn FnMut(&K, &V)),
+    lo: &K,
     n: usize,
     sink: &mut dyn FnMut(&K, &V),
 ) {
-    let runs: Vec<Vec<(K, V)>> = runs.collect();
-    let mut cursors = vec![0usize; runs.len()];
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, VecDeque};
+
+    let chunk = MERGE_CHUNK.min(n.max(1));
+    let mut runs: Vec<VecDeque<(K, V)>> = Vec::with_capacity(sources.len());
+    let mut exhausted = vec![false; sources.len()];
+    // The heap holds (front key, source) pairs; entries live in `runs`.
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::with_capacity(sources.len());
+    for (i, src) in sources.iter().enumerate() {
+        let mut buf = VecDeque::with_capacity(chunk);
+        scan(src, lo, chunk, &mut |k, v| buf.push_back((k.clone(), v.clone())));
+        exhausted[i] = buf.len() < chunk;
+        if let Some((k, _)) = buf.front() {
+            heap.push(Reverse((k.clone(), i)));
+        }
+        runs.push(buf);
+    }
     let mut emitted = 0usize;
     while emitted < n {
-        let mut best: Option<usize> = None;
-        for (i, run) in runs.iter().enumerate() {
-            if cursors[i] < run.len()
-                && best.map_or(true, |b| run[cursors[i]].0 < runs[b][cursors[b]].0)
-            {
-                best = Some(i);
-            }
-        }
-        let Some(i) = best else { break };
-        let (k, v) = &runs[i][cursors[i]];
-        sink(k, v);
-        cursors[i] += 1;
+        let Some(Reverse((_, i))) = heap.pop() else { break };
+        let (k, v) = runs[i].pop_front().expect("heap fronts mirror non-empty runs");
+        sink(&k, &v);
         emitted += 1;
+        if runs[i].is_empty() && !exhausted[i] && emitted < n {
+            // Refill past the emitted key: ask for one extra slot to
+            // cover the inclusive-restart duplicate.
+            let mut seen = 0usize;
+            let buf = &mut runs[i];
+            scan(&sources[i], &k, chunk + 1, &mut |kk, vv| {
+                seen += 1;
+                if *kk > k {
+                    buf.push_back((kk.clone(), vv.clone()));
+                }
+            });
+            exhausted[i] = seen < chunk + 1;
+        }
+        if let Some((nk, _)) = runs[i].front() {
+            heap.push(Reverse((nk.clone(), i)));
+        }
     }
 }
 
@@ -672,6 +706,19 @@ where
     fn name(&self) -> &'static str {
         self.label
     }
+
+    fn revision_stats(&self) -> Option<index_api::RevisionStats> {
+        // Aggregate of whatever the shards report; None only when *no*
+        // shard has the telemetry (mixed layouts report the sum of those
+        // that do — still advisory, per the trait contract).
+        let mut acc: Option<index_api::RevisionStats> = None;
+        for shard in self.shards.iter() {
+            if let Some(s) = shard.revision_stats() {
+                acc.get_or_insert_with(Default::default).merge(&s);
+            }
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -753,6 +800,30 @@ mod tests {
         model_equivalence(&sharded_jiffy(Router::hash(4)));
     }
 
+    /// The streaming hash-route merge must refill every source across
+    /// several chunk boundaries and still emit one globally sorted,
+    /// complete, duplicate-free run (scan memory is the point of the
+    /// streaming path; correctness across refills is what this pins).
+    #[test]
+    fn hash_scan_streams_across_chunk_boundaries() {
+        let map = sharded_jiffy(Router::hash(4));
+        // 4 shards * MERGE_CHUNK = 1024 buffered entries at most; 6000
+        // keys force ~5 refills per shard during the full scan.
+        let total = 6000u64;
+        for k in 0..total {
+            map.put(k, k * 3);
+        }
+        let got = map.scan_collect(&0, usize::MAX);
+        let want: Vec<(u64, u64)> = (0..total).map(|k| (k, k * 3)).collect();
+        assert_eq!(got, want, "streamed merge must equal the full sorted run");
+        // A bounded scan from mid-space crosses refills on every shard.
+        let got = map.scan_collect(&1234, 2000);
+        let want: Vec<(u64, u64)> = (1234..3234).map(|k| (k, k * 3)).collect();
+        assert_eq!(got, want);
+        // Limits inside the first chunk still short-circuit.
+        assert_eq!(map.scan_collect(&5998, 10), vec![(5998, 17994), (5999, 17997)]);
+    }
+
     #[test]
     fn weak_sharded_cslm_matches_model() {
         let shards: Vec<baselines::Cslm<u64, u64>> =
@@ -761,6 +832,39 @@ mod tests {
             .with_label("sharded-cslm");
         assert_eq!(map.name(), "sharded-cslm");
         model_equivalence(&map);
+    }
+
+    /// `debug_stats` must carry the §3.3.6 revision-structure signal per
+    /// shard (not just traffic counters), and the whole-index aggregate
+    /// must sum the shards — this is what an autoscaler steers on.
+    #[test]
+    fn debug_stats_reports_per_shard_revision_growth() {
+        let map = sharded_jiffy(Router::range(vec![500]));
+        for k in 0..400u64 {
+            map.put(k, k); // all below the split: shard 0 only
+        }
+        let loads = map.debug_stats();
+        assert_eq!(loads.len(), 2);
+        let s0 = loads[0].revisions.expect("jiffy shards expose revision stats");
+        let s1 = loads[1].revisions.expect("jiffy shards expose revision stats");
+        assert_eq!(s0.entries, 400, "all writes landed in shard 0");
+        assert_eq!(s1.entries, 0);
+        assert!(s0.mean_revision_size() > 0.0);
+        assert!(s0.max_revision_depth >= 1);
+
+        let total = map.revision_stats().expect("aggregate exists");
+        assert_eq!(total.entries, s0.entries + s1.entries);
+        assert_eq!(total.nodes, s0.nodes + s1.nodes);
+        assert_eq!(total.max_revision_depth, s0.max_revision_depth.max(s1.max_revision_depth));
+
+        // Weak shards without the telemetry report None all the way up.
+        let cslm = ShardedIndex::new(
+            (0..2).map(|_| baselines::Cslm::<u64, u64>::new()).collect(),
+            Router::range(vec![500]),
+        );
+        cslm.put(1, 1);
+        assert!(cslm.debug_stats()[0].revisions.is_none());
+        assert!(cslm.revision_stats().is_none());
     }
 
     #[test]

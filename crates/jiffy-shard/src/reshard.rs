@@ -822,6 +822,11 @@ impl<K: MapKey, V: MapValue + PartialEq> OrderedIndex<K, V> for ElasticJiffy<K, 
     fn name(&self) -> &'static str {
         "elastic-jiffy"
     }
+
+    fn revision_stats(&self) -> Option<index_api::RevisionStats> {
+        let guard = &ebr::pin();
+        self.current(guard).layout.revision_stats()
+    }
 }
 
 /// What a [`Resharder`] step did to the layout.

@@ -33,6 +33,15 @@ impl<K: MapKey, V: MapValue, C: VersionClock> OrderedIndex<K, V> for JiffyMap<K,
     fn name(&self) -> &'static str {
         "jiffy"
     }
+
+    fn revision_stats(&self) -> Option<index_api::RevisionStats> {
+        let stats = self.debug_stats();
+        Some(index_api::RevisionStats {
+            nodes: stats.nodes as u64,
+            entries: stats.entries as u64,
+            max_revision_depth: stats.max_revision_depth as u64,
+        })
+    }
 }
 
 impl<K: MapKey, V: MapValue, C: VersionClock> ReadView<K, V> for Snapshot<'_, K, V, C> {

@@ -63,9 +63,11 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// garbage backlog grow without bound.
     pub(crate) fn help_batch(&self, desc: &Arc<BatchDescriptor<K, V>>) {
         let with_index = !self.config.disable_hash_index;
+        let mut backoff = crate::backoff::HelpBackoff::new();
         #[cfg(debug_assertions)]
         let mut spins = 0u64;
         loop {
+            perf_count!(help_iterations);
             #[cfg(debug_assertions)]
             {
                 spins += 1;
@@ -108,6 +110,20 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             }
             let head = unsafe { head_s.deref() };
             if head.is_merge_terminator() {
+                let theirs = head.batch_descriptor().map(|d| !Arc::ptr_eq(d, desc)).unwrap_or(true);
+                if theirs {
+                    // Another operation's merge: its owner publishes
+                    // progress by installing the merge revision. Wait it
+                    // out briefly before joining the CAS storm.
+                    let installed = head
+                        .as_terminator()
+                        .map(|t| !t.merge_rev.load(Ordering::Acquire, guard).is_null())
+                        .unwrap_or(false);
+                    if backoff.should_wait(head_s.as_raw() as usize, installed as usize) {
+                        perf_count!(backoff_waits);
+                        continue;
+                    }
+                }
                 self.help_merge_terminator(node_s, head_s, guard);
                 continue;
             }
@@ -126,6 +142,21 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                     if end > i {
                         let _ = desc.advance(i, end);
                     }
+                    continue;
+                }
+                // A *different* batch (or single update) owns this node.
+                // Its installing thread publishes progress through the
+                // descriptor's `progress` counter; spin-wait on that
+                // hint before duplicating its group installations — the
+                // §3.3.3 all-shard contention regression is exactly N
+                // helpers re-doing the same work. Bounded: a genuinely
+                // stalled owner is still helped (lock-freedom).
+                let hint = match head.batch_descriptor() {
+                    Some(d) => d.progress().wrapping_add(1),
+                    None => 0,
+                };
+                if backoff.should_wait(head_s.as_raw() as usize, hint) {
+                    perf_count!(backoff_waits);
                     continue;
                 }
                 self.help_pending_update(node_s, head_s, guard);

@@ -49,11 +49,35 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+/// Bump a per-thread op-cost counter field. Expands to nothing unless
+/// the `perf-counters` feature is on, so hot-path call sites cost zero
+/// in default builds.
+macro_rules! perf_count {
+    ($field:ident) => {
+        perf_count!($field, 1)
+    };
+    ($field:ident, $n:expr) => {
+        #[cfg(feature = "perf-counters")]
+        {
+            crate::counters::bump(|c| c.$field += $n as u64);
+        }
+        #[cfg(not(feature = "perf-counters"))]
+        {
+            // Evaluate nothing; keep `$n` syntactically reachable so the
+            // call site type-checks identically with the feature off.
+            let _ = || $n;
+        }
+    };
+}
+
 mod api;
 mod autoscale;
+mod backoff;
 mod batch;
 mod batch_exec;
 mod config;
+#[cfg(feature = "perf-counters")]
+pub mod counters;
 mod gc;
 mod inner;
 mod iter;

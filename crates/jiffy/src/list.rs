@@ -19,6 +19,7 @@
 use std::sync::atomic::Ordering;
 
 use crossbeam_epoch::{Guard, Shared};
+use crossbeam_utils::prefetch_read;
 use jiffy_clock::VersionClock;
 
 use crate::inner::{JiffyInner, MapKey, MapValue};
@@ -37,6 +38,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         key: &K,
         guard: &'g Guard,
     ) -> Shared<'g, Node<K, V>> {
+        perf_count!(descents);
         let pred = self.tower_descend(key, false, guard);
         self.walk_level0(pred, key, guard)
     }
@@ -46,6 +48,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// keys (floor search). Unlinks index entries to terminated nodes.
     fn tower_descend<'g>(&self, key: &K, strict: bool, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
         let mut pred_s = self.base_node(guard);
+        #[cfg(feature = "perf-counters")]
+        let mut hops = 0u64;
         for level in (1..MAX_HEIGHT).rev() {
             loop {
                 let pred = unsafe { pred_s.deref() };
@@ -57,6 +61,19 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                     break;
                 }
                 let curr = unsafe { curr_s.deref() };
+                #[cfg(feature = "perf-counters")]
+                {
+                    hops += 1;
+                }
+                // While the key comparison below is in flight, start
+                // pulling in the (separately boxed) tower array we will
+                // read next if we advance — `curr.tower[level - 1]` on
+                // the next iteration, `curr.tower[level - 2]` after a
+                // descend. One hop of pointer-chase latency hidden per
+                // advance (the "Foresight" overlap).
+                if let Some(slot) = curr.tower.get(level.saturating_sub(2)) {
+                    prefetch_read(slot as *const _);
+                }
                 if curr.is_terminated() {
                     // Unlink the index entry and re-read.
                     let succ = if level <= curr.tower_height() {
@@ -85,6 +102,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 }
             }
         }
+        #[cfg(feature = "perf-counters")]
+        crate::counters::bump(|c| c.nodes_visited += hops);
         pred_s
     }
 
@@ -97,13 +116,24 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         guard: &'g Guard,
     ) -> Shared<'g, Node<K, V>> {
         let mut node_s = start;
+        #[cfg(feature = "perf-counters")]
+        let mut hops = 0u64;
         loop {
             let node = unsafe { node_s.deref() };
             let next_s = node.next.load(Ordering::Acquire, guard);
             if next_s.is_null() {
-                return node_s;
+                break;
             }
             let next = unsafe { next_s.deref() };
+            // `next`'s cache line was the miss we just paid. Before the
+            // branchy checks and the key comparison on it, start pulling
+            // in the two lines the walk touches right after: `next`'s own
+            // successor (the following hop) and `next`'s head revision
+            // (what the caller reads once the walk stops here). Both
+            // pointers live in the line we already hold, so the loads
+            // are free and the misses overlap the comparison.
+            prefetch_read(next.next.load(Ordering::Relaxed, guard).as_raw());
+            prefetch_read(next.head.load(Ordering::Relaxed, guard).as_raw());
             if next.is_temp_split() {
                 self.help_temp_split_node(node_s, next_s, guard);
                 continue; // re-read node.next
@@ -121,11 +151,18 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 continue;
             }
             if next.key.le(key) {
+                #[cfg(feature = "perf-counters")]
+                {
+                    hops += 1;
+                }
                 node_s = next_s;
             } else {
-                return node_s;
+                break;
             }
         }
+        #[cfg(feature = "perf-counters")]
+        crate::counters::bump(|c| c.nodes_visited += hops);
+        node_s
     }
 
     /// Find the live level-0 predecessor of `target` (`pred.next ==

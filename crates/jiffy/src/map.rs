@@ -150,6 +150,15 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyMap<K, V, C> {
                         first_len = Some(rev.data.len());
                     }
                     depth += 1;
+                    // Follow *owning* edges only. Right-split revisions and
+                    // merge terminators duplicate a `next` edge owned by
+                    // another node's spine (see `node.rs`); once the GC floor
+                    // passes the branch point that spine is cut and the
+                    // duplicate dangles. Version-checked readers never descend
+                    // it, and this unversioned walk must not either.
+                    if !rev.owns_next() {
+                        break;
+                    }
                     rev_s = rev.next.load(Ordering::Acquire, guard);
                 }
                 entries += first_len.unwrap_or(0);

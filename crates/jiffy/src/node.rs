@@ -190,17 +190,31 @@ pub(crate) enum RevKind<K, V> {
 
 /// A revision: an immutable bundle of entries tagged with a version
 /// (possibly still pending), linked into its node's revision list.
+///
+/// # Layout (cache-conscious, audited)
+///
+/// `repr(C)` pins the declaration order so the point-read hot set —
+/// version (`vref`), chain edge (`next`), kind discriminant, and the
+/// entry-array pointers (`data`) — packs into the first two cache
+/// lines, one adjacent-prefetch pair on x86_64. The fields only the
+/// helping and autoscaling paths touch (`batch_span`, and the
+/// GC/§3.3.6-only `stats`) sit behind them, so a lookup never pulls
+/// their lines in. Do not reorder without re-checking
+/// `revision_layout_keeps_hot_fields_front` below.
+#[repr(C)]
 pub(crate) struct Revision<K, V> {
     pub(crate) vref: VersionRef<K, V>,
-    pub(crate) data: RevData<K, V>,
     /// Older neighbour in this node's list (for a merge revision: the left
     /// branch). Mutated only by GC truncation (CAS to null).
     pub(crate) next: Atomic<Revision<K, V>>,
     pub(crate) kind: RevKind<K, V>,
-    pub(crate) stats: RevStats,
+    pub(crate) data: RevData<K, V>,
     /// For batch revisions: descriptor ops `[batch_start, batch_end)` are
     /// reflected in this revision (used to advance `progress`).
     pub(crate) batch_span: (usize, usize),
+    /// Cold: read by the autoscaler's occasional folds and by GC, never
+    /// on the per-op hot path.
+    pub(crate) stats: RevStats,
 }
 
 impl<K, V> Revision<K, V> {
@@ -299,6 +313,18 @@ pub(crate) enum NodeKind<K, V> {
 
 /// A node of the skip list's lowest-level list, managing the key range
 /// `[key, successor.key)`.
+///
+/// # Layout (cache-conscious, audited)
+///
+/// `repr(C)` pins the declaration order: everything the level-0 walk
+/// and the point-get fast path touch — `key` (comparison), `head`
+/// (revision list), `next` (the hop), `terminated`, and the `kind`
+/// discriminant — is packed at the front (one cache line for
+/// fixed-size keys). The tower array is boxed out of line and its
+/// (fat) pointer sits last: only index-level descent reads it, with
+/// its own prefetch. Do not reorder without re-checking
+/// `node_layout_keeps_hot_fields_front` below.
+#[repr(C)]
 pub(crate) struct Node<K, V> {
     pub(crate) key: NodeKey<K>,
     /// Head of the revision list (the newest revision).
@@ -427,6 +453,36 @@ mod tests {
         assert!(t.is_temp_split());
         assert_eq!(t.tower_height(), 0);
         assert_eq!(t.key, NodeKey::Key(10));
+    }
+
+    #[test]
+    fn revision_layout_keeps_hot_fields_front() {
+        use std::mem::offset_of;
+        type R = Revision<u64, u64>;
+        // The point-read hot set (version, chain edge, discriminant)
+        // lives in the first cache line; the entry-array pointers start
+        // within the first adjacent-prefetch pair (128 bytes).
+        assert!(offset_of!(R, vref) < 64);
+        assert!(offset_of!(R, next) < 64);
+        assert!(offset_of!(R, kind) < 64);
+        assert!(offset_of!(R, data) < 128);
+        // Cold / helping-only fields are padded out behind the hot set.
+        assert!(offset_of!(R, batch_span) > offset_of!(R, data));
+        assert!(offset_of!(R, stats) > offset_of!(R, batch_span));
+    }
+
+    #[test]
+    fn node_layout_keeps_hot_fields_front() {
+        use std::mem::offset_of;
+        type N = Node<u64, u64>;
+        // Everything the level-0 walk touches fits one cache line for
+        // fixed-size keys; the tower's fat pointer comes last.
+        assert!(offset_of!(N, key) < 64);
+        assert!(offset_of!(N, head) < 64);
+        assert!(offset_of!(N, next) < 64);
+        assert!(offset_of!(N, terminated) < 64);
+        assert!(offset_of!(N, kind) < 64);
+        assert!(offset_of!(N, tower) > offset_of!(N, kind));
     }
 
     #[test]

@@ -24,9 +24,19 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// any pending operation/structure change, and return once the head is
     /// finalized and the neighbourhood validated.
     pub(crate) fn locate_for_update<'g>(&self, key: &K, guard: &'g Guard) -> Located<'g, K, V> {
+        let mut backoff = crate::backoff::HelpBackoff::new();
+        #[cfg(feature = "perf-counters")]
+        let mut iters = 0u64;
         #[cfg(debug_assertions)]
         let mut spins = 0u64;
         loop {
+            #[cfg(feature = "perf-counters")]
+            {
+                iters += 1;
+                if iters > 1 {
+                    crate::counters::bump(|c| c.locate_retries += 1);
+                }
+            }
             #[cfg(debug_assertions)]
             {
                 spins += 1;
@@ -38,16 +48,43 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             let node = unsafe { node_s.deref() };
             let next_snapshot = node.next.load(Ordering::Acquire, guard);
             let head_s = node.head.load(Ordering::Acquire, guard);
+            // Overlap the head revision's miss with the terminated check
+            // (the head is dereferenced a few instructions later).
+            crossbeam_utils::prefetch_read(head_s.as_raw());
             if node.is_terminated() {
                 continue;
             }
             debug_assert!(!head_s.is_null(), "every node has a revision list head");
             let head = unsafe { head_s.deref() };
             if head.is_merge_terminator() {
+                // The merge owner publishes progress by installing the
+                // merge revision; give it a bounded grace period before
+                // duplicating its CASes (ownership hint, see `backoff`).
+                let installed = head
+                    .as_terminator()
+                    .map(|t| !t.merge_rev.load(Ordering::Acquire, guard).is_null())
+                    .unwrap_or(false);
+                if backoff.should_wait(head_s.as_raw() as usize, installed as usize) {
+                    perf_count!(backoff_waits);
+                    continue;
+                }
                 self.help_merge_terminator(node_s, head_s, guard);
                 continue;
             }
             if head.is_pending() {
+                // Ownership hint: a batch owner publishes `progress`; a
+                // plain pending revision publishes only its finalization
+                // (which empties this branch). Spin-wait on the signal
+                // before helping — bounded, so a stalled owner is still
+                // helped to completion (lock-freedom).
+                let hint = match head.batch_descriptor() {
+                    Some(d) => d.progress().wrapping_add(1),
+                    None => 0,
+                };
+                if backoff.should_wait(head_s.as_raw() as usize, hint) {
+                    perf_count!(backoff_waits);
+                    continue;
+                }
                 self.help_pending_update(node_s, head_s, guard);
                 continue;
             }

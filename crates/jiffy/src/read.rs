@@ -10,34 +10,94 @@
 //! Skipping a merge revision descends into the branch that covers the
 //! key (`key >= right_key` → right branch), which keeps the merged
 //! node's history reachable even before/without the merge being visible.
+//!
+//! # The flat fast path
+//!
+//! In steady state the head revision of the located node is a
+//! *finalized regular* revision — no pending version to help, no split
+//! or merge branch to resolve. [`get`](JiffyInner::get) and
+//! [`get_at`](JiffyInner::get_at) short-circuit that case with a
+//! straight-line check sequence (head finalized+regular → snapshot
+//! bound → coverage) and answer directly from the head's entry array,
+//! skipping the generic locate loop's branch dispatch and the branchy
+//! chain walk. The check sequence brackets the head read between two
+//! reads of the node's successor exactly like the generic loop does
+//! (unchanged `next`, still covering the key), so it gives the same
+//! guarantee — it just never loops.
+//! Anything unusual (pending head, merge terminator, split/merge
+//! revision, terminated node, stale coverage) bails to the slow path —
+//! the fast path never helps and never retries. Setting the
+//! `JIFFY_DISABLE_FAST_PATH=1` environment variable (read once, at
+//! first use) forces every lookup down the generic path; the
+//! conformance suites run both ways and expect identical results.
 
 use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
 
 use crossbeam_epoch::{self as epoch, Guard, Shared};
+use crossbeam_utils::prefetch_read;
 use jiffy_clock::VersionClock;
 
 use crate::autoscale::fold_read;
+use crate::backoff::HelpBackoff;
 use crate::inner::{JiffyInner, MapKey, MapValue};
-use crate::node::{Node, Revision};
+use crate::node::{Node, RevKind, Revision};
 
 /// A node plus its head revision, as located for a read.
 pub(crate) type NodeAndHead<'g, K, V> = (Shared<'g, Node<K, V>>, Shared<'g, Revision<K, V>>);
+
+/// Whether the flat point-get fast path is enabled (default: yes;
+/// `JIFFY_DISABLE_FAST_PATH=1` forces the generic path, for the
+/// equivalence test matrix and for apples-to-apples counter runs).
+#[inline]
+pub(crate) fn fast_path_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("JIFFY_DISABLE_FAST_PATH") {
+        Ok(v) => v.is_empty() || v == "0",
+        Err(_) => true,
+    })
+}
 
 impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// Locate the node for a read: helps structure modifications (temp
     /// split nodes inside the traversal, merge terminators here) but not
     /// regular pending updates, per Algorithm 2.
     pub(crate) fn locate_for_read<'g>(&self, key: &K, guard: &'g Guard) -> NodeAndHead<'g, K, V> {
+        let mut backoff = HelpBackoff::new();
+        #[cfg(feature = "perf-counters")]
+        let mut iters = 0u64;
         loop {
+            #[cfg(feature = "perf-counters")]
+            {
+                iters += 1;
+                if iters > 1 {
+                    crate::counters::bump(|c| c.locate_retries += 1);
+                }
+            }
             let node_s = self.find_node_for_key(key, guard);
             let node = unsafe { node_s.deref() };
             let next_snapshot = node.next.load(Ordering::Acquire, guard);
             let head_s = node.head.load(Ordering::Acquire, guard);
+            // Overlap the head revision's miss with the validation below
+            // (it is dereferenced only after the terminated check).
+            prefetch_read(head_s.as_raw());
             if node.is_terminated() {
                 continue;
             }
             let head = unsafe { head_s.deref() };
             if head.is_merge_terminator() {
+                // Ownership hint: the merge owner publishes progress by
+                // installing the merge revision on the terminator. Give
+                // it a bounded grace period before piling onto the same
+                // CASes (see `backoff`).
+                let installed = head
+                    .as_terminator()
+                    .map(|t| !t.merge_rev.load(Ordering::Acquire, guard).is_null())
+                    .unwrap_or(false);
+                if backoff.should_wait(head_s.as_raw() as usize, installed as usize) {
+                    perf_count!(backoff_waits);
+                    continue;
+                }
                 self.help_merge_terminator(node_s, head_s, guard);
                 continue;
             }
@@ -58,6 +118,45 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         }
     }
 
+    /// The flat fast path shared by `get` and `get_at`: answer from the
+    /// located node's head revision iff it is finalized, regular, within
+    /// the snapshot bound (`max_version`), and still covers `key`.
+    /// `None` means "unusual neighbourhood — take the generic path";
+    /// `Some(answer)` is the lookup result.
+    #[inline]
+    fn get_fast(&self, key: &K, max_version: Option<i64>, guard: &Guard) -> Option<Option<V>> {
+        perf_count!(fastpath_attempts);
+        let node_s = self.find_node_for_key(key, guard);
+        let node = unsafe { node_s.deref() };
+        let next_snapshot = node.next.load(Ordering::Acquire, guard);
+        let head_s = node.head.load(Ordering::Acquire, guard);
+        if head_s.is_null() {
+            return None;
+        }
+        let head = unsafe { head_s.deref() };
+        if !matches!(head.kind, RevKind::Regular) || node.is_terminated() {
+            return None;
+        }
+        let v = head.version();
+        if v < 0 || max_version.is_some_and(|s| v > s) {
+            return None;
+        }
+        // The same `next`-bracketing the generic locate loop performs —
+        // unchanged across the head read, and covering the key — just
+        // without its retry: any wobble bails to the slow path.
+        if node.next.load(Ordering::Acquire, guard) != next_snapshot {
+            return None;
+        }
+        if let Some(succ) = unsafe { next_snapshot.as_ref() } {
+            if succ.key.le(key) {
+                return None;
+            }
+        }
+        perf_count!(fastpath_hits);
+        self.note_read(head_s, guard);
+        Some(head.data.get(key).cloned())
+    }
+
     /// Get the most recent value for `key` (`get`, Algorithm 2 lines 1-2,
     /// 25-34).
     ///
@@ -74,6 +173,11 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// for them.
     pub(crate) fn get(&self, key: &K) -> Option<V> {
         let guard = &epoch::pin();
+        if fast_path_enabled() {
+            if let Some(answer) = self.get_fast(key, None, guard) {
+                return answer;
+            }
+        }
         'restart: loop {
             let (_, head_s) = self.locate_for_read(key, guard);
             self.note_read(head_s, guard);
@@ -83,6 +187,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                     continue 'restart;
                 }
                 let rev = unsafe { rev_s.deref() };
+                perf_count!(revisions_walked);
                 if rev.version() >= 0 {
                     return rev.data.get(key).cloned();
                 }
@@ -93,6 +198,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                     }
                     _ => rev.next.load(Ordering::Acquire, guard),
                 };
+                prefetch_read(rev_s.as_raw());
             }
         }
     }
@@ -102,6 +208,11 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     pub(crate) fn get_at(&self, key: &K, snap: i64) -> Option<V> {
         debug_assert!(snap >= 0);
         let guard = &epoch::pin();
+        if fast_path_enabled() {
+            if let Some(answer) = self.get_fast(key, Some(snap), guard) {
+                return answer;
+            }
+        }
         let (node_s, head_s) = self.locate_for_read(key, guard);
         self.note_read(head_s, guard);
         let mut rev_s = head_s;
@@ -110,6 +221,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 return None;
             }
             let rev = unsafe { rev_s.deref() };
+            perf_count!(revisions_walked);
             let mut v = rev.version();
             if v < 0 && -v <= snap {
                 // The update is concurrent but may linearize before the
@@ -126,6 +238,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 Some(mi) if mi.right_key <= *key => mi.right_next.load(Ordering::Acquire, guard),
                 _ => rev.next.load(Ordering::Acquire, guard),
             };
+            prefetch_read(rev_s.as_raw());
         }
     }
 
@@ -139,5 +252,151 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             let (p, u) = fold_read(head.stats.load(), head.stats.read_gap(now));
             head.stats.store(p, u);
         }
+    }
+}
+
+/// White-box tests that [`JiffyInner::get_fast`] bails (returns `None`)
+/// in every "unusual neighbourhood" it promises to leave to the generic
+/// path — pending heads, split/merge revision heads, terminated nodes,
+/// snapshot bounds — and still answers in steady state.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JiffyConfig, JiffyMap};
+    use index_api::{Batch, BatchOp, BatchResolver, TwoPhaseBatch};
+    use std::sync::Arc;
+
+    #[test]
+    fn fast_path_answers_in_steady_state() {
+        let map: JiffyMap<u64, u64> = JiffyMap::new();
+        map.put(10, 1);
+        let guard = &epoch::pin();
+        assert_eq!(map.inner.get_fast(&10, None, guard), Some(Some(1)));
+        assert_eq!(map.inner.get_fast(&11, None, guard), Some(None), "covered miss is a hit");
+    }
+
+    #[test]
+    fn fast_path_bails_on_pending_head() {
+        let map: JiffyMap<u64, u64> = JiffyMap::new();
+        map.put(10, 1);
+        // Stage + install (but do not commit) a two-phase sub-batch: the
+        // node's head is now a pending revision. The fast path must bail
+        // without helping; the generic path skips the pending head and
+        // answers from the prior finalized revision.
+        let ticket = map.pending_version();
+        let resolver: BatchResolver = Arc::new(|| {});
+        let prep = map.prepare_batch(Batch::new(vec![BatchOp::Put(10, 2)]), &ticket, resolver);
+        map.install_prepared(prep.as_ref());
+        {
+            let guard = &epoch::pin();
+            assert_eq!(map.inner.get_fast(&10, None, guard), None, "pending head must bail");
+        }
+        assert_eq!(map.get(&10), Some(1), "generic path skips the pending head");
+        // Committed: the head finalizes and the fast path engages again.
+        map.commit_pending(ticket.as_ref());
+        let guard = &epoch::pin();
+        assert_eq!(map.inner.get_fast(&10, None, guard), Some(Some(2)));
+    }
+
+    #[test]
+    fn fast_path_bails_on_snapshot_bound() {
+        let map: JiffyMap<u64, u64> = JiffyMap::new();
+        map.put(10, 1);
+        let guard = &epoch::pin();
+        // The head's version is some positive clock draw; a snapshot
+        // bound below it must bail to the generic revision walk.
+        assert_eq!(map.inner.get_fast(&10, Some(0), guard), None);
+    }
+
+    #[test]
+    fn fast_path_bails_on_terminated_node() {
+        let map: JiffyMap<u64, u64> = JiffyMap::new();
+        map.put(5, 1);
+        let guard = &epoch::pin();
+        let node_s = map.inner.find_node_for_key(&5, guard);
+        // Forcibly mark the node terminated (as a concurrent merge
+        // would, transiently). Only the fast path is exercised after
+        // this — the map's invariants are deliberately broken.
+        unsafe { node_s.deref() }.terminated.store(true, Ordering::Release);
+        assert_eq!(map.inner.get_fast(&5, None, guard), None, "terminated node must bail");
+    }
+
+    /// Split and merge revisions sit at node heads right after the
+    /// structure change that installed them (finalized, but not
+    /// `Regular`): churn a tiny-revision map single-threaded, probing
+    /// the heads after every op — each non-`Regular` head must bail the
+    /// fast path while the public `get` still answers from the model.
+    #[test]
+    fn fast_path_bails_on_split_and_merge_revision_heads() {
+        let map: JiffyMap<u64, u64> = JiffyMap::with_config(JiffyConfig {
+            min_revision_size: 2,
+            max_revision_size: 8,
+            fixed_revision_size: Some(4),
+            ..Default::default()
+        });
+        let mut model = std::collections::BTreeMap::new();
+        let mut split_seen = false;
+        let mut merge_seen = false;
+        // Probe every non-Regular head currently in the list; returns
+        // the kinds seen. Single-threaded, so heads are stable here.
+        let probe_heads = |map: &JiffyMap<u64, u64>,
+                           model: &std::collections::BTreeMap<u64, u64>,
+                           split_seen: &mut bool,
+                           merge_seen: &mut bool| {
+            let guard = &epoch::pin();
+            let mut node_s = map.inner.base_node(guard);
+            while !node_s.is_null() {
+                let node = unsafe { node_s.deref() };
+                let next = node.next.load(Ordering::Acquire, guard);
+                if !node.is_terminated() && !node.is_temp_split() {
+                    let head_s = node.head.load(Ordering::Acquire, guard);
+                    if let Some(head) = unsafe { head_s.as_ref() } {
+                        let kind = match head.kind {
+                            RevKind::Regular => None,
+                            RevKind::LeftSplit(_) => Some("LeftSplit"),
+                            RevKind::RightSplit(_) => Some("RightSplit"),
+                            RevKind::Merge(_) => Some("Merge"),
+                            RevKind::MergeTerminator(_) => Some("MergeTerminator"),
+                        };
+                        if let Some(kind) = kind {
+                            match kind {
+                                "Merge" => *merge_seen = true,
+                                "LeftSplit" | "RightSplit" => *split_seen = true,
+                                _ => {}
+                            }
+                            let probe = match &node.key {
+                                crate::node::NodeKey::Key(k) => *k,
+                                crate::node::NodeKey::NegInf => 0,
+                            };
+                            assert_eq!(
+                                map.inner.get_fast(&probe, None, guard),
+                                None,
+                                "head kind {kind} must bail"
+                            );
+                            assert_eq!(
+                                map.get(&probe),
+                                model.get(&probe).copied(),
+                                "generic path answers under a {kind} head"
+                            );
+                        }
+                    }
+                }
+                node_s = next;
+            }
+        };
+        for k in 0..400u64 {
+            map.put(k, k + 1);
+            model.insert(k, k + 1);
+            probe_heads(&map, &model, &mut split_seen, &mut merge_seen);
+        }
+        for k in 0..400u64 {
+            if k % 5 != 0 {
+                map.remove(&k);
+                model.remove(&k);
+                probe_heads(&map, &model, &mut split_seen, &mut merge_seen);
+            }
+        }
+        assert!(split_seen, "the put churn must surface a split revision at a head");
+        assert!(merge_seen, "the remove churn must surface a merge revision at a head");
     }
 }

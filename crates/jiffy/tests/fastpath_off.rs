@@ -1,0 +1,45 @@
+//! The same conformance + Wing–Gong suite as `linearizability.rs`, but
+//! with `JIFFY_DISABLE_FAST_PATH=1` forcing every lookup down the
+//! generic locate loop. The flag is latched at first use, so every test
+//! sets it before touching a map (they share one process).
+
+#[path = "common/harness.rs"]
+mod harness;
+
+#[test]
+fn sequential_model_equivalence() {
+    harness::disable_fast_path();
+    harness::sequential_model_equivalence(0xFA57);
+}
+
+#[test]
+fn concurrent_histories_linearize() {
+    harness::disable_fast_path();
+    harness::concurrent_histories_linearize(12);
+}
+
+#[test]
+fn snapshot_reads_match_model() {
+    harness::disable_fast_path();
+    harness::snapshot_reads_match_model(0xFA57);
+}
+
+/// With `perf-counters` built in, prove the kill switch really disabled
+/// the fast path (zero attempts), mirroring the positive assertion in
+/// `linearizability.rs`.
+#[cfg(feature = "perf-counters")]
+#[test]
+fn fast_path_attempts_are_zero() {
+    harness::disable_fast_path();
+    let map: jiffy::JiffyMap<u64, u64> = jiffy::JiffyMap::new();
+    map.put(1, 1);
+    let before = jiffy::counters::snapshot();
+    for _ in 0..32 {
+        assert_eq!(map.get(&1), Some(1));
+    }
+    let after = jiffy::counters::snapshot();
+    assert_eq!(
+        after.fastpath_attempts, before.fastpath_attempts,
+        "JIFFY_DISABLE_FAST_PATH=1 must suppress every fast-path attempt"
+    );
+}

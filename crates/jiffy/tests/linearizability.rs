@@ -1,0 +1,99 @@
+//! Wing–Gong linearizability + conformance suite with the flat
+//! point-get fast path ON (the default). `fastpath_off.rs` runs the
+//! identical checks with `JIFFY_DISABLE_FAST_PATH=1`; results must not
+//! differ between the two binaries.
+
+#[path = "common/harness.rs"]
+mod harness;
+
+#[test]
+fn sequential_model_equivalence() {
+    harness::sequential_model_equivalence(0xFA57);
+}
+
+#[test]
+fn concurrent_histories_linearize() {
+    harness::concurrent_histories_linearize(12);
+}
+
+#[test]
+fn snapshot_reads_match_model() {
+    harness::snapshot_reads_match_model(0xFA57);
+}
+
+/// Cross-thread batch contention with the helping backoff in place:
+/// every thread hammers overlapping batches on one tiny-revision map,
+/// and per-thread counters are aggregated to bound the helping cost.
+/// Without the ownership-hint backoff, helpers duplicate the owner's
+/// group installations and `help_iterations`/batch explodes with the
+/// thread count; with it, the figure stays near the sequential group
+/// count. The measured value prints under `--nocapture` (quoted in the
+/// README's evaluation notes).
+#[cfg(feature = "perf-counters")]
+#[test]
+fn help_iterations_stay_bounded_under_contended_batches() {
+    use std::sync::Arc;
+    const THREADS: u64 = 4;
+    const BATCHES_PER_THREAD: u64 = 200;
+    const OPS_PER_BATCH: u64 = 8;
+    let map: Arc<jiffy::JiffyMap<u64, u64>> =
+        Arc::new(jiffy::JiffyMap::with_config(harness::tiny_config()));
+    let totals = std::sync::Mutex::new(jiffy::counters::OpCostCounters::ZERO);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let map = Arc::clone(&map);
+            let totals = &totals;
+            s.spawn(move || {
+                let _ = jiffy::counters::take(); // drop pre-test noise
+                for i in 0..BATCHES_PER_THREAD {
+                    let ops: Vec<jiffy::BatchOp<u64, u64>> = (0..OPS_PER_BATCH)
+                        .map(|j| jiffy::BatchOp::Put((t + j * 7) % 64, i))
+                        .collect();
+                    map.batch(jiffy::Batch::new(ops));
+                }
+                totals.lock().unwrap().add(&jiffy::counters::take());
+            });
+        }
+    });
+    let totals = totals.lock().unwrap();
+    let batches = THREADS * BATCHES_PER_THREAD;
+    let per_batch = totals.help_iterations as f64 / batches as f64;
+    println!(
+        "help_iterations/batch = {per_batch:.2} over {batches} contended \
+         {OPS_PER_BATCH}-op batches on {THREADS} threads \
+         (backoff_waits = {})",
+        totals.backoff_waits
+    );
+    // Ops coalesce into per-node groups, so the floor is one iteration
+    // per batch, not one per op.
+    assert!(totals.help_iterations >= batches, "each batch needs at least one help iteration");
+    // Generous ceiling: with the ownership-hint backoff, helpers rarely
+    // duplicate the owner's installations, so the per-batch figure must
+    // stay within a small multiple of the sequential group count rather
+    // than scaling with the thread count times the group count.
+    assert!(
+        per_batch < (OPS_PER_BATCH * THREADS) as f64,
+        "helping cost per batch ({per_batch:.2}) must not reach \
+         threads x groups — backoff is not suppressing duplicated work"
+    );
+}
+
+/// With `perf-counters` built in, prove the fast path actually engaged
+/// in this binary (the "off" binary asserts the opposite) — this is
+/// what makes the matrix meaningful rather than two identical runs.
+#[cfg(feature = "perf-counters")]
+#[test]
+fn fast_path_attempts_are_counted() {
+    let map: jiffy::JiffyMap<u64, u64> = jiffy::JiffyMap::new();
+    map.put(1, 1);
+    let before = jiffy::counters::snapshot();
+    for _ in 0..32 {
+        assert_eq!(map.get(&1), Some(1));
+    }
+    let after = jiffy::counters::snapshot();
+    assert!(
+        after.fastpath_attempts >= before.fastpath_attempts + 32,
+        "fast path must be attempted on point gets: {before:?} -> {after:?}"
+    );
+    assert!(after.fastpath_hits > before.fastpath_hits, "steady-state gets must hit");
+}

@@ -24,5 +24,5 @@ pub mod runner;
 pub use compare::{compare, parse_report, BenchReport, BenchRow, Comparison};
 pub use hist::LogHistogram;
 pub use registry::{indices_for_figure, make_index_u32, make_index_u64, IndexKind, DEFAULT_SHARDS};
-pub use report::{write_csv, write_json, LatencySummary, Measurement, Row, RunMeta};
-pub use runner::{run_scenario, BenchKey, RunConfig};
+pub use report::{write_csv, write_json, LatencySummary, Measurement, OpCosts, Row, RunMeta};
+pub use runner::{last_worker_panic, run_scenario, with_panic_context, BenchKey, RunConfig};

@@ -424,12 +424,17 @@ fn cmd_sharding_cross_batch(args: &Args) {
                         let keys = keys_for(w);
                         let (map, stop, commits) = (&map, &stop, &commits);
                         s.spawn(move || {
-                            let mut stamp = w + 1;
-                            while !stop.load(Ordering::Relaxed) {
-                                map.batch_update(workload_batch(&keys, stamp));
-                                commits.fetch_add(1, Ordering::Relaxed);
-                                stamp += t as u64;
-                            }
+                            mkbench::with_panic_context(
+                                || format!("cross-batch {label}, writer {w}/{t}"),
+                                || {
+                                    let mut stamp = w + 1;
+                                    while !stop.load(Ordering::Relaxed) {
+                                        map.batch_update(workload_batch(&keys, stamp));
+                                        commits.fetch_add(1, Ordering::Relaxed);
+                                        stamp += t as u64;
+                                    }
+                                },
+                            );
                         });
                     }
                     std::thread::sleep(Duration::from_secs_f64(args.secs));
@@ -527,31 +532,44 @@ fn cmd_reshard(args: &Args) {
                 let map = Arc::clone(&map);
                 let (stop, ops) = (&stop, &ops);
                 let mut sched = workload::RoleSchedule::new(*plan);
+                let window = label.to_string();
                 s.spawn(move || {
-                    let mut gen = workload::KeyGen::new(
-                        workload::KeyDist::Uniform,
-                        key_space,
-                        tid as u64 + 1,
+                    // The rare reshard flake re-raises through
+                    // `thread::scope` with its payload flattened; capture
+                    // which window/worker died while it is still known.
+                    let ctx = format!(
+                        "reshard window '{window}', worker {tid}/{threads}, {} shards",
+                        map.shard_count()
                     );
-                    while !stop.load(Ordering::Relaxed) {
-                        let k = gen.next_key();
-                        match sched.next_role() {
-                            workload::Role::Update => {
-                                if gen.next_raw() & 1 == 0 {
-                                    map.put(k, k);
-                                } else {
-                                    map.remove(&k);
+                    mkbench::with_panic_context(
+                        || ctx.clone(),
+                        || {
+                            let mut gen = workload::KeyGen::new(
+                                workload::KeyDist::Uniform,
+                                key_space,
+                                tid as u64 + 1,
+                            );
+                            while !stop.load(Ordering::Relaxed) {
+                                let k = gen.next_key();
+                                match sched.next_role() {
+                                    workload::Role::Update => {
+                                        if gen.next_raw() & 1 == 0 {
+                                            map.put(k, k);
+                                        } else {
+                                            map.remove(&k);
+                                        }
+                                    }
+                                    workload::Role::Lookup => {
+                                        std::hint::black_box(map.get(&k));
+                                    }
+                                    workload::Role::Scan => {
+                                        std::hint::black_box(map.scan_collect(&k, 100));
+                                    }
                                 }
+                                ops.fetch_add(1, Ordering::Relaxed);
                             }
-                            workload::Role::Lookup => {
-                                std::hint::black_box(map.get(&k));
-                            }
-                            workload::Role::Scan => {
-                                std::hint::black_box(map.scan_collect(&k, 100));
-                            }
-                        }
-                        ops.fetch_add(1, Ordering::Relaxed);
-                    }
+                        },
+                    );
                 });
             }
             let start = std::time::Instant::now();

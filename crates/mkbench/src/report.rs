@@ -20,6 +20,44 @@ pub struct LatencySummary {
     pub samples: u64,
 }
 
+/// Aggregated per-thread op-cost counters from `jiffy`'s
+/// `perf-counters` feature layer, summed over the recording window
+/// across all worker threads. Purely informational v2 columns: the
+/// compare gate never looks at them, but they are what proves a
+/// cache-conscious change did its job when 1-core wall clock cannot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCosts {
+    /// Skip-list descents (`find_node_for_key` calls).
+    pub descents: u64,
+    /// Nodes stepped through during those descents.
+    pub nodes_visited: u64,
+    /// Revisions inspected by lookup/scan chain walks.
+    pub revisions_walked: u64,
+    /// Locate-loop restarts.
+    pub locate_retries: u64,
+    /// Batch-helping loop iterations.
+    pub help_iterations: u64,
+    /// Bounded backoff waits taken instead of duplicating helping work.
+    pub backoff_waits: u64,
+    /// Point gets that attempted the flat fast path.
+    pub fastpath_attempts: u64,
+    /// Point gets fully served by the flat fast path.
+    pub fastpath_hits: u64,
+}
+
+impl OpCosts {
+    /// Mean nodes visited per descent (`None` if no descents ran).
+    pub fn nodes_per_descent(&self) -> Option<f64> {
+        (self.descents > 0).then(|| self.nodes_visited as f64 / self.descents as f64)
+    }
+
+    /// Fast-path hit rate in `[0, 1]` (`None` if no gets ran).
+    pub fn fastpath_hit_rate(&self) -> Option<f64> {
+        (self.fastpath_attempts > 0)
+            .then(|| self.fastpath_hits as f64 / self.fastpath_attempts as f64)
+    }
+}
+
 /// Throughput of one run, in millions of basic ops per second, plus the
 /// v2 fields: effective mix and per-role latency percentiles.
 #[derive(Clone, Copy, Debug, Default)]
@@ -39,6 +77,11 @@ pub struct Measurement {
     pub update_lat: Option<LatencySummary>,
     pub lookup_lat: Option<LatencySummary>,
     pub scan_lat: Option<LatencySummary>,
+    /// Op-cost counters, present only when the harness was built with
+    /// `perf-counters` and the index reported any activity (v2,
+    /// informational — additive like `latency_ns`, so v1/v2 consumers
+    /// and the compare gate are unaffected).
+    pub op_costs: Option<OpCosts>,
 }
 
 /// One output row.
@@ -139,7 +182,9 @@ fn latency_json(role: &str, lat: &Option<LatencySummary>) -> Option<String> {
 /// max, samples}, ...}}]}`. The four v1 throughput columns are carried
 /// unchanged so v1 consumers (and `mkbench compare` against v1
 /// baselines) keep working; `latency_ns` holds only roles the run
-/// actually exercised.
+/// actually exercised, and `op_costs` (raw counter totals plus derived
+/// `nodes_per_descent` / `fastpath_hit_rate`) appears only on rows
+/// measured with the `perf-counters` feature.
 pub fn render_json(meta: &RunMeta, rows: &[Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -185,6 +230,25 @@ pub fn render_json(meta: &RunMeta, rows: &[Row]) -> String {
         .collect();
         if !lat.is_empty() {
             let _ = write!(out, ", \"latency_ns\": {{ {} }}", lat.join(", "));
+        }
+        if let Some(c) = &r.m.op_costs {
+            let _ = write!(
+                out,
+                ", \"op_costs\": {{ \"descents\": {}, \"nodes_visited\": {}, \
+                 \"revisions_walked\": {}, \"locate_retries\": {}, \"help_iterations\": {}, \
+                 \"backoff_waits\": {}, \"fastpath_attempts\": {}, \"fastpath_hits\": {}, \
+                 \"nodes_per_descent\": {:.3}, \"fastpath_hit_rate\": {:.4} }}",
+                c.descents,
+                c.nodes_visited,
+                c.revisions_walked,
+                c.locate_retries,
+                c.help_iterations,
+                c.backoff_waits,
+                c.fastpath_attempts,
+                c.fastpath_hits,
+                c.nodes_per_descent().unwrap_or(0.0),
+                c.fastpath_hit_rate().unwrap_or(0.0)
+            );
         }
         let _ = writeln!(out, " }}{comma}");
     }
@@ -282,6 +346,45 @@ mod tests {
         // Balanced braces (structurally valid JSON object).
         let braces = text.matches('{').count();
         assert_eq!(braces, text.matches('}').count());
+    }
+
+    #[test]
+    fn json_op_costs_only_when_present() {
+        let meta = RunMeta {
+            label: "counters".into(),
+            threads: vec![1],
+            secs: 0.1,
+            warmup: 0.0,
+            key_space: 10,
+            created_unix: 1,
+        };
+        let mut rows = vec![row("s1", "jiffy", 1, 1.0), row("s1", "cslm", 1, 1.0)];
+        rows[0].m.op_costs = Some(OpCosts {
+            descents: 10,
+            nodes_visited: 35,
+            revisions_walked: 12,
+            locate_retries: 1,
+            help_iterations: 2,
+            backoff_waits: 3,
+            fastpath_attempts: 8,
+            fastpath_hits: 6,
+        });
+        let text = render_json(&meta, &rows);
+        // Counter columns are additive and appear only on the row that
+        // actually measured them (like latency_ns).
+        assert_eq!(text.matches("op_costs").count(), 1);
+        assert!(text.contains("\"nodes_visited\": 35"));
+        assert!(text.contains("\"nodes_per_descent\": 3.500"));
+        assert!(text.contains("\"fastpath_hit_rate\": 0.7500"));
+        let braces = text.matches('{').count();
+        assert_eq!(braces, text.matches('}').count());
+    }
+
+    #[test]
+    fn op_costs_derived_rates() {
+        let z = OpCosts::default();
+        assert_eq!(z.nodes_per_descent(), None);
+        assert_eq!(z.fastpath_hit_rate(), None);
     }
 
     #[test]

@@ -18,7 +18,47 @@ use index_api::{Batch, BatchOp, OrderedIndex};
 use workload::{BatchMode, KeyDist, KeyGen, RoleSchedule, Scenario, ThreadMix, Value};
 
 use crate::hist::LogHistogram;
+#[cfg(feature = "perf-counters")]
+use crate::report::OpCosts;
 use crate::report::{LatencySummary, Measurement};
+
+/// Last worker-panic diagnostic captured by [`with_panic_context`]
+/// (message + harness context), kept so the flake report survives
+/// `thread::scope`'s payload-flattening re-raise.
+static LAST_WORKER_PANIC: Mutex<Option<String>> = Mutex::new(None);
+
+/// The most recent worker-panic diagnostic, if any worker has panicked
+/// in this process (newest wins).
+pub fn last_worker_panic() -> Option<String> {
+    LAST_WORKER_PANIC.lock().unwrap().clone()
+}
+
+/// Run `f`, and if it panics, record the panic payload together with
+/// `ctx()`'s harness context (scenario, index, thread id, ...) — to
+/// stderr and to [`last_worker_panic`] — before re-raising.
+///
+/// `std::thread::scope` re-raises a child's panic in the parent, but
+/// the parent-side payload says only "a scoped thread panicked": by the
+/// time CI sees the failure, *which* scenario cell and worker died is
+/// gone. Wrapping each worker body here is what makes a
+/// once-in-hundreds steady-state flake diagnosable from its first
+/// recurrence.
+pub fn with_panic_context<R>(ctx: impl Fn() -> String, f: impl FnOnce() -> R) -> R {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".into());
+            let report = format!("worker panic [{}]: {}", ctx(), msg);
+            eprintln!("mkbench: {report}");
+            *LAST_WORKER_PANIC.lock().unwrap() = Some(report);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
 
 /// Benchmark keys are derived from `u64` draws.
 pub trait BenchKey: Ord + Clone + Send + Sync + 'static {
@@ -141,6 +181,8 @@ pub fn run_scenario<K: BenchKey, V: Value>(
     let counters: Arc<[AtomicU64; 3]> = Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
     let hists: Arc<Mutex<[LogHistogram; 3]>> =
         Arc::new(Mutex::new(std::array::from_fn(|_| LogHistogram::new())));
+    #[cfg(feature = "perf-counters")]
+    let op_costs: Arc<Mutex<OpCosts>> = Arc::new(Mutex::new(OpCosts::default()));
     let mut measured = ([0u64; 3], Duration::ZERO);
 
     std::thread::scope(|s| {
@@ -150,109 +192,148 @@ pub fn run_scenario<K: BenchKey, V: Value>(
             let recording = Arc::clone(&recording);
             let counters = Arc::clone(&counters);
             let hists = Arc::clone(&hists);
+            #[cfg(feature = "perf-counters")]
+            let op_costs = Arc::clone(&op_costs);
             let mut sched = RoleSchedule::new(*plan);
             let scenario = scenario.clone();
             let cfg = cfg.clone();
             s.spawn(move || {
-                let mut gen = KeyGen::new(
-                    scenario.dist,
-                    cfg.key_space,
-                    cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
+                let ctx = format!(
+                    "scenario {}, worker {}/{}, key_space {}",
+                    scenario.id, tid, cfg.threads, cfg.key_space
                 );
-                let mut local = [0u64; 3];
-                let mut local_hist: [LogHistogram; 3] =
-                    std::array::from_fn(|_| LogHistogram::new());
-                let mut batch_buf: Vec<BatchOp<K, V>> = Vec::new();
-                // Per-role op counters drive latency sampling. A single
-                // global counter would alias: the schedule is periodic
-                // (period 4 for the 25/50/25 mix), so "every 16th
-                // iteration" lands on the same role forever and the
-                // other roles never get sampled.
-                let mut issued = [0u64; 3];
-                while !stop.load(Ordering::Relaxed) {
-                    let pick = sched.next_role() as usize;
+                with_panic_context(
+                    || ctx.clone(),
+                    || {
+                        let mut gen = KeyGen::new(
+                            scenario.dist,
+                            cfg.key_space,
+                            cfg.seed ^ (tid as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15),
+                        );
+                        let mut local = [0u64; 3];
+                        let mut local_hist: [LogHistogram; 3] =
+                            std::array::from_fn(|_| LogHistogram::new());
+                        let mut batch_buf: Vec<BatchOp<K, V>> = Vec::new();
+                        // Per-role op counters drive latency sampling. A single
+                        // global counter would alias: the schedule is periodic
+                        // (period 4 for the 25/50/25 mix), so "every 16th
+                        // iteration" lands on the same role forever and the
+                        // other roles never get sampled.
+                        let mut issued = [0u64; 3];
+                        // Op-cost counters are thread-local inside jiffy; fence
+                        // them at the recording-window edges so the aggregate
+                        // matches the throughput window (warmup discarded).
+                        #[cfg(feature = "perf-counters")]
+                        let mut was_recording = false;
+                        while !stop.load(Ordering::Relaxed) {
+                            #[cfg(feature = "perf-counters")]
+                            {
+                                let now_recording = recording.load(Ordering::Relaxed);
+                                if now_recording != was_recording {
+                                    let delta = jiffy::counters::take();
+                                    if was_recording {
+                                        add_op_costs(&op_costs, &delta);
+                                    }
+                                    was_recording = now_recording;
+                                }
+                            }
+                            let pick = sched.next_role() as usize;
 
-                    let sampled =
-                        issued[pick] & SAMPLE_MASK == 0 && recording.load(Ordering::Relaxed);
-                    issued[pick] = issued[pick].wrapping_add(1);
-                    let t_start = sampled.then(Instant::now);
-                    // `done` is what the index verifiably did: basic ops
-                    // for singles, canonicalized batch length for
-                    // batches, sink-visited entries for scans.
-                    let done: u64 = match pick {
-                        UPDATE => match scenario.batch {
-                            BatchMode::Single => {
-                                let k = gen.next_key();
-                                if gen.next_raw() & 1 == 0 {
-                                    index.put(K::from_u64(k), V::make(k));
-                                } else {
-                                    index.remove(&K::from_u64(k));
-                                }
-                                1
-                            }
-                            BatchMode::BatchSeq { size } => {
-                                let start = gen.next_key();
-                                batch_buf.clear();
-                                for i in 0..size as u64 {
-                                    let k = (start + i) % cfg.key_space;
-                                    if gen.next_raw() & 1 == 0 {
-                                        batch_buf.push(BatchOp::Put(K::from_u64(k), V::make(k)));
-                                    } else {
-                                        batch_buf.push(BatchOp::Remove(K::from_u64(k)));
+                            let sampled = issued[pick] & SAMPLE_MASK == 0
+                                && recording.load(Ordering::Relaxed);
+                            issued[pick] = issued[pick].wrapping_add(1);
+                            let t_start = sampled.then(Instant::now);
+                            // `done` is what the index verifiably did: basic ops
+                            // for singles, canonicalized batch length for
+                            // batches, sink-visited entries for scans.
+                            let done: u64 = match pick {
+                                UPDATE => match scenario.batch {
+                                    BatchMode::Single => {
+                                        let k = gen.next_key();
+                                        if gen.next_raw() & 1 == 0 {
+                                            index.put(K::from_u64(k), V::make(k));
+                                        } else {
+                                            index.remove(&K::from_u64(k));
+                                        }
+                                        1
                                     }
-                                }
-                                let b = Batch::new(std::mem::take(&mut batch_buf));
-                                let n = b.len() as u64;
-                                index.batch_update(b);
-                                n
-                            }
-                            BatchMode::BatchRand { size } => {
-                                batch_buf.clear();
-                                for _ in 0..size {
+                                    BatchMode::BatchSeq { size } => {
+                                        let start = gen.next_key();
+                                        batch_buf.clear();
+                                        for i in 0..size as u64 {
+                                            let k = (start + i) % cfg.key_space;
+                                            if gen.next_raw() & 1 == 0 {
+                                                batch_buf
+                                                    .push(BatchOp::Put(K::from_u64(k), V::make(k)));
+                                            } else {
+                                                batch_buf.push(BatchOp::Remove(K::from_u64(k)));
+                                            }
+                                        }
+                                        let b = Batch::new(std::mem::take(&mut batch_buf));
+                                        let n = b.len() as u64;
+                                        index.batch_update(b);
+                                        n
+                                    }
+                                    BatchMode::BatchRand { size } => {
+                                        batch_buf.clear();
+                                        for _ in 0..size {
+                                            let k = gen.next_key();
+                                            if gen.next_raw() & 1 == 0 {
+                                                batch_buf
+                                                    .push(BatchOp::Put(K::from_u64(k), V::make(k)));
+                                            } else {
+                                                batch_buf.push(BatchOp::Remove(K::from_u64(k)));
+                                            }
+                                        }
+                                        let b = Batch::new(std::mem::take(&mut batch_buf));
+                                        let n = b.len() as u64;
+                                        index.batch_update(b);
+                                        n
+                                    }
+                                },
+                                LOOKUP => {
                                     let k = gen.next_key();
-                                    if gen.next_raw() & 1 == 0 {
-                                        batch_buf.push(BatchOp::Put(K::from_u64(k), V::make(k)));
-                                    } else {
-                                        batch_buf.push(BatchOp::Remove(K::from_u64(k)));
-                                    }
+                                    std::hint::black_box(index.get(&K::from_u64(k)));
+                                    1
                                 }
-                                let b = Batch::new(std::mem::take(&mut batch_buf));
-                                let n = b.len() as u64;
-                                index.batch_update(b);
-                                n
+                                _ => {
+                                    let k = gen.next_key();
+                                    let mut seen = 0u64;
+                                    index.scan_from(
+                                        &K::from_u64(k),
+                                        scenario.scan_len,
+                                        &mut |_, v| {
+                                            std::hint::black_box(v);
+                                            seen += 1;
+                                        },
+                                    );
+                                    seen
+                                }
+                            };
+                            if let Some(t) = t_start {
+                                local_hist[pick].record(t.elapsed().as_nanos() as u64);
                             }
-                        },
-                        LOOKUP => {
-                            let k = gen.next_key();
-                            std::hint::black_box(index.get(&K::from_u64(k)));
-                            1
+                            local[pick] += done;
+                            if local[pick] >= FLUSH_EVERY {
+                                counters[pick].fetch_add(local[pick], Ordering::Relaxed);
+                                local[pick] = 0;
+                            }
                         }
-                        _ => {
-                            let k = gen.next_key();
-                            let mut seen = 0u64;
-                            index.scan_from(&K::from_u64(k), scenario.scan_len, &mut |_, v| {
-                                std::hint::black_box(v);
-                                seen += 1;
-                            });
-                            seen
+                        for r in 0..3 {
+                            counters[r].fetch_add(local[r], Ordering::Relaxed);
                         }
-                    };
-                    if let Some(t) = t_start {
-                        local_hist[pick].record(t.elapsed().as_nanos() as u64);
-                    }
-                    local[pick] += done;
-                    if local[pick] >= FLUSH_EVERY {
-                        counters[pick].fetch_add(local[pick], Ordering::Relaxed);
-                        local[pick] = 0;
-                    }
-                }
-                for r in 0..3 {
-                    counters[r].fetch_add(local[r], Ordering::Relaxed);
-                }
-                let mut shared = hists.lock().unwrap();
-                for r in 0..3 {
-                    shared[r].merge(&local_hist[r]);
-                }
+                        // The stop flag can arrive before the worker observes the
+                        // recording flag dropping; flush the open window either way.
+                        #[cfg(feature = "perf-counters")]
+                        if was_recording {
+                            add_op_costs(&op_costs, &jiffy::counters::take());
+                        }
+                        let mut shared = hists.lock().unwrap();
+                        for r in 0..3 {
+                            shared[r].merge(&local_hist[r]);
+                        }
+                    },
+                )
             });
         }
         // Warmup: let the structure adapt, then snapshot the counters and
@@ -281,7 +362,31 @@ pub fn run_scenario<K: BenchKey, V: Value>(
         update_lat: summarize(&hists[UPDATE]),
         lookup_lat: summarize(&hists[LOOKUP]),
         scan_lat: summarize(&hists[SCAN]),
+        // Non-jiffy indexes never bump the thread-local counters, so an
+        // all-zero aggregate means "not a jiffy run" — omit the column.
+        #[cfg(feature = "perf-counters")]
+        op_costs: {
+            let c = *op_costs.lock().unwrap();
+            (c != OpCosts::default()).then_some(c)
+        },
+        #[cfg(not(feature = "perf-counters"))]
+        op_costs: None,
     }
+}
+
+/// Fold one worker's recording-window counter delta into the shared
+/// per-scenario aggregate.
+#[cfg(feature = "perf-counters")]
+fn add_op_costs(acc: &Mutex<OpCosts>, c: &jiffy::counters::OpCostCounters) {
+    let mut a = acc.lock().unwrap();
+    a.descents += c.descents;
+    a.nodes_visited += c.nodes_visited;
+    a.revisions_walked += c.revisions_walked;
+    a.locate_retries += c.locate_retries;
+    a.help_iterations += c.help_iterations;
+    a.backoff_waits += c.backoff_waits;
+    a.fastpath_attempts += c.fastpath_attempts;
+    a.fastpath_hits += c.fastpath_hits;
 }
 
 /// Key distribution helper for ad-hoc harness callers.
@@ -335,6 +440,23 @@ mod tests {
             m.scan_mops * 1e6 <= scans_per_sec_upper * scenario.scan_len as f64,
             "scan accounting out of bounds: {m:?}"
         );
+    }
+
+    /// The panic harness must capture the payload *and* the harness
+    /// context before re-raising, so a scoped-thread flake is
+    /// diagnosable after `thread::scope` flattens the payload.
+    #[test]
+    fn panic_context_records_payload_and_context() {
+        let caught = std::panic::catch_unwind(|| {
+            with_panic_context(
+                || "scenario s1, worker 3/4".to_string(),
+                || panic!("boom at key {}", 42),
+            )
+        });
+        assert!(caught.is_err(), "panic must be re-raised");
+        let report = last_worker_panic().expect("panic recorded");
+        assert!(report.contains("scenario s1, worker 3/4"), "{report}");
+        assert!(report.contains("boom at key 42"), "{report}");
     }
 
     /// Scans near the top of the key space must credit only visited
