@@ -266,7 +266,11 @@ where
         let mut parent = None;
         let mut last_left_key = None;
         loop {
+            // SAFETY: `link` is the root field or a link inside a node
+            // kept alive by `guard` (EBR).
             let node_s = unsafe { (*link).load(Ordering::Acquire, guard) };
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             match unsafe { node_s.deref() } {
                 NodeE::Router { key: rk, left, right } => {
                     let go_left = key < rk;
@@ -284,6 +288,8 @@ where
     }
 
     fn base_of<'g>(node: Shared<'g, NodeE<K, V, C>>) -> &'g BaseNode<C> {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         match unsafe { node.deref() } {
             NodeE::Base(b, _) => b,
             NodeE::Router { .. } => unreachable!("routed to a router"),
@@ -403,6 +409,8 @@ where
         // While we hold this base's write lock, no restructure can touch
         // the link pointing at it (every restructure locks a base below
         // the link it replaces).
+        // SAFETY: the route's link is the root field or lives in a node
+        // kept alive by `guard`.
         let link = unsafe { &*r.link };
         let prev = link.swap(router, Ordering::AcqRel, guard);
         debug_assert_eq!(prev, r.base);
@@ -410,6 +418,8 @@ where
         base.stamp.fetch_add(1, Ordering::Release);
         base.stat.store(0, Ordering::Relaxed);
         drop(data);
+        // SAFETY: unlinked from the structure above, so no new reader
+        // can reach it; already-pinned readers hold it until they unpin.
         unsafe { guard.defer_destroy(prev) };
     }
 
@@ -424,6 +434,8 @@ where
         let Some((parent_link, parent_s, we_are_left)) = r.parent else {
             return; // root base: nothing to join with
         };
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let NodeE::Router { left, right, .. } = (unsafe { parent_s.deref() }) else {
             unreachable!()
         };
@@ -431,6 +443,8 @@ where
         let sibling_s = sibling_link.load(Ordering::Acquire, guard);
         // Only join when the sibling is a base node (the "low-contention
         // join" fast path; subtree siblings are skipped).
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let NodeE::Base(sib, _) = (unsafe { sibling_s.deref() }) else { return };
         // Second lock via try_write only (avoids deadlock with ascending
         // lock orders elsewhere).
@@ -459,6 +473,8 @@ where
         // Replace the parent router with the merged base. Both of the
         // router's children are locked by us, so the parent link is
         // stable.
+        // SAFETY: `parent_link` is the root field or lives in a node
+        // kept alive by `guard`; both children are locked by us.
         let plink = unsafe { &*parent_link };
         let prev = plink.swap(merged_base, Ordering::AcqRel, guard);
         debug_assert_eq!(prev, parent_s);
@@ -468,8 +484,9 @@ where
         sib.stamp.fetch_add(1, Ordering::Release);
         drop(sib_data);
         drop(data);
+        // SAFETY: the router and both old bases were unlinked by the
+        // swap above; pinned readers are protected until they unpin.
         unsafe {
-            // The router and both old bases are unreachable.
             guard.defer_destroy(prev);
             guard.defer_destroy(r.base);
             guard.defer_destroy(sibling_s);
@@ -591,6 +608,8 @@ where
             }
             // Validation pass: all stamps unchanged => consistent cut.
             for (base_ptr, stamp) in &stamps {
+                // SAFETY: `base_ptr` was recorded during this pinned
+                // traversal; the base is kept alive by `guard`.
                 let base = unsafe { &**base_ptr };
                 if base.stamp.load(Ordering::Acquire) != *stamp {
                     continue 'retry;
@@ -617,17 +636,20 @@ where
 
 impl<K, V, C> Drop for CaTree<K, V, C> {
     fn drop(&mut self) {
-        // Exclusive access: free the whole tree.
+        // SAFETY: exclusive access in Drop — free the whole tree.
         let guard = unsafe { epoch::unprotected() };
         let mut work = vec![self.root.load(Ordering::Relaxed, guard)];
         while let Some(node) = work.pop() {
             if node.is_null() {
                 continue;
             }
+            // SAFETY: teardown has exclusive access; every node is
+            // owned by the tree exactly once.
             if let NodeE::Router { left, right, .. } = unsafe { node.deref() } {
                 work.push(left.load(Ordering::Relaxed, guard));
                 work.push(right.load(Ordering::Relaxed, guard));
             }
+            // SAFETY: exclusive teardown ownership.
             drop(unsafe { node.into_owned() });
         }
     }

@@ -111,11 +111,15 @@ where
         let mut pred = self.head_node(guard);
         for level in (0..MAX_HEIGHT).rev() {
             loop {
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let p = unsafe { pred.deref() };
                 if level >= p.height() {
                     break;
                 }
                 let curr = p.levels[level].load(Ordering::Acquire, guard);
+                // SAFETY: if non-null, the pointee is kept alive by the
+                // enclosing pin guard (EBR).
                 let Some(c) = (unsafe { curr.as_ref() }) else { break };
                 match c.key.as_ref().unwrap().cmp(key) {
                     std::cmp::Ordering::Less => pred = curr,
@@ -124,6 +128,8 @@ where
             }
             preds[level] = pred;
         }
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let p0 = unsafe { preds[0].deref() };
         let succ0 = p0.levels[0].load(Ordering::Acquire, guard);
         (preds, succ0)
@@ -133,11 +139,15 @@ where
     pub fn get(&self, key: &K) -> Option<V> {
         let guard = &epoch::pin();
         let (_, curr) = self.find(key, guard);
+        // SAFETY: if non-null, the pointee is kept alive by the
+        // enclosing pin guard (EBR).
         let c = unsafe { curr.as_ref() }?;
         if c.key.as_ref() != Some(key) {
             return None;
         }
         let v = c.value.load(Ordering::Acquire, guard);
+        // SAFETY: if non-null, the pointee is kept alive by the
+        // enclosing pin guard (EBR).
         unsafe { v.as_ref() }.cloned()
     }
 
@@ -149,6 +159,8 @@ where
         let mut val_owned = Owned::new(value);
         loop {
             let (preds, curr) = self.find(&key, guard);
+            // SAFETY: if non-null, the pointee is kept alive by the
+            // enclosing pin guard (EBR).
             if let Some(c) = unsafe { curr.as_ref() } {
                 if c.key.as_ref() == Some(&key) {
                     // Overwrite (or resurrect a tombstone) in place.
@@ -162,6 +174,8 @@ where
                     ) {
                         Ok(_) => {
                             if !old.is_null() {
+                                // SAFETY: unlinked from the structure above, so no new reader
+                                // can reach it; already-pinned readers hold it until they unpin.
                                 unsafe { guard.defer_destroy(old) };
                             }
                             return;
@@ -182,6 +196,8 @@ where
             });
             node.value.store(val_owned, Ordering::Relaxed);
             node.levels[0].store(curr, Ordering::Relaxed);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let pred0 = unsafe { preds[0].deref() };
             match pred0.levels[0].compare_exchange(
                 curr,
@@ -198,6 +214,8 @@ where
                     // Take the value back out of the unpublished node.
                     let n = e.new;
                     let v = n.value.load(Ordering::Relaxed, guard);
+                    // SAFETY: the CAS failed, so the node (and the value
+                    // it holds) was never published — we still own both.
                     val_owned = unsafe { v.into_owned() };
                     drop(n);
                 }
@@ -215,6 +233,8 @@ where
         hint: &[Shared<'g, Node<K, V>>],
         guard: &'g Guard,
     ) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let node = unsafe { node_s.deref() };
         let key = node.key.as_ref().unwrap();
         for level in 1..node.height() {
@@ -223,14 +243,20 @@ where
                 let mut pred = hint
                     .get(level)
                     .copied()
+                    // SAFETY: non-null and reached under the enclosing pin guard;
+                    // EBR defers reclamation of epoch-reachable nodes until unpin.
                     .filter(|p| !p.is_null() && unsafe { p.deref() }.height() > level)
                     .unwrap_or_else(|| self.head_node(guard));
                 let (pred, succ) = loop {
+                    // SAFETY: non-null and reached under the enclosing pin guard;
+                    // EBR defers reclamation of epoch-reachable nodes until unpin.
                     let p = unsafe { pred.deref() };
                     if level >= p.height() {
                         break (pred, Shared::null());
                     }
                     let curr = p.levels[level].load(Ordering::Acquire, guard);
+                    // SAFETY: if non-null, the pointee is kept alive by the
+                    // enclosing pin guard (EBR).
                     match unsafe { curr.as_ref() } {
                         Some(c) if curr != node_s && c.key.as_ref().unwrap() < key => {
                             pred = curr;
@@ -241,6 +267,8 @@ where
                 if succ == node_s {
                     return; // already linked here
                 }
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let p = unsafe { pred.deref() };
                 if level >= p.height() {
                     return; // shorter path; give up this level
@@ -262,6 +290,8 @@ where
         let guard = &epoch::pin();
         loop {
             let (_, curr) = self.find(key, guard);
+            // SAFETY: if non-null, the pointee is kept alive by the
+            // enclosing pin guard (EBR).
             let Some(c) = (unsafe { curr.as_ref() }) else { return false };
             if c.key.as_ref() != Some(key) {
                 return false;
@@ -274,6 +304,8 @@ where
                 .compare_exchange(old, Shared::null(), Ordering::AcqRel, Ordering::Acquire, guard)
                 .is_ok()
             {
+                // SAFETY: unlinked from the structure above, so no new reader
+                // can reach it; already-pinned readers hold it until they unpin.
                 unsafe { guard.defer_destroy(old) };
                 return true;
             }
@@ -287,8 +319,12 @@ where
         let (_, mut curr) = self.find(lo, guard);
         let mut emitted = 0usize;
         while emitted < n {
+            // SAFETY: if non-null, the pointee is kept alive by the
+            // enclosing pin guard (EBR).
             let Some(c) = (unsafe { curr.as_ref() }) else { break };
             let v = c.value.load(Ordering::Acquire, guard);
+            // SAFETY: if non-null, the pointee is kept alive by the
+            // enclosing pin guard (EBR).
             if let Some(v) = unsafe { v.as_ref() } {
                 sink(c.key.as_ref().unwrap(), v);
                 emitted += 1;
@@ -302,7 +338,11 @@ where
         let mut n = 0usize;
         let guard = &epoch::pin();
         let mut curr =
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             unsafe { self.head_node(guard).deref() }.levels[0].load(Ordering::Acquire, guard);
+        // SAFETY: if non-null, the pointee is kept alive by the
+        // enclosing pin guard (EBR).
         while let Some(c) = unsafe { curr.as_ref() } {
             if !c.value.load(Ordering::Acquire, guard).is_null() {
                 n += 1;
@@ -321,6 +361,9 @@ impl<K, V> Drop for Cslm<K, V> {
     fn drop(&mut self) {
         // Nothing is ever physically unlinked, so the level-0 chain is
         // complete: free every node and any live value.
+        // SAFETY: exclusive access in Drop — nothing is ever physically
+        // unlinked, so the level-0 chain owns every node and live value
+        // exactly once.
         let guard = unsafe { epoch::unprotected() };
         unsafe {
             let head = self.head.load(Ordering::Relaxed, guard);

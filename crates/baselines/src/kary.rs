@@ -39,6 +39,8 @@ pub struct KaryTree<K, V> {
     root: Atomic<KNode<K, V>>,
 }
 
+// SAFETY: all shared state is reached through epoch-protected atomics;
+// K and V cross threads, hence the bounds.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for KaryTree<K, V> {}
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for KaryTree<K, V> {}
 
@@ -62,7 +64,11 @@ where
         let mut link: *const Atomic<KNode<K, V>> = &self.root;
         let mut upper: Option<K> = None;
         loop {
+            // SAFETY: `link` is the root field or a link inside a node
+            // kept alive by `guard` (EBR).
             let node = unsafe { (*link).load(Ordering::Acquire, guard) };
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             match unsafe { node.deref() } {
                 KNode::Internal { keys, children } => {
                     let idx = keys.partition_point(|rk| rk <= key);
@@ -77,6 +83,8 @@ where
     }
 
     fn leaf_arr<'g>(leaf: Shared<'g, KNode<K, V>>) -> &'g ImmArray<K, V> {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         match unsafe { leaf.deref() } {
             KNode::Leaf(arr) => arr,
             KNode::Internal { .. } => unreachable!("routed to an internal node"),
@@ -114,9 +122,13 @@ where
         } else {
             Owned::new(KNode::Leaf(arr))
         };
+        // SAFETY: the route's link is the root field or lives in a node
+        // kept alive by `guard`.
         let link = unsafe { &*r.link };
         match link.compare_exchange(r.leaf, new_node, Ordering::AcqRel, Ordering::Acquire, guard) {
             Ok(_) => {
+                // SAFETY: unlinked from the structure above, so no new reader
+                // can reach it; already-pinned readers hold it until they unpin.
                 unsafe { guard.defer_destroy(r.leaf) };
                 true
             }
@@ -180,6 +192,8 @@ where
             // Validation: every visited leaf must still be in place;
             // otherwise restart (the original's restart-on-update).
             for (slot, ptr) in &seen {
+                // SAFETY: `slot` was recorded during this pinned traversal;
+                // its node is kept alive by `guard`.
                 let cur = unsafe { (**slot).load(Ordering::Acquire, guard) };
                 if cur.into_usize() != *ptr {
                     continue 'retry;
@@ -205,17 +219,21 @@ where
 
 impl<K, V> Drop for KaryTree<K, V> {
     fn drop(&mut self) {
+        // SAFETY: exclusive access in Drop — no concurrent operations.
         let guard = unsafe { epoch::unprotected() };
         let mut work = vec![self.root.load(Ordering::Relaxed, guard)];
         while let Some(node) = work.pop() {
             if node.is_null() {
                 continue;
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             if let KNode::Internal { children, .. } = unsafe { node.deref() } {
                 for c in children {
                     work.push(c.load(Ordering::Relaxed, guard));
                 }
             }
+            // SAFETY: exclusive teardown ownership.
             drop(unsafe { node.into_owned() });
         }
     }

@@ -46,6 +46,8 @@ pub struct Kiwi<K, V> {
     version: AtomicU64,
 }
 
+// SAFETY: all shared state is reached through epoch-protected atomics;
+// K and V cross threads, hence the bounds.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for Kiwi<K, V> {}
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for Kiwi<K, V> {}
 
@@ -69,8 +71,12 @@ where
     fn find_chunk<'g>(&self, key: &K, guard: &'g Guard) -> Shared<'g, Chunk<K, V>> {
         let mut cur = self.head.load(Ordering::Acquire, guard);
         loop {
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let c = unsafe { cur.deref() };
             let next = c.next.load(Ordering::Acquire, guard);
+            // SAFETY: if non-null, the pointee is kept alive by the
+            // enclosing pin guard (EBR).
             match unsafe { next.as_ref() } {
                 Some(n) if n.min_key.as_ref().is_some_and(|mk| mk <= key) => cur = next,
                 _ => return cur,
@@ -80,7 +86,11 @@ where
 
     pub fn get(&self, key: &K) -> Option<V> {
         let guard = &epoch::pin();
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let chunk = unsafe { self.find_chunk(key, guard).deref() };
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let st = unsafe { chunk.state.load(Ordering::Acquire, guard).deref() };
         // A frozen array is still a valid snapshot for point reads.
         st.arr.get(key).cloned()
@@ -89,8 +99,12 @@ where
     /// Complete a frozen chunk's split: (b) link the upper-half chunk
     /// after it, (c) install the unfrozen lower half. Any thread helps.
     fn help_split<'g>(&self, chunk_s: Shared<'g, Chunk<K, V>>, guard: &'g Guard) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let chunk = unsafe { chunk_s.deref() };
         let st_s = chunk.state.load(Ordering::Acquire, guard);
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let st = unsafe { st_s.deref() };
         if !st.frozen {
             return;
@@ -103,6 +117,8 @@ where
                 .compare_exchange(st_s, unfrozen, Ordering::AcqRel, Ordering::Acquire, guard)
                 .is_ok()
             {
+                // SAFETY: unlinked from the structure above, so no new reader
+                // can reach it; already-pinned readers hold it until they unpin.
                 unsafe { guard.defer_destroy(st_s) };
             }
             return;
@@ -113,6 +129,8 @@ where
         // successor's min_key makes this idempotent across helpers.
         loop {
             let next = chunk.next.load(Ordering::Acquire, guard);
+            // SAFETY: if non-null, the pointee is kept alive by the
+            // enclosing pin guard (EBR).
             if let Some(n) = unsafe { next.as_ref() } {
                 if n.min_key.as_ref() == Some(&split_key) {
                     break; // already linked by another helper
@@ -136,6 +154,8 @@ where
                     // Reclaim the unpublished state allocation.
                     let c = e.new;
                     let s = c.state.load(Ordering::Relaxed, guard);
+                    // SAFETY: the CAS failed, so the chunk and its state
+                    // were never published — we still own them.
                     unsafe { drop(s.into_owned()) };
                     drop(c);
                 }
@@ -148,6 +168,8 @@ where
             .compare_exchange(st_s, lower_state, Ordering::AcqRel, Ordering::Acquire, guard)
             .is_ok()
         {
+            // SAFETY: unlinked from the structure above, so no new reader
+            // can reach it; already-pinned readers hold it until they unpin.
             unsafe { guard.defer_destroy(st_s) };
         }
     }
@@ -162,8 +184,12 @@ where
         let _version = self.version.fetch_add(1, Ordering::AcqRel);
         loop {
             let chunk_s = self.find_chunk(key, guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let chunk = unsafe { chunk_s.deref() };
             let st_s = chunk.state.load(Ordering::Acquire, guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let st = unsafe { st_s.deref() };
             if st.frozen {
                 self.help_split(chunk_s, guard);
@@ -181,6 +207,8 @@ where
                 guard,
             ) {
                 Ok(_) => {
+                    // SAFETY: unlinked from the structure above, so no new reader
+                    // can reach it; already-pinned readers hold it until they unpin.
                     unsafe { guard.defer_destroy(st_s) };
                     if freeze {
                         self.help_split(chunk_s, guard);
@@ -219,8 +247,12 @@ where
             let mut seen: Vec<(*const Atomic<ChunkState<K, V>>, usize)> = Vec::new();
             let mut chunk_s = self.find_chunk(lo, guard);
             loop {
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let chunk = unsafe { chunk_s.deref() };
                 let st_s = chunk.state.load(Ordering::Acquire, guard);
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let st = unsafe { st_s.deref() };
                 if st.frozen {
                     self.help_split(chunk_s, guard);
@@ -243,6 +275,8 @@ where
                 chunk_s = next;
             }
             for (slot, ptr) in &seen {
+                // SAFETY: `slot` was recorded during this pinned
+                // traversal; its chunk is kept alive by `guard`.
                 let cur = unsafe { (**slot).load(Ordering::Acquire, guard) };
                 if cur.into_usize() != *ptr {
                     continue 'retry;
@@ -268,15 +302,20 @@ where
 
 impl<K, V> Drop for Kiwi<K, V> {
     fn drop(&mut self) {
+        // SAFETY: exclusive access in Drop — no concurrent operations.
         let guard = unsafe { epoch::unprotected() };
         let mut cur = self.head.load(Ordering::Relaxed, guard);
         while !cur.is_null() {
+            // SAFETY: teardown has exclusive access; every chunk and
+            // state is owned by the list exactly once.
             let c = unsafe { cur.deref() };
             let next = c.next.load(Ordering::Relaxed, guard);
             let st = c.state.load(Ordering::Relaxed, guard);
             if !st.is_null() {
+                // SAFETY: exclusive teardown ownership.
                 drop(unsafe { st.into_owned() });
             }
+            // SAFETY: exclusive teardown ownership.
             drop(unsafe { cur.into_owned() });
             cur = next;
         }

@@ -48,6 +48,8 @@ pub struct LfcaTree<K, V> {
     root: Atomic<LNode<K, V>>,
 }
 
+// SAFETY: all shared state is reached through epoch-protected atomics;
+// K and V cross threads, hence the bounds.
 unsafe impl<K: Send + Sync, V: Send + Sync> Send for LfcaTree<K, V> {}
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for LfcaTree<K, V> {}
 
@@ -76,7 +78,11 @@ where
         let mut link: *const Atomic<LNode<K, V>> = &self.root;
         let mut upper = None;
         loop {
+            // SAFETY: `link` is the root field or a link inside a node
+            // kept alive by `guard` (EBR).
             let node = unsafe { (*link).load(Ordering::Acquire, guard) };
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             match unsafe { node.deref() } {
                 LNode::Router { key: rk, left, right } => {
                     if key < rk {
@@ -94,6 +100,8 @@ where
     fn leaf_parts<'g>(
         leaf: Shared<'g, LNode<K, V>>,
     ) -> (&'g Atomic<LeafState<K, V>>, &'g AtomicI32) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         match unsafe { leaf.deref() } {
             LNode::Leaf { state, stat } => (state, stat),
             LNode::Router { .. } => unreachable!("routed to a router"),
@@ -105,6 +113,8 @@ where
     fn help_split<'g>(&self, r: &LRoute<'g, K, V>, guard: &'g Guard) {
         let (state_slot, _) = Self::leaf_parts(r.leaf);
         let st_s = state_slot.load(Ordering::Acquire, guard);
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let st = unsafe { st_s.deref() };
         if !st.frozen {
             return;
@@ -116,6 +126,8 @@ where
                 .compare_exchange(st_s, unfrozen, Ordering::AcqRel, Ordering::Acquire, guard)
                 .is_ok()
             {
+                // SAFETY: unlinked from the structure above, so no new reader
+                // can reach it; already-pinned readers hold it until they unpin.
                 unsafe { guard.defer_destroy(st_s) };
             }
             return;
@@ -132,8 +144,12 @@ where
                 stat: AtomicI32::new(0),
             }),
         });
+        // SAFETY: the route's link is the root field or lives in a node
+        // kept alive by `guard`.
         let link = unsafe { &*r.link };
         match link.compare_exchange(r.leaf, router, Ordering::AcqRel, Ordering::Acquire, guard) {
+            // SAFETY: the CAS unlinked the old leaf and its state; pinned
+            // readers are protected until they unpin.
             Ok(_) => unsafe {
                 // The old leaf and its state are unreachable.
                 guard.defer_destroy(st_s);
@@ -152,6 +168,8 @@ where
             let r = self.route(key, guard);
             let (state_slot, stat) = Self::leaf_parts(r.leaf);
             let st_s = state_slot.load(Ordering::Acquire, guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let st = unsafe { st_s.deref() };
             if st.frozen {
                 self.help_split(&r, guard);
@@ -170,6 +188,8 @@ where
                 guard,
             ) {
                 Ok(_) => {
+                    // SAFETY: unlinked from the structure above, so no new reader
+                    // can reach it; already-pinned readers hold it until they unpin.
                     unsafe { guard.defer_destroy(st_s) };
                     stat.fetch_add(STAT_UNCONTENDED, Ordering::Relaxed);
                     if freeze {
@@ -207,6 +227,8 @@ where
         let guard = &epoch::pin();
         let r = self.route(key, guard);
         let (state_slot, _) = Self::leaf_parts(r.leaf);
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let st = unsafe { state_slot.load(Ordering::Acquire, guard).deref() };
         // Frozen arrays are still valid snapshots for point reads.
         st.arr.get(key).cloned()
@@ -224,6 +246,8 @@ where
                 let r = self.route(&cursor, guard);
                 let (state_slot, _) = Self::leaf_parts(r.leaf);
                 let st_s = state_slot.load(Ordering::Acquire, guard);
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let st = unsafe { st_s.deref() };
                 if st.frozen {
                     self.help_split(&r, guard);
@@ -246,6 +270,8 @@ where
             }
             // Validation pass.
             for (slot, ptr) in &seen {
+                // SAFETY: `slot` was recorded during this pinned
+                // traversal; its node is kept alive by `guard`.
                 let cur = unsafe { (**slot).load(Ordering::Acquire, guard) };
                 if cur.into_usize() != *ptr {
                     continue 'retry;
@@ -271,12 +297,15 @@ where
 
 impl<K, V> Drop for LfcaTree<K, V> {
     fn drop(&mut self) {
+        // SAFETY: exclusive access in Drop — no concurrent operations.
         let guard = unsafe { epoch::unprotected() };
         let mut work = vec![self.root.load(Ordering::Relaxed, guard)];
         while let Some(node) = work.pop() {
             if node.is_null() {
                 continue;
             }
+            // SAFETY: teardown has exclusive access; every node and
+            // leaf state is owned by the tree exactly once.
             match unsafe { node.deref() } {
                 LNode::Router { left, right, .. } => {
                     work.push(left.load(Ordering::Relaxed, guard));
@@ -285,10 +314,12 @@ impl<K, V> Drop for LfcaTree<K, V> {
                 LNode::Leaf { state, .. } => {
                     let st = state.load(Ordering::Relaxed, guard);
                     if !st.is_null() {
+                        // SAFETY: exclusive teardown ownership.
                         drop(unsafe { st.into_owned() });
                     }
                 }
             }
+            // SAFETY: exclusive teardown ownership.
             drop(unsafe { node.into_owned() });
         }
     }

@@ -58,6 +58,8 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
                 &mut self.head[lvl]
             } else {
                 // Continue from the predecessor found at the level above.
+                // SAFETY: `cur` was read from a live link this call
+                // (`&mut self` — nothing mutates the list under us).
                 unsafe {
                     match *cur {
                         Some(mut n) => &mut n.as_mut().next[lvl],
@@ -65,6 +67,8 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
                     }
                 }
             };
+            // SAFETY: every link holds either None or a pointer to a
+            // live list-owned node; exclusive access via `&mut self`.
             unsafe {
                 while let Some(mut n) = *link {
                     if n.as_ref().key < *key {
@@ -86,6 +90,8 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
         let mut found: Option<&SkNode<K, V>> = None;
         for lvl in (0..MAX_LEVEL).rev() {
             let mut link = &links[lvl];
+            // SAFETY: links only ever hold live list-owned nodes, and
+            // `&self` shares the borrow with no mutator.
             unsafe {
                 while let Some(n) = link {
                     let n = n.as_ref();
@@ -112,6 +118,8 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         let preds = self.find_preds(&key);
         // Check for an existing node at level 0.
+        // SAFETY: `preds` points at live links of this list; no other
+        // mutation can happen between `find_preds` and here.
         unsafe {
             if let Some(mut n) = *preds[0] {
                 if n.as_ref().key == key {
@@ -123,6 +131,8 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
         let node = Box::new(SkNode { key, value, next: vec![None; level] });
         let node_ptr = std::ptr::NonNull::new(Box::into_raw(node)).unwrap();
         for (lvl, link) in preds.iter().enumerate().take(level) {
+            // SAFETY: `node_ptr` is the fresh allocation above; the pred
+            // links are live (no mutation since `find_preds`).
             unsafe {
                 let node = &mut *node_ptr.as_ptr();
                 node.next[lvl] = **link;
@@ -135,14 +145,18 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
 
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let preds = self.find_preds(key);
+        // SAFETY: pred links are live; no mutation since `find_preds`.
         let target = unsafe {
             match *preds[0] {
                 Some(n) if n.as_ref().key == *key => n,
                 _ => return None,
             }
         };
+        // SAFETY: `target` is list-owned and alive until unlinked below.
         let height = unsafe { target.as_ref().next.len() };
         for (lvl, link) in preds.iter().enumerate().take(height) {
+            // SAFETY: pred links and `target` are live; unlinking only
+            // rewrites Option fields of live nodes.
             unsafe {
                 if **link == Some(target) {
                     **link = target.as_ref().next[lvl];
@@ -150,6 +164,8 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
             }
         }
         self.len -= 1;
+        // SAFETY: fully unlinked above and Box-allocated in `insert` —
+        // we are the sole owner now.
         let boxed = unsafe { Box::from_raw(target.as_ptr()) };
         Some(boxed.value)
     }
@@ -158,6 +174,7 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
         // Position at the first node >= lo via level 0 walk (cheap enough
         // for container-sized lists).
         let mut link = &self.head[0];
+        // SAFETY: level-0 links only hold live list-owned nodes.
         unsafe {
             while let Some(n) = link {
                 let n = n.as_ref();
@@ -172,6 +189,7 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
     pub fn to_vec(&self) -> Vec<(K, V)> {
         let mut out = Vec::with_capacity(self.len);
         let mut link = &self.head[0];
+        // SAFETY: level-0 links only hold live list-owned nodes.
         unsafe {
             while let Some(n) = link {
                 let n = n.as_ref();
@@ -183,6 +201,7 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
     }
 
     pub fn min_key(&self) -> Option<K> {
+        // SAFETY: head links only ever hold live list-owned nodes.
         unsafe { self.head[0].map(|n| n.as_ref().key.clone()) }
     }
 
@@ -215,6 +234,8 @@ impl<K: Ord + Clone, V: Clone> SeqSkipList<K, V> {
     fn clear(&mut self) {
         let mut link = self.head[0];
         while let Some(n) = link {
+            // SAFETY: `&mut self` — exclusive teardown; every node is on
+            // the level-0 chain exactly once and was Box-allocated.
             unsafe {
                 let boxed = Box::from_raw(n.as_ptr());
                 link = boxed.next[0];
@@ -229,6 +250,8 @@ impl<K, V> Drop for SeqSkipList<K, V> {
     fn drop(&mut self) {
         let mut link = self.head[0];
         while let Some(n) = link {
+            // SAFETY: exclusive access in Drop; each node is owned by
+            // the level-0 chain exactly once.
             unsafe {
                 let boxed = Box::from_raw(n.as_ptr());
                 link = boxed.next[0];

@@ -1,0 +1,48 @@
+//! Bad fixture: one violation of every scanner rule, each on a line the
+//! integration tests pin by number. Keep line positions stable or
+//! update `tests/fixtures.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Cell(AtomicUsize);
+
+// No SAFETY justification: missing-safety finding (unsafe impl).
+unsafe impl Send for Cell {}
+
+// A comment that is not a justification does not count.
+pub unsafe fn leak(p: *mut u8) {
+    let _ = p;
+}
+
+pub fn read(c: &Cell) -> usize {
+    // Unregistered ordering site: not present in the sibling manifest.
+    c.0.load(Ordering::SeqCst)
+}
+
+pub fn write(c: &Cell, v: usize) {
+    // Registered in the manifest, but as Release — the manifest says
+    // Relaxed, so this trips changed-orderings.
+    c.0.store(v, Ordering::Release);
+}
+
+pub fn swap(c: &Cell) -> usize {
+    // Registered with invariant = "TODO": todo-invariant finding.
+    c.0.swap(7, Ordering::AcqRel)
+}
+
+pub fn steal(c: &Cell) -> usize {
+    // Registered against an invariant missing from [invariants]:
+    // undeclared-invariant finding.
+    c.0.fetch_add(1, Ordering::Acquire)
+}
+
+pub fn poke(c: &Cell) {
+    let slot: *const AtomicUsize = &c.0;
+
+    unsafe {
+        // The blank line above the block severs it from any earlier
+        // comment; a multi-line unjustified block is still one finding
+        // on its opening line.
+        (*slot).store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,45 @@
+//! Clean fixture: every rule satisfied. `check` against the sibling
+//! `AUDIT.toml` must produce zero findings.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Token(AtomicUsize);
+
+// An `unsafe fn(..)` *function pointer type* is a type annotation, not
+// an unsafe operation — no justification demanded.
+pub struct Dtor {
+    pub call: unsafe fn(*mut u8),
+}
+
+// SAFETY: Token owns no thread-affine state; the counter is atomic.
+unsafe impl Send for Token {}
+unsafe impl Sync for Token {}
+
+/// # Safety
+///
+/// `p` must point to a live, exclusively-owned allocation.
+pub unsafe fn consume(p: *mut u8) {
+    // SAFETY: caller contract above guarantees exclusive ownership.
+    unsafe {
+        drop(Box::from_raw(p));
+    }
+}
+
+pub fn bump(t: &Token) -> usize {
+    t.0.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(t: &Token, v: usize) {
+    // A multi-line unsafe block: the justification sits on the
+    // contiguous comment block directly above and covers it all.
+    // SAFETY: store is the sole publication point; Release pairs with
+    // the Acquire in `observe`.
+    unsafe {
+        let slot: *const AtomicUsize = &t.0;
+        (*slot).store(v, Ordering::Release);
+    }
+}
+
+pub fn observe(t: &Token) -> usize {
+    t.0.load(Ordering::Acquire)
+}

@@ -1,0 +1,27 @@
+//! Trap fixture: every `unsafe` and `Ordering::` mention below lives in
+//! a string literal or a comment. The scanner must report nothing for
+//! this tree (empty manifest, zero findings).
+
+// unsafe { this_is_a_comment() } — not code.
+/* Ordering::SeqCst inside a block comment, /* nested */ still inert. */
+
+pub fn strings() -> Vec<String> {
+    vec![
+        "unsafe { not_code() }".to_string(),
+        "load(Ordering::SeqCst)".to_string(),
+        // An escaped quote must not terminate the string early and
+        // expose the tokens after it as code.
+        "escaped \" unsafe Ordering::Acquire".to_string(),
+        r#"raw string: unsafe impl Send, Ordering::Release"#.to_string(),
+        r##"raw with hashes: "# unsafe" Ordering::AcqRel"##.to_string(),
+        String::from_utf8_lossy(b"bytes: unsafe Ordering::Relaxed \"").into_owned(),
+    ]
+}
+
+pub fn chars() -> (char, char) {
+    // A lifetime-like char literal must not open string mode and
+    // swallow the rest of the file.
+    ('"', '\'')
+}
+
+pub struct Lifetimes<'unsafe_free>(pub &'unsafe_free str);

@@ -1,0 +1,357 @@
+//! A minimal Rust-source lexer that separates *code* from *non-code*
+//! (comments, string/char/byte literals) without building a syntax tree.
+//!
+//! The audit rules only need to know, per source line, (a) what the code
+//! on the line says with literals blanked out — so `"unsafe"` in a string
+//! or `Ordering::SeqCst` in a comment can never trip a rule — and (b)
+//! what the comments on the line say, so a `// SAFETY:` justification can
+//! be found. This is a character-level state machine over the raw text:
+//! it handles nested block comments, escaped and raw (`r#"…"#`) string
+//! literals, byte strings, char literals, and the char-vs-lifetime
+//! ambiguity of `'`; it does not attempt macro expansion or `cfg`
+//! resolution (the scanner is conservative: it reads the source as
+//! written).
+
+/// One source line, split into its code and comment projections.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The original line, unmodified (used for manifest context keys).
+    pub raw: String,
+    /// The line with comments and the *contents* of string/char literals
+    /// replaced by spaces. Delimiters of literals are kept (as `"`) so
+    /// token boundaries survive.
+    pub code: String,
+    /// The concatenated text of every comment on the line (line comments,
+    /// doc comments, and any block-comment portion crossing the line).
+    pub comment: String,
+}
+
+impl Line {
+    /// Whether the code projection contains nothing but whitespace.
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// Whether the line carries any comment text.
+    pub fn has_comment(&self) -> bool {
+        !self.comment.trim().is_empty()
+    }
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Inside `"…"`; `raw_hashes` is `None` for escaped strings and
+    /// `Some(n)` for raw strings terminated by `"` + `n` hashes.
+    Str {
+        raw_hashes: Option<u32>,
+    },
+    /// Inside a char/byte literal `'…'`.
+    Char,
+}
+
+/// Split `source` into per-line code/comment projections.
+pub fn split_lines(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for (idx, raw_line) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw_line.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0usize;
+        // A line comment never survives a line break.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        comment.push_str(&raw_line[char_byte_offset(raw_line, i)..]);
+                        state = State::LineComment;
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        // An escaped (non-raw) string starts. Raw strings
+                        // are caught at their `r`/`b` prefix below.
+                        code.push('"');
+                        state = State::Str { raw_hashes: None };
+                        i += 1;
+                    }
+                    'r' | 'b' if is_raw_string_start(&chars, i) => {
+                        let (hashes, consumed, is_raw) = raw_string_prefix(&chars, i);
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        code.push('"');
+                        // Plain `b"…"` is an *escaped* byte string — only
+                        // an `r` in the prefix makes it raw.
+                        state = State::Str { raw_hashes: if is_raw { Some(hashes) } else { None } };
+                        i += consumed + 1; // prefix + opening quote
+                    }
+                    '\'' => {
+                        if is_char_literal(&chars, i) {
+                            code.push('\'');
+                            state = State::Char;
+                            i += 1;
+                        } else {
+                            // Lifetime or loop label: plain code.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment => unreachable!("consumed to end of line"),
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        comment.push(' ');
+                        if depth == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::BlockComment(depth - 1);
+                        }
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        comment.push(' ');
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        code.push(if c == '\t' { '\t' } else { ' ' });
+                        i += 1;
+                    }
+                }
+                State::Str { raw_hashes } => match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            code.push(' ');
+                            if next.is_some() {
+                                code.push(' ');
+                            }
+                            i += 2;
+                        } else if c == '"' {
+                            code.push('"');
+                            state = State::Code;
+                            i += 1;
+                        } else {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                    Some(hashes) => {
+                        if c == '"' && has_hashes(&chars, i + 1, hashes) {
+                            code.push('"');
+                            for _ in 0..hashes {
+                                code.push(' ');
+                            }
+                            state = State::Code;
+                            i += 1 + hashes as usize;
+                        } else {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                },
+                State::Char => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                        }
+                        i += 2;
+                    } else if c == '\'' {
+                        code.push('\'');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Multi-line escaped strings and char literals do exist (string
+        // continuation); the state simply carries to the next line.
+        out.push(Line { number: idx + 1, raw: raw_line.to_string(), code, comment });
+    }
+    out
+}
+
+/// Byte offset of the `i`-th char of `s` (lines are short; O(n) is fine).
+fn char_byte_offset(s: &str, i: usize) -> usize {
+    s.char_indices().nth(i).map_or(s.len(), |(b, _)| b)
+}
+
+/// Does a raw-string literal start at `chars[i]` (`r"`, `r#"`, `br"`,
+/// `b"`…)? Also treats plain `b"` as a (non-raw) byte string start.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return chars.get(j) == Some(&'"');
+    }
+    // `b"…"`: byte string without raw marker — handled as escaped string,
+    // but we still need to consume the `b` prefix here.
+    chars[i] == 'b' && chars.get(i + 1) == Some(&'"')
+}
+
+/// Length of the raw-string prefix (`r##`, `br#`, `b`…) before the
+/// opening quote at `chars[i]`, the number of hashes, and whether the
+/// literal is actually raw (contains an `r`).
+fn raw_string_prefix(chars: &[char], i: usize) -> (u32, usize, bool) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    let mut is_raw = false;
+    if chars.get(j) == Some(&'r') {
+        is_raw = true;
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    (hashes, j - i, is_raw)
+}
+
+fn has_hashes(chars: &[char], from: usize, n: u32) -> bool {
+    (0..n as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Disambiguate `'` at `chars[i]`: char literal vs lifetime/label.
+///
+/// `'\…'` and `'x'` are char literals; `'a` followed by an identifier
+/// continuation and no closing quote is a lifetime. `'''` (a quote char
+/// literal) is illegal in Rust without escaping, so it needs no handling.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        None => false,
+        Some('\\') => true,
+        Some(&c) => {
+            if chars.get(i + 2) == Some(&'\'') {
+                // `'c'` — but `'a'` where `a` could also start a lifetime
+                // is a char literal when followed by the closing quote.
+                true
+            } else {
+                // No closing quote right after one char: lifetime/label
+                // (identifiers), or a multi-char typo we read as code.
+                !c.is_alphanumeric() && c != '_'
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        split_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_from_code() {
+        let lines = split_lines("let x = 1; // unsafe Ordering::SeqCst\n");
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].comment.contains("unsafe Ordering::SeqCst"));
+        assert!(lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let code = code_of(src);
+        assert!(code[0].contains('a') && code[0].contains('b'));
+        assert!(!code[0].contains("inner"));
+        assert!(!code[0].contains("still"));
+    }
+
+    #[test]
+    fn block_comment_spanning_lines() {
+        let src = "code1 /* unsafe\nOrdering::SeqCst\n*/ code2";
+        let code = code_of(src);
+        assert!(code[0].contains("code1") && !code[0].contains("unsafe"));
+        assert!(!code[1].contains("Ordering"));
+        assert!(code[2].contains("code2"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let src = r#"let s = "unsafe { Ordering::SeqCst }";"#;
+        let code = code_of(src);
+        assert!(!code[0].contains("unsafe"));
+        assert!(!code[0].contains("Ordering"));
+        assert!(code[0].contains("let s ="));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " unsafe "# ; let y = 2;"###;
+        let code = code_of(src);
+        assert!(!code[0].contains("unsafe"));
+        assert!(code[0].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#"let s = "a\"unsafe"; let t = 1;"#;
+        let code = code_of(src);
+        assert!(!code[0].contains("unsafe"));
+        assert!(code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }";
+        let code = code_of(src);
+        assert!(code[0].contains("fn f<'a>(x: &'a str)"));
+        // The quote char inside the literal must not open a string that
+        // swallows the rest of the line.
+        assert!(code[0].contains("let d ="));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let src = r#"let b = b"unsafe"; let r = br"Ordering::SeqCst"; done();"#;
+        let code = code_of(src);
+        assert!(!code[0].contains("unsafe"));
+        assert!(!code[0].contains("Ordering"));
+        assert!(code[0].contains("done();"));
+    }
+
+    #[test]
+    fn doc_comments_count_as_comments() {
+        let lines = split_lines("/// # Safety\n/// caller checks\npub unsafe fn f() {}\n");
+        assert!(lines[0].comment.contains("# Safety"));
+        assert!(lines[2].code.contains("unsafe fn f"));
+    }
+}

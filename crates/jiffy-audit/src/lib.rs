@@ -1,0 +1,27 @@
+//! `jiffy-audit` — the concurrency-correctness toolchain.
+//!
+//! Two halves, one purpose: keep the ~450 `Ordering::*` sites and the
+//! `unsafe` surface of this workspace auditable as it grows.
+//!
+//! 1. **The lint pass** ([`scanner`], [`manifest`], driven by the
+//!    `jiffy-audit` binary): every `unsafe` block/impl/fn must carry a
+//!    `// SAFETY:` (or `# Safety` doc) justification, and every atomic
+//!    ordering site must be registered in the checked-in `AUDIT.toml`
+//!    with the invariant it upholds. Unknown or changed sites fail CI.
+//! 2. **The race explorer** ([`sched`]): named preemption probes
+//!    compiled into the vendored shims, the clock, and the hot
+//!    coordination windows behind the hosts' `audit-sched` features,
+//!    plus a seeded PCT-style randomized scheduler and a scripted-hook
+//!    mode that replays historical bug interleavings deterministically.
+//!
+//! This crate is deliberately dependency-free: the shims themselves
+//! consume [`sched`], so `jiffy-audit` sits below everything else in the
+//! workspace graph.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod lex;
+pub mod manifest;
+pub mod scanner;
+pub mod sched;

@@ -1,0 +1,169 @@
+//! The `jiffy-audit` CLI.
+//!
+//! * `jiffy-audit check [--root DIR] [--manifest FILE]` — run the SAFETY
+//!   lint and the ordering-manifest check; exit 1 with `file:line`
+//!   findings on any violation.
+//! * `jiffy-audit sync [--root DIR] [--manifest FILE] [--write]` —
+//!   regenerate the manifest from the tree, preserving the invariant of
+//!   every unchanged site and emitting `TODO` for new ones; `--write`
+//!   rewrites the file in place, otherwise the result goes to stdout.
+//!
+//! Exit codes follow the workspace convention: 0 clean, 1 findings,
+//! 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use jiffy_audit::manifest::{self, Manifest};
+use jiffy_audit::scanner;
+
+struct Options {
+    root: PathBuf,
+    manifest_path: PathBuf,
+    write: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: jiffy-audit <check|sync> [--root DIR] [--manifest FILE] [--write]\n\
+         \n\
+         check   lint the tree: SAFETY justifications + AUDIT.toml ordering registry\n\
+         sync    regenerate AUDIT.toml skeleton (new sites get invariant = \"TODO\");\n\
+         \x20       --write rewrites the manifest file, default prints to stdout"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Options), String> {
+    let mut cmd = None;
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        manifest_path: PathBuf::from("AUDIT.toml"),
+        write: false,
+    };
+    let mut explicit_manifest = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" | "sync" if cmd.is_none() => cmd = Some(args[i].clone()),
+            "--root" => {
+                i += 1;
+                let v = args.get(i).ok_or("--root needs a value")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--manifest" => {
+                i += 1;
+                let v = args.get(i).ok_or("--manifest needs a value")?;
+                opts.manifest_path = PathBuf::from(v);
+                explicit_manifest = true;
+            }
+            "--write" => opts.write = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if !explicit_manifest {
+        opts.manifest_path = opts.root.join("AUDIT.toml");
+    }
+    let cmd = cmd.ok_or("missing command")?;
+    Ok((cmd, opts))
+}
+
+fn load_manifest(opts: &Options, required: bool) -> Result<Manifest, ExitCode> {
+    match std::fs::read_to_string(&opts.manifest_path) {
+        Ok(text) => manifest::parse(&text).map_err(|e| {
+            eprintln!("jiffy-audit: {} is malformed: {e}", opts.manifest_path.display());
+            ExitCode::from(2)
+        }),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && !required => Ok(Manifest::default()),
+        Err(e) => {
+            eprintln!("jiffy-audit: cannot read {}: {e}", opts.manifest_path.display());
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opts) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("jiffy-audit: {msg}\n");
+            return usage();
+        }
+    };
+
+    let scan = match scanner::scan_tree(&opts.root) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("jiffy-audit: scanning {} failed: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            let manifest = match load_manifest(&opts, true) {
+                Ok(m) => m,
+                Err(code) => return code,
+            };
+            let mut findings = scan.safety.clone();
+            findings.extend(scanner::diff_against_manifest(&scan, &manifest));
+            findings.sort();
+            for finding in &findings {
+                println!("{finding}");
+            }
+            let sites: usize = scan.sites.iter().map(|s| s.lines.len()).sum();
+            if findings.is_empty() {
+                println!(
+                    "jiffy-audit: OK — {} files, {} justified unsafe sites, {} ordering sites \
+                     registered against {}",
+                    scan.files_scanned,
+                    scan.justified_unsafe,
+                    sites,
+                    opts.manifest_path.display()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "jiffy-audit: {} finding(s) across {} files ({} ordering sites checked)",
+                    findings.len(),
+                    scan.files_scanned,
+                    sites
+                );
+                ExitCode::FAILURE
+            }
+        }
+        "sync" => {
+            let previous = match load_manifest(&opts, false) {
+                Ok(m) => m,
+                Err(code) => return code,
+            };
+            let next = scanner::sync_manifest(&scan, &previous);
+            let todos =
+                next.sites.iter().filter(|s| s.invariant == scanner::TODO_INVARIANT).count();
+            let text = manifest::emit(&next);
+            if opts.write {
+                if let Err(e) = std::fs::write(&opts.manifest_path, text) {
+                    eprintln!("jiffy-audit: cannot write {}: {e}", opts.manifest_path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "jiffy-audit: wrote {} ({} sites, {} TODO)",
+                    opts.manifest_path.display(),
+                    next.sites.len(),
+                    todos
+                );
+            } else {
+                print!("{text}");
+                eprintln!(
+                    "jiffy-audit: {} sites, {} TODO (use --write to save)",
+                    next.sites.len(),
+                    todos
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

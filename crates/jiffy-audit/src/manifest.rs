@@ -1,0 +1,372 @@
+//! The checked-in memory-ordering audit manifest (`AUDIT.toml`).
+//!
+//! The manifest is the registry every `Ordering::*` site in the tree must
+//! appear in, carrying the invariant that ordering upholds. Sites are
+//! keyed by `(file, context)` where `context` is the **trimmed source
+//! line** containing the ordering token(s) — deliberately not a line
+//! number, so unrelated edits above a site do not invalidate its entry,
+//! while any edit *to* the site line (changing the ordering, the atomic,
+//! or the surrounding expression) makes the entry stale and the new line
+//! unregistered, forcing a human re-audit. Identical lines in one file
+//! share an entry with a `count`; they are invariably instances of the
+//! same idiom (e.g. a retry loop's two identical loads).
+//!
+//! Format — a deliberately small TOML subset, hand-parsed because the
+//! build container has no crates.io access (this is also why the format
+//! avoids TOML features the parser would have to grow: only `[invariants]`,
+//! `[[site]]`, string/integer/string-array values, and comments):
+//!
+//! ```toml
+//! [invariants]
+//! inv-1 = "locate loops re-check coverage: retry unless key < next.key"
+//!
+//! [[site]]
+//! file = "crates/jiffy/src/ops.rs"
+//! context = "head.compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire, guard)"
+//! count = 1
+//! orderings = ["AcqRel", "Acquire"]
+//! invariant = "inv-1"
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A registered ordering site (one `[[site]]` entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// The trimmed source line the ordering token(s) appear on.
+    pub context: String,
+    /// How many times this exact line occurs in the file.
+    pub count: usize,
+    /// The ordering variants appearing on the line, in source order.
+    pub orderings: Vec<String>,
+    /// Name of the invariant this ordering upholds; must be declared in
+    /// `[invariants]` and must not be the `TODO` placeholder `sync` emits.
+    pub invariant: String,
+}
+
+/// The parsed manifest: declared invariants plus all registered sites.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    /// Invariant name → one-line description.
+    pub invariants: BTreeMap<String, String>,
+    /// All `[[site]]` entries, in file order.
+    pub sites: Vec<Site>,
+}
+
+impl Manifest {
+    /// Look up a site by its `(file, context)` key.
+    pub fn find(&self, file: &str, context: &str) -> Option<&Site> {
+        self.sites.iter().find(|s| s.file == file && s.context == context)
+    }
+}
+
+/// A manifest parse failure, with the offending line number.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line in the manifest file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+#[derive(PartialEq)]
+enum Section {
+    None,
+    Invariants,
+    Site,
+}
+
+/// Parse the manifest text.
+pub fn parse(text: &str) -> Result<Manifest, ParseError> {
+    let mut manifest = Manifest::default();
+    let mut section = Section::None;
+    let mut current: Option<Site> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let ln = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[invariants]" {
+            flush_site(&mut manifest, &mut current, ln)?;
+            section = Section::Invariants;
+            continue;
+        }
+        if line == "[[site]]" {
+            flush_site(&mut manifest, &mut current, ln)?;
+            section = Section::Site;
+            current = Some(Site {
+                file: String::new(),
+                context: String::new(),
+                count: 1,
+                orderings: Vec::new(),
+                invariant: String::new(),
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(ln, format!("unknown section {line}")));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(ln, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match section {
+            Section::None => return Err(err(ln, "key outside any section")),
+            Section::Invariants => {
+                let desc = parse_string(value).ok_or_else(|| {
+                    err(ln, format!("invariant `{key}` needs a string description"))
+                })?;
+                if manifest.invariants.insert(key.to_string(), desc).is_some() {
+                    return Err(err(ln, format!("invariant `{key}` declared twice")));
+                }
+            }
+            Section::Site => {
+                let site = current.as_mut().expect("in [[site]] section");
+                match key {
+                    "file" => {
+                        site.file = parse_string(value)
+                            .ok_or_else(|| err(ln, "`file` must be a string"))?;
+                    }
+                    "context" => {
+                        site.context = parse_string(value)
+                            .ok_or_else(|| err(ln, "`context` must be a string"))?;
+                    }
+                    "count" => {
+                        site.count = value
+                            .parse::<usize>()
+                            .map_err(|_| err(ln, "`count` must be a positive integer"))?;
+                        if site.count == 0 {
+                            return Err(err(ln, "`count` must be >= 1"));
+                        }
+                    }
+                    "orderings" => {
+                        site.orderings = parse_string_array(value)
+                            .ok_or_else(|| err(ln, "`orderings` must be an array of strings"))?;
+                    }
+                    "invariant" => {
+                        site.invariant = parse_string(value)
+                            .ok_or_else(|| err(ln, "`invariant` must be a string"))?;
+                    }
+                    other => return Err(err(ln, format!("unknown site key `{other}`"))),
+                }
+            }
+        }
+    }
+    let end = text.lines().count();
+    flush_site(&mut manifest, &mut current, end)?;
+    Ok(manifest)
+}
+
+fn flush_site(
+    manifest: &mut Manifest,
+    current: &mut Option<Site>,
+    ln: usize,
+) -> Result<(), ParseError> {
+    if let Some(site) = current.take() {
+        if site.file.is_empty() {
+            return Err(err(ln, "site entry missing `file`"));
+        }
+        if site.context.is_empty() {
+            return Err(err(ln, format!("site entry for {} missing `context`", site.file)));
+        }
+        if site.orderings.is_empty() {
+            return Err(err(ln, format!("site entry for {} missing `orderings`", site.file)));
+        }
+        if site.invariant.is_empty() {
+            return Err(err(ln, format!("site entry for {} missing `invariant`", site.file)));
+        }
+        if manifest.find(&site.file, &site.context).is_some() {
+            return Err(err(
+                ln,
+                format!("duplicate site entry for {}: `{}`", site.file, site.context),
+            ));
+        }
+        manifest.sites.push(site);
+    }
+    Ok(())
+}
+
+/// Strip a `#` comment, respecting `"…"` strings (the only place a `#`
+/// can legitimately appear inside a value in this dialect).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse a double-quoted TOML basic string (the only string form used).
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                't' => out.push('\t'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            // An unescaped interior quote means `strip_suffix` matched
+            // the wrong closing delimiter: malformed.
+            return None;
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner.split(',').map(|part| parse_string(part.trim())).collect()
+}
+
+/// Escape a string for emission as a TOML basic string.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a manifest back to `AUDIT.toml` text (stable order: the
+/// invariants table sorted by name, sites in the order given — `sync`
+/// sorts them by file then first-occurrence line, so diffs stay local).
+pub fn emit(manifest: &Manifest) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# AUDIT.toml — memory-ordering audit manifest.\n\
+         #\n\
+         # Every `Ordering::*` site in the tree must be registered here with\n\
+         # the invariant its ordering upholds. `cargo run -p jiffy-audit -- check`\n\
+         # fails on unregistered, stale, or changed sites; regenerate skeleton\n\
+         # entries with `cargo run -p jiffy-audit -- sync --write` and replace\n\
+         # each emitted TODO with a declared invariant. See ARCHITECTURE.md,\n\
+         # appendix \"The ordering audit\".\n",
+    );
+    out.push_str("\n[invariants]\n");
+    for (name, desc) in &manifest.invariants {
+        let _ = writeln!(out, "{name} = \"{}\"", escape(desc));
+    }
+    for site in &manifest.sites {
+        out.push_str("\n[[site]]\n");
+        let _ = writeln!(out, "file = \"{}\"", escape(&site.file));
+        let _ = writeln!(out, "context = \"{}\"", escape(&site.context));
+        if site.count != 1 {
+            let _ = writeln!(out, "count = {}", site.count);
+        }
+        let list = site.orderings.iter().map(|o| format!("\"{}\"", escape(o))).collect::<Vec<_>>();
+        let _ = writeln!(out, "orderings = [{}]", list.join(", "));
+        let _ = writeln!(out, "invariant = \"{}\"", escape(&site.invariant));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# header comment
+[invariants]
+inv-1 = "coverage re-check"
+counter = "statistics only, no ordering dependency"
+
+[[site]]
+file = "crates/jiffy/src/ops.rs"
+context = "head.load(Ordering::Acquire) # not a comment"
+orderings = ["Acquire"]
+invariant = "inv-1"
+
+[[site]]
+file = "crates/jiffy/src/gc.rs"
+context = "n.fetch_add(1, Ordering::Relaxed);"
+count = 3
+orderings = ["Relaxed"]
+invariant = "counter"
+"#;
+
+    #[test]
+    fn parse_roundtrip() {
+        let m = parse(SAMPLE).unwrap();
+        assert_eq!(m.invariants.len(), 2);
+        assert_eq!(m.sites.len(), 2);
+        assert_eq!(m.sites[0].context, "head.load(Ordering::Acquire) # not a comment");
+        assert_eq!(m.sites[1].count, 3);
+        let text = emit(&m);
+        let again = parse(&text).unwrap();
+        assert_eq!(again.sites, m.sites);
+        assert_eq!(again.invariants, m.invariants);
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let bad = "[[site]]\nfile = \"f.rs\"\n";
+        let e = parse(bad).unwrap_err();
+        assert!(e.message.contains("context"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_sites() {
+        let bad = "[[site]]\nfile = \"f.rs\"\ncontext = \"x\"\norderings = [\"SeqCst\"]\n\
+                   invariant = \"i\"\n[[site]]\nfile = \"f.rs\"\ncontext = \"x\"\n\
+                   orderings = [\"SeqCst\"]\ninvariant = \"i\"\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_sections() {
+        assert!(parse("[mystery]\n").is_err());
+        assert!(parse("[[site]]\nbogus = 1\n").is_err());
+        assert!(parse("stray = \"value\"\n").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let m = parse("[invariants]\nq = \"say \\\"hi\\\" \\\\ done\"\n").unwrap();
+        assert_eq!(m.invariants["q"], "say \"hi\" \\ done");
+        let text = emit(&m);
+        assert_eq!(parse(&text).unwrap().invariants["q"], "say \"hi\" \\ done");
+    }
+}

@@ -1,0 +1,513 @@
+//! The audit rules: the `// SAFETY:` lint and the ordering-manifest
+//! check, plus the `sync` skeleton generator.
+//!
+//! Both rules run over the [`crate::lex`] code/comment projection, so
+//! occurrences of `unsafe` or `Ordering::SeqCst` inside strings or
+//! comments can never produce findings (and conversely, a `SAFETY:` tag
+//! hidden inside a *string* never satisfies the lint).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::lex::{self, Line};
+use crate::manifest::{Manifest, Site};
+
+/// The five atomic ordering variants. `cmp::Ordering`'s variants
+/// (`Less`/`Equal`/`Greater`) never match, so comparator code is free.
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// A single finding, pointing at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The audit rules a finding can originate from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// An `unsafe` block/fn/impl/trait without a `SAFETY:` justification.
+    MissingSafety,
+    /// An `Ordering::*` site not present in the manifest.
+    UnregisteredOrdering,
+    /// A manifest entry whose site no longer exists (or count shrank).
+    StaleManifestEntry,
+    /// A registered site whose ordering set changed.
+    ChangedOrderings,
+    /// A site registered with the `TODO` placeholder invariant.
+    TodoInvariant,
+    /// A site referencing an invariant `[invariants]` does not declare.
+    UndeclaredInvariant,
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Rule::MissingSafety => "missing-safety",
+            Rule::UnregisteredOrdering => "unregistered-ordering",
+            Rule::StaleManifestEntry => "stale-manifest-entry",
+            Rule::ChangedOrderings => "changed-orderings",
+            Rule::TodoInvariant => "todo-invariant",
+            Rule::UndeclaredInvariant => "undeclared-invariant",
+        };
+        f.write_str(name)
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// One `Ordering::*` occurrence group found by the scan: all lines in
+/// `file` whose trimmed text equals `context`.
+#[derive(Debug, Clone)]
+pub struct FoundSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Trimmed source line.
+    pub context: String,
+    /// 1-based line numbers of every occurrence.
+    pub lines: Vec<usize>,
+    /// Ordering variants on the line, in source order.
+    pub orderings: Vec<String>,
+}
+
+/// Everything one pass over the tree produces.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// SAFETY-rule findings.
+    pub safety: Vec<Finding>,
+    /// All ordering sites found, keyed `(file, context)`.
+    pub sites: Vec<FoundSite>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of `unsafe` sites that *did* carry a justification.
+    pub justified_unsafe: usize,
+}
+
+/// Recursively collect the `.rs` files to audit under `root`.
+///
+/// Skipped: `target/` build output anywhere, hidden directories, and the
+/// scanner's own lint fixtures (`crates/jiffy-audit/fixtures/`), which
+/// contain deliberate violations.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name.starts_with('.') || name == "fixtures" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan one file's text (already split by the lexer) for both rules.
+pub fn scan_file(rel_path: &str, source: &str, result: &mut ScanResult) {
+    let lines = lex::split_lines(source);
+    scan_safety(rel_path, &lines, result);
+    scan_orderings(rel_path, &lines, result);
+    result.files_scanned += 1;
+}
+
+/// Scan every file under `root`, returning findings + found sites.
+pub fn scan_tree(root: &Path) -> std::io::Result<ScanResult> {
+    let mut result = ScanResult::default();
+    for path in collect_files(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        scan_file(&rel, &source, &mut result);
+    }
+    Ok(result)
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: SAFETY justifications
+// ---------------------------------------------------------------------------
+
+/// Does the code projection of `line` contain the `unsafe` keyword in a
+/// position that demands justification? `unsafe fn(…)` as a *function
+/// pointer type* (a type annotation, not an unsafe operation or
+/// contract declaration) is exempt.
+fn has_unsafe_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("unsafe") {
+        let start = from + pos;
+        let end = start + "unsafe".len();
+        let before_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let after_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok && !is_fn_pointer_type(&code[end..]) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Is the text following an `unsafe` keyword `fn (`-like — i.e. an
+/// `unsafe fn(Args) -> R` function *pointer type* rather than a named
+/// `unsafe fn name(...)` definition?
+fn is_fn_pointer_type(after: &str) -> bool {
+    let rest = after.trim_start();
+    let Some(rest) = rest.strip_prefix("fn") else {
+        return false;
+    };
+    rest.trim_start().starts_with('(')
+}
+
+/// Does this comment text justify an unsafe site? Accepted forms are the
+/// `SAFETY:` tag (block/impl convention) and a `# Safety` doc section
+/// (the rustdoc convention for `unsafe fn` caller contracts).
+fn is_justification(comment: &str) -> bool {
+    comment.contains("SAFETY:") || comment.contains("# Safety")
+}
+
+fn scan_safety(rel_path: &str, lines: &[Line], result: &mut ScanResult) {
+    for (idx, line) in lines.iter().enumerate() {
+        if !has_unsafe_token(&line.code) {
+            continue;
+        }
+        // Same-line comment (trailing or interleaved) counts.
+        let mut justified = is_justification(&line.comment);
+        // Walk upward over the contiguous prefix block: comment lines,
+        // attributes, code-blank lines that still carry comments, and
+        // *other unsafe lines* (an adjacent `unsafe impl Send` /
+        // `unsafe impl Sync` pair shares one justification). Stop at the
+        // first line with unrelated code.
+        let mut j = idx;
+        while !justified && j > 0 {
+            j -= 1;
+            let prev = &lines[j];
+            let code = prev.code.trim();
+            let is_attr = code.starts_with("#[") || code.starts_with("#![");
+            if code.is_empty() || is_attr {
+                if is_justification(&prev.comment) {
+                    justified = true;
+                }
+                if code.is_empty() && !prev.has_comment() {
+                    // A fully blank line ends the block.
+                    break;
+                }
+            } else if has_unsafe_token(&prev.code) {
+                if is_justification(&prev.comment) {
+                    justified = true;
+                }
+            } else {
+                break;
+            }
+        }
+        if justified {
+            result.justified_unsafe += 1;
+        } else {
+            result.safety.push(Finding {
+                file: rel_path.to_string(),
+                line: line.number,
+                rule: Rule::MissingSafety,
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` (or `# Safety` doc) justification: `{}`",
+                    line.raw.trim()
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: ordering sites
+// ---------------------------------------------------------------------------
+
+/// Extract the ordering variants named on a code line, in source order.
+fn orderings_on(code: &str) -> Vec<String> {
+    let mut found: Vec<(usize, &str)> = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("Ordering::") {
+        let start = from + pos;
+        let after = &code[start + "Ordering::".len()..];
+        for variant in ORDERINGS {
+            if after.starts_with(variant) {
+                let end = variant.len();
+                let boundary =
+                    after[end..].chars().next().map_or(true, |c| !c.is_alphanumeric() && c != '_');
+                if boundary {
+                    found.push((start, variant));
+                }
+                break;
+            }
+        }
+        from = start + "Ordering::".len();
+    }
+    found.sort_by_key(|(pos, _)| *pos);
+    found.into_iter().map(|(_, v)| v.to_string()).collect()
+}
+
+fn scan_orderings(rel_path: &str, lines: &[Line], result: &mut ScanResult) {
+    let mut by_context: BTreeMap<String, FoundSite> = BTreeMap::new();
+    for line in lines {
+        let orderings = orderings_on(&line.code);
+        if orderings.is_empty() {
+            continue;
+        }
+        let context = line.raw.trim().to_string();
+        by_context
+            .entry(context.clone())
+            .and_modify(|site| site.lines.push(line.number))
+            .or_insert(FoundSite {
+                file: rel_path.to_string(),
+                context,
+                lines: vec![line.number],
+                orderings,
+            });
+    }
+    result.sites.extend(by_context.into_values());
+}
+
+// ---------------------------------------------------------------------------
+// Manifest diff
+// ---------------------------------------------------------------------------
+
+/// The `sync` placeholder invariant. `check` refuses it.
+pub const TODO_INVARIANT: &str = "TODO";
+
+/// Compare the scan against the manifest, producing findings for
+/// unregistered/changed sites and stale entries.
+pub fn diff_against_manifest(scan: &ScanResult, manifest: &Manifest) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    for site in &scan.sites {
+        match manifest.find(&site.file, &site.context) {
+            None => {
+                for &line in &site.lines {
+                    findings.push(Finding {
+                        file: site.file.clone(),
+                        line,
+                        rule: Rule::UnregisteredOrdering,
+                        message: format!(
+                            "ordering site not in AUDIT.toml: `{}` (orderings: {})",
+                            site.context,
+                            site.orderings.join(", ")
+                        ),
+                    });
+                }
+            }
+            Some(entry) => {
+                if entry.orderings != site.orderings {
+                    findings.push(Finding {
+                        file: site.file.clone(),
+                        line: site.lines[0],
+                        rule: Rule::ChangedOrderings,
+                        message: format!(
+                            "orderings changed: manifest has [{}], source has [{}] for `{}`",
+                            entry.orderings.join(", "),
+                            site.orderings.join(", "),
+                            site.context
+                        ),
+                    });
+                }
+                if site.lines.len() > entry.count {
+                    findings.push(Finding {
+                        file: site.file.clone(),
+                        line: site.lines[entry.count],
+                        rule: Rule::UnregisteredOrdering,
+                        message: format!(
+                            "site `{}` occurs {} times but AUDIT.toml registers {}",
+                            site.context,
+                            site.lines.len(),
+                            entry.count
+                        ),
+                    });
+                } else if site.lines.len() < entry.count {
+                    findings.push(Finding {
+                        file: site.file.clone(),
+                        line: site.lines[0],
+                        rule: Rule::StaleManifestEntry,
+                        message: format!(
+                            "site `{}` occurs {} times but AUDIT.toml registers {}",
+                            site.context,
+                            site.lines.len(),
+                            entry.count
+                        ),
+                    });
+                }
+                if entry.invariant == TODO_INVARIANT {
+                    findings.push(Finding {
+                        file: site.file.clone(),
+                        line: site.lines[0],
+                        rule: Rule::TodoInvariant,
+                        message: format!(
+                            "site `{}` is registered with the TODO placeholder — name the \
+                             invariant the ordering upholds",
+                            site.context
+                        ),
+                    });
+                } else if !manifest.invariants.contains_key(&entry.invariant) {
+                    findings.push(Finding {
+                        file: site.file.clone(),
+                        line: site.lines[0],
+                        rule: Rule::UndeclaredInvariant,
+                        message: format!(
+                            "site `{}` references invariant `{}`, which [invariants] does not \
+                             declare",
+                            site.context, entry.invariant
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    for entry in &manifest.sites {
+        if !scan.sites.iter().any(|s| s.file == entry.file && s.context == entry.context) {
+            findings.push(Finding {
+                file: entry.file.clone(),
+                line: 0,
+                rule: Rule::StaleManifestEntry,
+                message: format!(
+                    "AUDIT.toml registers a site that no longer exists: `{}`",
+                    entry.context
+                ),
+            });
+        }
+    }
+
+    findings.sort();
+    findings
+}
+
+/// Build the `sync` output: every found site as a manifest entry,
+/// preserving the invariant of entries whose `(file, context)` key still
+/// matches, and emitting [`TODO_INVARIANT`] for new ones. Sites are
+/// ordered by file, then first occurrence.
+pub fn sync_manifest(scan: &ScanResult, previous: &Manifest) -> Manifest {
+    let mut sites: Vec<&FoundSite> = scan.sites.iter().collect();
+    sites.sort_by(|a, b| (&a.file, a.lines[0]).cmp(&(&b.file, b.lines[0])));
+    let sites = sites
+        .into_iter()
+        .map(|found| {
+            let invariant = previous
+                .find(&found.file, &found.context)
+                .map(|e| e.invariant.clone())
+                .unwrap_or_else(|| TODO_INVARIANT.to_string());
+            Site {
+                file: found.file.clone(),
+                context: found.context.clone(),
+                count: found.lines.len(),
+                orderings: found.orderings.clone(),
+                invariant,
+            }
+        })
+        .collect();
+    Manifest { invariants: previous.invariants.clone(), sites }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_src(src: &str) -> ScanResult {
+        let mut r = ScanResult::default();
+        scan_file("test.rs", src, &mut r);
+        r
+    }
+
+    #[test]
+    fn unjustified_unsafe_block_is_flagged() {
+        let r = scan_src("fn f() {\n    unsafe { danger() };\n}\n");
+        assert_eq!(r.safety.len(), 1);
+        assert_eq!(r.safety[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_above_satisfies() {
+        let r =
+            scan_src("fn f() {\n    // SAFETY: checked by caller.\n    unsafe { danger() };\n}\n");
+        assert!(r.safety.is_empty(), "{:?}", r.safety);
+        assert_eq!(r.justified_unsafe, 1);
+    }
+
+    #[test]
+    fn safety_doc_section_satisfies_unsafe_fn() {
+        let r = scan_src("/// # Safety\n/// caller must own ptr\npub unsafe fn f(p: *mut u8) {}\n");
+        assert!(r.safety.is_empty(), "{:?}", r.safety);
+    }
+
+    #[test]
+    fn attribute_between_comment_and_unsafe_is_ok() {
+        let r = scan_src(
+            "// SAFETY: atomics only.\n#[allow(clippy::something)]\nunsafe impl Send for X {}\n",
+        );
+        assert!(r.safety.is_empty(), "{:?}", r.safety);
+    }
+
+    #[test]
+    fn blank_line_breaks_the_justification_block() {
+        let r = scan_src("// SAFETY: stale, far away.\n\nunsafe { danger() };\n");
+        assert_eq!(r.safety.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let r = scan_src("// this mentions unsafe code\nlet s = \"unsafe { }\";\n");
+        assert!(r.safety.is_empty());
+    }
+
+    #[test]
+    fn safety_tag_inside_string_does_not_justify() {
+        let r = scan_src("let tag = \"SAFETY: nope\";\nunsafe { danger() };\n");
+        assert_eq!(r.safety.len(), 1);
+    }
+
+    #[test]
+    fn ordering_sites_extracted_with_variants_in_order() {
+        let r = scan_src(
+            "a.compare_exchange(x, y, Ordering::AcqRel, Ordering::Acquire);\n\
+             b.load(Ordering::SeqCst);\n\
+             b.load(Ordering::SeqCst);\n",
+        );
+        assert_eq!(r.sites.len(), 2);
+        let cas = r.sites.iter().find(|s| s.context.contains("compare_exchange")).unwrap();
+        assert_eq!(cas.orderings, vec!["AcqRel", "Acquire"]);
+        let load = r.sites.iter().find(|s| s.context.contains("b.load")).unwrap();
+        assert_eq!(load.lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic_site() {
+        let r = scan_src("match a.cmp(&b) { std::cmp::Ordering::Less => {} _ => {} }\n");
+        assert!(r.sites.is_empty());
+    }
+
+    #[test]
+    fn ordering_in_comment_or_string_is_ignored() {
+        let r =
+            scan_src("// Ordering::SeqCst would be wrong here\nlet s = \"Ordering::Relaxed\";\n");
+        assert!(r.sites.is_empty());
+    }
+}

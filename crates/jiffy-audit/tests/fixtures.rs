@@ -1,0 +1,125 @@
+//! Integration tests driving the scanner over the checked-in fixture
+//! trees (`fixtures/clean`, `fixtures/bad`, `fixtures/traps`) and the
+//! `jiffy-audit` binary itself, pinning exit codes and `file:line`
+//! output. The fixtures live under a directory named `fixtures/` so the
+//! production scan of the real tree skips them.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use jiffy_audit::manifest;
+use jiffy_audit::scanner::{self, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+fn load_manifest(name: &str) -> manifest::Manifest {
+    let text = std::fs::read_to_string(fixture(name).join("AUDIT.toml")).unwrap();
+    manifest::parse(&text).unwrap()
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let root = fixture("clean");
+    let scan = scanner::scan_tree(&root).unwrap();
+    assert!(scan.safety.is_empty(), "unexpected safety findings: {:?}", scan.safety);
+    // Send impl, Sync impl, `unsafe fn consume`, and the two unsafe
+    // blocks — all justified.
+    assert_eq!(scan.justified_unsafe, 5);
+    let diff = scanner::diff_against_manifest(&scan, &load_manifest("clean"));
+    assert!(diff.is_empty(), "unexpected manifest findings: {diff:?}");
+}
+
+#[test]
+fn bad_fixture_trips_every_rule_at_the_pinned_lines() {
+    let root = fixture("bad");
+    let scan = scanner::scan_tree(&root).unwrap();
+    let mut findings = scan.safety.clone();
+    findings.extend(scanner::diff_against_manifest(&scan, &load_manifest("bad")));
+
+    let got: Vec<(Rule, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    let expect = [
+        (Rule::MissingSafety, 10),        // unjustified `unsafe impl Send`
+        (Rule::MissingSafety, 13),        // `unsafe fn` with a non-SAFETY comment
+        (Rule::MissingSafety, 42),        // multi-line block cut off by a blank line
+        (Rule::UnregisteredOrdering, 19), // SeqCst load absent from the manifest
+        (Rule::ChangedOrderings, 25),     // manifest says Relaxed, source says Release
+        (Rule::TodoInvariant, 30),        // placeholder invariant
+        (Rule::UndeclaredInvariant, 36),  // invariant not in [invariants]
+        (Rule::StaleManifestEntry, 0),    // manifest entry with no surviving site
+    ];
+    for pair in expect {
+        assert!(got.contains(&pair), "missing finding {pair:?}; got {got:?}");
+    }
+    assert_eq!(got.len(), expect.len(), "extra findings: {findings:?}");
+    for f in &findings {
+        assert_eq!(f.file, "src/lib.rs");
+    }
+}
+
+#[test]
+fn trap_fixture_is_silent() {
+    let root = fixture("traps");
+    let scan = scanner::scan_tree(&root).unwrap();
+    assert!(scan.safety.is_empty(), "strings/comments leaked findings: {:?}", scan.safety);
+    assert!(scan.sites.is_empty(), "strings/comments leaked ordering sites: {:?}", scan.sites);
+    // Nothing in the trap tree even counts as justified unsafe — the
+    // tokens all live in non-code projections.
+    assert_eq!(scan.justified_unsafe, 0);
+}
+
+#[test]
+fn cli_check_exits_zero_on_clean_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_jiffy-audit"))
+        .args(["check", "--root"])
+        .arg(fixture("clean"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("jiffy-audit: OK"), "stdout: {stdout}");
+}
+
+#[test]
+fn cli_check_exits_nonzero_with_file_line_findings_on_bad_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_jiffy-audit"))
+        .args(["check", "--root"])
+        .arg(fixture("bad"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "src/lib.rs:10: [missing-safety]",
+        "src/lib.rs:19: [unregistered-ordering]",
+        "src/lib.rs:25: [changed-orderings]",
+        "src/lib.rs:30: [todo-invariant]",
+        "src/lib.rs:36: [undeclared-invariant]",
+        "src/lib.rs:0: [stale-manifest-entry]",
+    ] {
+        assert!(stdout.contains(needle), "missing `{needle}` in:\n{stdout}");
+    }
+}
+
+#[test]
+fn cli_sync_round_trips_the_clean_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_jiffy-audit"))
+        .args(["sync", "--root"])
+        .arg(fixture("clean"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let emitted = String::from_utf8_lossy(&out.stdout);
+    let reparsed = manifest::parse(&emitted).unwrap();
+    // Sync against the existing manifest preserves every invariant: the
+    // regenerated manifest must still pass check.
+    let scan = scanner::scan_tree(&fixture("clean")).unwrap();
+    let diff = scanner::diff_against_manifest(&scan, &reparsed);
+    assert!(diff.is_empty(), "sync output fails check: {diff:?}");
+}

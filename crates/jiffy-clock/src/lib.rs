@@ -132,6 +132,8 @@ impl Default for TscClock {
 impl VersionClock for TscClock {
     #[inline]
     fn now(&self) -> u64 {
+        #[cfg(feature = "audit-sched")]
+        jiffy_audit::sched::probe("clock::now");
         // See `normalize_tsc` for why behind-`start` reads saturate low.
         normalize_tsc(Self::raw(), self.start)
     }
@@ -165,6 +167,8 @@ impl Default for MonotonicClock {
 impl VersionClock for MonotonicClock {
     #[inline]
     fn now(&self) -> u64 {
+        #[cfg(feature = "audit-sched")]
+        jiffy_audit::sched::probe("clock::now");
         self.start.elapsed().as_nanos() as u64
     }
 
@@ -197,6 +201,8 @@ impl Default for AtomicClock {
 impl VersionClock for AtomicClock {
     #[inline]
     fn now(&self) -> u64 {
+        #[cfg(feature = "audit-sched")]
+        jiffy_audit::sched::probe("clock::now");
         // SeqCst, not Relaxed: the §3.3.4 floor-safety argument chains a
         // read's position in the counter's coherence order with loads of
         // *other* locations (registry slots), which is only sound in the

@@ -201,7 +201,12 @@ impl WriterGate {
     /// running writer keeps applying to a source shard — and the drain
     /// would lose that write.
     fn await_quiescence(&self) {
-        self.await_quiescence_with(|| {});
+        self.await_quiescence_with(|| {
+            // The two-load window the read order defends (see above);
+            // named so the explorer and the replay test can preempt here.
+            #[cfg(feature = "audit-sched")]
+            jiffy_audit::sched::probe("gate::between_loads");
+        });
     }
 
     /// The wait loop, with an injection point between the two counter
@@ -1179,6 +1184,69 @@ mod tests {
         });
         assert!(released, "quiescence declared while a registered writer was still in flight");
         assert!(rounds >= 3, "the wait must re-check after the late enter/exit pair");
+    }
+
+    /// The same quiescence read-order race as above, replayed through
+    /// the `gate::between_loads` probe — i.e. through the *production*
+    /// `await_quiescence` path rather than the test-only injection
+    /// closure. One of the three historical-bug replays the audit-sched
+    /// toolchain pins down (see jiffy-audit).
+    #[cfg(feature = "audit-sched")]
+    #[test]
+    fn gate_probe_replays_the_quiescence_read_order_race() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+        const T: Duration = Duration::from_secs(10);
+
+        let gate = Arc::new(WriterGate::default());
+        let stalled = gate.enter(); // the in-flight pre-CAS writer
+        let armed = Arc::new(AtomicBool::new(true));
+        let (tx_win, rx_win) = mpsc::channel::<()>();
+        let (tx_go, rx_go) = mpsc::channel::<()>();
+        let rx_go = std::sync::Mutex::new(rx_go);
+        let h_armed = Arc::clone(&armed);
+        let _h = jiffy_audit::sched::install(Arc::new(move |site| {
+            if site == "gate::between_loads" && h_armed.load(Ordering::SeqCst) {
+                tx_win.send(()).unwrap();
+                rx_go.lock().unwrap().recv().unwrap();
+            }
+        }));
+
+        let done = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                gate.await_quiescence();
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        // Window 1: the waiter is parked between its two counter loads,
+        // holding a `completed` snapshot taken while `stalled` was (and
+        // still is) registered.
+        rx_win.recv_timeout(T).expect("the waiter never reached the probe");
+        // The late register-then-retry writer lands a full enter/exit
+        // pair exactly inside the window.
+        drop(gate.enter());
+        tx_go.send(()).unwrap();
+        // The correct read order must LOOP here (stale completed=0 <
+        // started=2). The buggy order would match the late pair against
+        // its stale `started` snapshot and declare quiescence — in which
+        // case this recv times out and/or `done` flips early.
+        rx_win
+            .recv_timeout(T)
+            .expect("quiescence declared from a stale completed snapshot (read-order race)");
+        assert!(
+            !done.load(Ordering::SeqCst),
+            "quiescence declared while a registered writer was still in flight"
+        );
+        // Let the stalled writer exit, then release the parked waiter.
+        armed.store(false, Ordering::SeqCst);
+        drop(stalled);
+        tx_go.send(()).unwrap();
+        waiter.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+        assert!(jiffy_audit::sched::hits("gate::between_loads") >= 2);
     }
 
     #[test]

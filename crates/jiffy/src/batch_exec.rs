@@ -102,12 +102,16 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             }
             let key = desc.ops()[i].key();
             let node_s = self.find_node_for_key(key, guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let node = unsafe { node_s.deref() };
             let next_snapshot = node.next.load(Ordering::Acquire, guard);
             let head_s = node.head.load(Ordering::Acquire, guard);
             if node.is_terminated() {
                 continue;
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let head = unsafe { head_s.deref() };
             if head.is_merge_terminator() {
                 let theirs = head.batch_descriptor().map(|d| !Arc::ptr_eq(d, desc)).unwrap_or(true);
@@ -165,6 +169,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             if node.next.load(Ordering::Acquire, guard) != next_snapshot {
                 continue;
             }
+            // SAFETY: if non-null, the pointee is kept alive by the
+            // enclosing pin guard (EBR).
             if let Some(succ) = unsafe { next_snapshot.as_ref() } {
                 if succ.key.le(key) {
                     // Stale floor: a split moved this op's key to a new

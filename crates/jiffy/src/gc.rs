@@ -26,6 +26,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// Truncate obsolete revisions at `node_s` (Algorithm 1 line 34).
     pub(crate) fn perform_gc<'g>(&self, node_s: Shared<'g, Node<K, V>>, guard: &'g Guard) {
         let mut min = self.gc_floor();
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let node = unsafe { node_s.deref() };
         let mut rev_s = node.head.load(Ordering::Acquire, guard);
         // Find the keep point: first finalized revision with version <= min.
@@ -35,6 +37,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             if rev_s.is_null() {
                 return; // nothing old enough to cut
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let rev = unsafe { rev_s.deref() };
             let v = rev.version();
             if v >= 0 && v <= min {
@@ -63,6 +67,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         // the same way (see `defer_destroy_chain` on why).
         let tail = keep.next.swap(Shared::null(), Ordering::AcqRel, guard);
         if !tail.is_null() && keep.owns_next() {
+            // SAFETY: unlinked from the structure above, so no new reader
+            // can reach it; already-pinned readers hold it until they unpin.
             unsafe { defer_destroy_chain(tail, guard) };
         }
         // A merge revision at the keep point also owns its right branch;
@@ -70,6 +76,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         if let Some(mi) = keep.as_merge() {
             let rtail = mi.right_next.swap(Shared::null(), Ordering::AcqRel, guard);
             if !rtail.is_null() {
+                // SAFETY: unlinked from the structure above, so no new reader
+                // can reach it; already-pinned readers hold it until they unpin.
                 unsafe { defer_destroy_chain(rtail, guard) };
             }
         }

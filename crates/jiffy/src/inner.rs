@@ -177,9 +177,10 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
 
 impl<K, V, C> Drop for JiffyInner<K, V, C> {
     fn drop(&mut self) {
-        // Exclusive access: no concurrent operations can exist (public ops
-        // borrow the map). Walk the level-0 list and free every node and
-        // every revision reachable through *owning* edges (see node.rs).
+        // SAFETY: exclusive access — no concurrent operations can exist
+        // (public ops borrow the map, and we hold `&mut self`). Walk the
+        // level-0 list and free every node and every revision reachable
+        // through *owning* edges (see node.rs).
         let guard = unsafe { epoch::unprotected() };
         unsafe {
             let mut node_s = self.base.load(Ordering::Relaxed, guard);
@@ -207,6 +208,8 @@ pub(crate) unsafe fn destroy_chain_now<K, V>(start: Shared<'_, Revision<K, V>>, 
         if rev_s.is_null() {
             continue;
         }
+        // SAFETY: the caller has exclusive access to the chain (fn
+        // contract), so the revision is alive and unaliased.
         let rev = unsafe { rev_s.deref() };
         if rev.owns_next() {
             work.push(rev.next.load(Ordering::Relaxed, guard));
@@ -214,6 +217,7 @@ pub(crate) unsafe fn destroy_chain_now<K, V>(start: Shared<'_, Revision<K, V>>, 
         if let Some(mi) = rev.as_merge() {
             work.push(mi.right_next.load(Ordering::Relaxed, guard));
         }
+        // SAFETY: exclusive access (fn contract) — take ownership and free.
         drop(unsafe { rev_s.into_owned() });
     }
 }
@@ -240,6 +244,8 @@ pub(crate) unsafe fn defer_destroy_chain<K: MapKey, V: MapValue>(
         if rev_s.is_null() {
             continue;
         }
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let rev = unsafe { rev_s.deref() };
         if rev.owns_next() {
             work.push(rev.next.swap(Shared::null(), Ordering::AcqRel, guard));
@@ -247,6 +253,8 @@ pub(crate) unsafe fn defer_destroy_chain<K: MapKey, V: MapValue>(
         if let Some(mi) = rev.as_merge() {
             work.push(mi.right_next.swap(Shared::null(), Ordering::AcqRel, guard));
         }
+        // SAFETY: unlinked from the structure above, so no new reader
+        // can reach it; already-pinned readers hold it until they unpin.
         unsafe { guard.defer_destroy(rev_s) };
     }
 }

@@ -52,6 +52,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         let mut hops = 0u64;
         for level in (1..MAX_HEIGHT).rev() {
             loop {
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let pred = unsafe { pred_s.deref() };
                 if level > pred.tower_height() {
                     break; // this node does not reach the level; descend
@@ -60,6 +62,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 if curr_s.is_null() {
                     break;
                 }
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let curr = unsafe { curr_s.deref() };
                 #[cfg(feature = "perf-counters")]
                 {
@@ -119,11 +123,15 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         #[cfg(feature = "perf-counters")]
         let mut hops = 0u64;
         loop {
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let node = unsafe { node_s.deref() };
             let next_s = node.next.load(Ordering::Acquire, guard);
             if next_s.is_null() {
                 break;
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let next = unsafe { next_s.deref() };
             // `next`'s cache line was the miss we just paid. Before the
             // branchy checks and the key comparison on it, start pulling
@@ -174,15 +182,21 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         target_s: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
     ) -> Option<Shared<'g, Node<K, V>>> {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let target = unsafe { target_s.deref() };
         let tkey = target.key.as_key().expect("the base node has no predecessor and never merges");
         let mut node_s = self.tower_descend(tkey, true, guard);
         loop {
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let node = unsafe { node_s.deref() };
             let next_s = node.next.load(Ordering::Acquire, guard);
             if next_s.is_null() {
                 return None;
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let next = unsafe { next_s.deref() };
             if next.is_temp_split() {
                 self.help_temp_split_node(node_s, next_s, guard);
@@ -218,6 +232,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// the linker undoes its own work if the node died (see the unlink
     /// protocol in `unlink_tower`).
     pub(crate) fn link_tower<'g>(&self, node_s: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let node = unsafe { node_s.deref() };
         let h = node.tower_height();
         if h == 0 {
@@ -234,6 +250,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                     return;
                 }
                 let (pred_s, succ_s) = self.tower_position(key, level, node_s, guard);
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let pred = unsafe { pred_s.deref() };
                 node.tower[level - 1].store(succ_s, Ordering::Release);
                 if pred.tower[level - 1]
@@ -262,6 +280,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         let mut lvl = MAX_HEIGHT;
         while lvl >= level {
             loop {
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let pred = unsafe { pred_s.deref() };
                 if lvl > pred.tower_height() {
                     break;
@@ -275,6 +295,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                     // treat the node's own successor as the bound.
                     break;
                 }
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let curr = unsafe { curr_s.deref() };
                 if curr.is_terminated() {
                     let succ = if lvl <= curr.tower_height() {
@@ -306,6 +328,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             }
             lvl -= 1;
         }
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let pred = unsafe { pred_s.deref() };
         let succ_s = pred.tower[level - 1].load(Ordering::Acquire, guard);
         (pred_s, succ_s)
@@ -315,6 +339,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// by merge completion (before the node's destruction is deferred) and
     /// by a linker that lost the race with termination.
     pub(crate) fn unlink_tower<'g>(&self, node_s: Shared<'g, Node<K, V>>, guard: &'g Guard) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let node = unsafe { node_s.deref() };
         let h = node.tower_height();
         if h == 0 {
@@ -329,6 +355,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 // Walk the level looking for an edge into `node`.
                 let mut pred_s = self.tower_descend_to_level(key, level, guard);
                 loop {
+                    // SAFETY: non-null and reached under the enclosing pin guard;
+                    // EBR defers reclamation of epoch-reachable nodes until unpin.
                     let pred = unsafe { pred_s.deref() };
                     if level > pred.tower_height() {
                         break 'retry;
@@ -353,6 +381,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                         }
                         continue 'retry;
                     }
+                    // SAFETY: non-null and reached under the enclosing pin guard;
+                    // EBR defers reclamation of epoch-reachable nodes until unpin.
                     let curr = unsafe { curr_s.deref() };
                     let advance = match &curr.key {
                         NodeKey::NegInf => true,
@@ -379,6 +409,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         let mut pred_s = self.base_node(guard);
         for lvl in ((level + 1)..MAX_HEIGHT).rev() {
             loop {
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let pred = unsafe { pred_s.deref() };
                 if lvl > pred.tower_height() {
                     break;
@@ -387,6 +419,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 if curr_s.is_null() {
                     break;
                 }
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let curr = unsafe { curr_s.deref() };
                 let advance = match &curr.key {
                     NodeKey::NegInf => true,

@@ -137,6 +137,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyMap<K, V, C> {
         let mut depth_max = 0usize;
         let mut node_s = self.inner.base_node(guard);
         while !node_s.is_null() {
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let node = unsafe { node_s.deref() };
             let next = node.next.load(Ordering::Acquire, guard);
             if !node.is_terminated() && !node.is_temp_split() {
@@ -145,6 +147,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyMap<K, V, C> {
                 let mut depth = 0usize;
                 let mut first_len: Option<usize> = None;
                 while !rev_s.is_null() && depth < 64 {
+                    // SAFETY: non-null and reached under the enclosing pin guard;
+                    // EBR defers reclamation of epoch-reachable nodes until unpin.
                     let rev = unsafe { rev_s.deref() };
                     if first_len.is_none() && rev.version() >= 0 {
                         first_len = Some(rev.data.len());
@@ -372,13 +376,19 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         let mut stopped = false;
         loop {
             let base_s = self.base_node(guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let base = unsafe { base_s.deref() };
             let next_snapshot = base.next.load(Ordering::Acquire, guard);
             let head_s = base.head.load(Ordering::Acquire, guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             if !next_snapshot.is_null() && unsafe { next_snapshot.deref() }.is_temp_split() {
                 self.help_temp_split_node(base_s, next_snapshot, guard);
                 continue;
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let head = unsafe { head_s.deref() };
             if head.is_merge_terminator() {
                 self.help_merge_terminator(base_s, head_s, guard);
@@ -390,6 +400,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             let upper: Option<K> = if next_snapshot.is_null() {
                 None
             } else {
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 unsafe { next_snapshot.deref() }.key.as_key().cloned()
             };
             self.resolve_window(

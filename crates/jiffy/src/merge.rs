@@ -38,7 +38,11 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         mterm_s: Shared<'g, Revision<K, V>>,
         guard: &'g Guard,
     ) -> Shared<'g, Revision<K, V>> {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let o = unsafe { o_s.deref() };
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let mterm = unsafe { mterm_s.deref() };
         let ti = mterm.as_terminator().expect("help_merge_terminator takes a terminator");
 
@@ -60,11 +64,22 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
                 continue;
             };
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let pred = unsafe { pred_s.deref() };
             if pred.is_terminated() {
                 mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
                 continue;
             }
+            // The historical phase-1 race window: a helper preempted
+            // right here (pred chosen, head not yet read) while the real
+            // merge completed underneath it reads a `phead` that already
+            // contains `o`'s merged data — only the `merge_rev` re-check
+            // below stops it from duplicating the range. Probe so the
+            // replay test and the explorer can preempt at exactly this
+            // point.
+            #[cfg(feature = "audit-sched")]
+            jiffy_audit::sched::probe("merge::adopt-recheck");
             let phead_s = pred.head.load(Ordering::Acquire, guard);
             // Revalidate adoption AFTER reading the predecessor's head.
             // A racing helper may have installed and adopted a merge
@@ -82,20 +97,53 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
                 continue;
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let phead = unsafe { phead_s.deref() };
             if let Some(pmi) = phead.as_merge() {
                 if pmi.mterm.load(Ordering::Acquire, guard) == mterm_s {
-                    // A merge revision for *our* terminator is already in
-                    // (its installer stalled before adopting): adopt it.
-                    let _ = ti.merge_rev.compare_exchange(
-                        Shared::null(),
-                        phead_s,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                        guard,
-                    );
+                    // `mterm` matching is NOT proof this revision is ours:
+                    // the completed merge of a *previous* right neighbour
+                    // can still be `phead`, its terminator freed by that
+                    // merge's cleanup, and our terminator reallocated at
+                    // the same address — an ABA that EBR cannot prevent
+                    // (the dangling `pmi.mterm` was written in a previous
+                    // pin-life; equality of a live pointer with it is
+                    // coincidence). Adopting such a revision wedges the
+                    // terminator permanently (`merge_rev` is write-once)
+                    // and, pre-latch, sent helpers through its freed
+                    // `right_node`. The latch disambiguates: a genuine
+                    // stalled installer's revision cannot be `completed`
+                    // (completion requires adoption, and `merge_rev` was
+                    // re-read null above), while a stale one always is —
+                    // its terminator is only freed *after* the completer's
+                    // `completed` store (Release, and the free is ordered
+                    // behind EBR's epoch advance), so by the time the
+                    // allocator can hand us its address the store is
+                    // visible.
+                    if !pmi.completed.load(Ordering::Acquire) {
+                        // Ours, installer stalled before adopting: adopt.
+                        let _ = ti.merge_rev.compare_exchange(
+                            Shared::null(),
+                            phead_s,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                            guard,
+                        );
+                        mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
+                        continue;
+                    }
+                    // Completed + matching `mterm`: either our merge raced
+                    // to full completion since the re-check above (then it
+                    // was adopted first — re-read and exit the loop), or
+                    // the address-reuse false match (merge_rev still null:
+                    // fall through and treat `phead` as what it is, a
+                    // legitimate finalized head to build a fresh merge
+                    // revision from).
                     mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
-                    continue;
+                    if !mr_s.is_null() {
+                        continue;
+                    }
                 }
             }
             if phead.is_merge_terminator() {
@@ -113,6 +161,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
 
             // Build the merge revision from the two finalized heads.
             let right_head_s = mterm.next.load(Ordering::Acquire, guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let right_head = unsafe { right_head_s.deref() };
             let with_index = !self.config.disable_hash_index;
             let right_key =
@@ -160,6 +210,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                     right_node: crossbeam_epoch::Atomic::null(),
                     right_next: crossbeam_epoch::Atomic::null(),
                     mterm: crossbeam_epoch::Atomic::null(),
+                    completed: std::sync::atomic::AtomicBool::new(false),
                     coverage_end,
                 }),
                 stats: RevStats::new(pl, pu, now),
@@ -187,6 +238,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                         guard,
                     );
                     // Entry accounting: union minus both sources.
+                    // SAFETY: non-null and reached under the enclosing pin guard;
+                    // EBR defers reclamation of epoch-reachable nodes until unpin.
                     let delta = unsafe { published.deref() }.data.len() as isize
                         - (phead.data.len() + right_head.data.len()) as isize;
                     self.add_len(delta);
@@ -205,9 +258,28 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// terminate, unlink, finalize/advance. Idempotent; safe to call from
     /// any helper that encounters a pending merge revision.
     pub(crate) fn complete_merge<'g>(&self, mr_s: Shared<'g, Revision<K, V>>, guard: &'g Guard) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let mr = unsafe { mr_s.deref() };
         let mi = mr.as_merge().expect("complete_merge takes a merge revision");
+        // Re-entry gate. A *batch* merge revision stays `is_pending()`
+        // until its whole descriptor finalizes — long after a first
+        // completer has unlinked the right node and deferred destruction
+        // of it and the terminator — so helpers keep arriving here from
+        // `help_pending_update` in later epochs, and the `mterm` /
+        // `right_node` derefs below would then read freed memory (the
+        // seed-34 mkbench-reshard crash: a reclaimed node shell re-read
+        // with a zeroed key). Reading `false` proves this thread's pin
+        // predates the winner's program-order-later `defer_destroy`, so
+        // EBR keeps both pointees alive for the rest of this call;
+        // reading `true` means phases 4-6 (including the group advance)
+        // already happened and there is nothing left to help.
+        if mi.completed.load(Ordering::Acquire) {
+            return;
+        }
         let mterm_s = mi.mterm.load(Ordering::Acquire, guard);
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let mterm = unsafe { mterm_s.deref() };
         let ti = mterm.as_terminator().expect("merge revision references its terminator");
         // Adopt (no-op if already adopted; a different adopted revision is
@@ -222,6 +294,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         debug_assert_eq!(ti.merge_rev.load(Ordering::Acquire, guard), mr_s);
 
         let o_s = mi.right_node.load(Ordering::Acquire, guard);
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let o = unsafe { o_s.deref() };
         o.terminated.store(true, Ordering::SeqCst);
         self.unlink_tower(o_s, guard);
@@ -251,10 +325,17 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 finalize_cell(&self.clock, mr.vref.cell());
             }
         }
-        // One-shot cleanup: exactly one helper (each of which has itself
-        // verified the node is fully unlinked) defers destruction of the
-        // node shell and the terminator.
+        // Latch completion before anyone is allowed to defer destruction:
+        // every path to the defer below has this store sequenced before
+        // it, which is what makes the re-entry gate's `false` → "my pin
+        // predates the defer" argument sound (Release pairs with the
+        // gate's Acquire so a `true` reader also sees the unlink done).
+        mi.completed.store(true, Ordering::Release);
         if self.claim_merge_cleanup(ti) {
+            // SAFETY: one-shot cleanup — exactly one helper wins the
+            // claim CAS, and each has itself verified the node is fully
+            // unlinked, so no new reader can reach the shell or the
+            // terminator; pinned readers are protected until they unpin.
             unsafe {
                 guard.defer_destroy(o_s);
                 guard.defer_destroy(mterm_s);

@@ -173,6 +173,13 @@ pub(crate) struct MergeInfo<K, V> {
     /// The terminator this merge revision resolves (for adoption).
     /// Non-owning: destroyed together with `right_node`.
     pub(crate) mterm: Atomic<Revision<K, V>>,
+    /// Set once phases 4-6 are done, *before* the cleanup winner defers
+    /// destruction of `right_node` and `mterm`. A batch merge revision
+    /// stays `is_pending()` until its whole descriptor finalizes — long
+    /// after those two pointers dangle — so `complete_merge` re-entry
+    /// must gate on this latch, not on the version (see the ordering
+    /// argument at its load site).
+    pub(crate) completed: AtomicBool,
     /// For batch-triggered merges: descriptor ops `[.., coverage_end)` are
     /// folded into this revision (the group of the merged node *and* the
     /// group of the surviving predecessor, §3.3.3 item 4 ordering).

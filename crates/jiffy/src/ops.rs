@@ -45,6 +45,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 }
             }
             let node_s = self.find_node_for_key(key, guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let node = unsafe { node_s.deref() };
             let next_snapshot = node.next.load(Ordering::Acquire, guard);
             let head_s = node.head.load(Ordering::Acquire, guard);
@@ -55,6 +57,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 continue;
             }
             debug_assert!(!head_s.is_null(), "every node has a revision list head");
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let head = unsafe { head_s.deref() };
             if head.is_merge_terminator() {
                 // The merge owner publishes progress by installing the
@@ -91,6 +95,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             if node.next.load(Ordering::Acquire, guard) != next_snapshot {
                 continue; // a split or merge happened underneath us
             }
+            // SAFETY: if non-null, the pointee is kept alive by the
+            // enclosing pin guard (EBR).
             if let Some(succ) = unsafe { next_snapshot.as_ref() } {
                 if succ.key.le(key) {
                     // The walk's floor view went stale: a split carved
@@ -114,6 +120,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         rev_s: Shared<'g, Revision<K, V>>,
         guard: &'g Guard,
     ) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let rev = unsafe { rev_s.deref() };
         match &rev.kind {
             RevKind::MergeTerminator(_) => {
@@ -170,7 +178,11 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         let (published_s, node_s, old);
         loop {
             let loc = self.locate_for_update(&key, guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let node = unsafe { loc.node.deref() };
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let head = unsafe { loc.head.deref() };
             let prev = head.data.get(&key).cloned();
             let len_after = head.data.len() + usize::from(prev.is_none());
@@ -234,6 +246,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 Err(e) => drop(e.new),
             }
         }
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let published = unsafe { published_s.deref() };
         finalize_cell(&self.clock, published.vref.cell());
         self.perform_gc(node_s, guard);
@@ -249,7 +263,11 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         let (gc_node_s, finalize_rev_s, old);
         loop {
             let loc = self.locate_for_update(key, guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let node = unsafe { loc.node.deref() };
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let head = unsafe { loc.head.deref() };
             let prev = head.data.get(key).cloned()?;
             let len_after = head.data.len() - 1;
@@ -328,6 +346,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 }
             }
         }
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let rev = unsafe { finalize_rev_s.deref() };
         finalize_cell(&self.clock, rev.vref.cell());
         self.perform_gc(gc_node_s, guard);
@@ -354,6 +374,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     ) -> Option<Shared<'g, Revision<K, V>>> {
         debug_assert!(full.len() >= 2);
         let with_index = !self.config.disable_hash_index;
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let node = unsafe { node_s.deref() };
         let (ldata, rdata, split_key) = full.split_halves(with_index);
         let info = Arc::new(SplitInfo { split_key, right: crossbeam_epoch::Atomic::null() });
@@ -395,7 +417,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             Ok(published) => Some(published),
             Err(e) => {
                 drop(e.new);
-                // rsr was never visible to anyone else: reclaim directly.
+                // SAFETY: the CAS failed, so `rsr` was never published —
+                // we still own it exclusively; reclaim directly.
                 drop(unsafe { rsr_s.into_owned() });
                 None
             }

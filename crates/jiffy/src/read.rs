@@ -75,6 +75,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 }
             }
             let node_s = self.find_node_for_key(key, guard);
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let node = unsafe { node_s.deref() };
             let next_snapshot = node.next.load(Ordering::Acquire, guard);
             let head_s = node.head.load(Ordering::Acquire, guard);
@@ -84,6 +86,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             if node.is_terminated() {
                 continue;
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let head = unsafe { head_s.deref() };
             if head.is_merge_terminator() {
                 // Ownership hint: the merge owner publishes progress by
@@ -104,6 +108,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             if node.next.load(Ordering::Acquire, guard) != next_snapshot {
                 continue;
             }
+            // SAFETY: if non-null, the pointee is kept alive by the
+            // enclosing pin guard (EBR).
             if let Some(succ) = unsafe { next_snapshot.as_ref() } {
                 if succ.key.le(key) {
                     // Stale floor: a split moved the key's range to a
@@ -127,12 +133,16 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     fn get_fast(&self, key: &K, max_version: Option<i64>, guard: &Guard) -> Option<Option<V>> {
         perf_count!(fastpath_attempts);
         let node_s = self.find_node_for_key(key, guard);
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let node = unsafe { node_s.deref() };
         let next_snapshot = node.next.load(Ordering::Acquire, guard);
         let head_s = node.head.load(Ordering::Acquire, guard);
         if head_s.is_null() {
             return None;
         }
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let head = unsafe { head_s.deref() };
         if !matches!(head.kind, RevKind::Regular) || node.is_terminated() {
             return None;
@@ -147,6 +157,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         if node.next.load(Ordering::Acquire, guard) != next_snapshot {
             return None;
         }
+        // SAFETY: if non-null, the pointee is kept alive by the
+        // enclosing pin guard (EBR).
         if let Some(succ) = unsafe { next_snapshot.as_ref() } {
             if succ.key.le(key) {
                 return None;
@@ -186,6 +198,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 if rev_s.is_null() {
                     continue 'restart;
                 }
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let rev = unsafe { rev_s.deref() };
                 perf_count!(revisions_walked);
                 if rev.version() >= 0 {
@@ -220,6 +234,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             if rev_s.is_null() {
                 return None;
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let rev = unsafe { rev_s.deref() };
             perf_count!(revisions_walked);
             let mut v = rev.version();
@@ -247,6 +263,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// node's read gap, so the EMAs track per-node time shares.
     pub(crate) fn note_read<'g>(&self, head_s: Shared<'g, Revision<K, V>>, _guard: &'g Guard) {
         if self.read_fold_due() {
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let head = unsafe { head_s.deref() };
             let now = self.now_secs();
             let (p, u) = fold_read(head.stats.load(), head.stats.read_gap(now));
@@ -317,6 +335,8 @@ mod tests {
         // Forcibly mark the node terminated (as a concurrent merge
         // would, transiently). Only the fast path is exercised after
         // this — the map's invariants are deliberately broken.
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         unsafe { node_s.deref() }.terminated.store(true, Ordering::Release);
         assert_eq!(map.inner.get_fast(&5, None, guard), None, "terminated node must bail");
     }
@@ -346,10 +366,14 @@ mod tests {
             let guard = &epoch::pin();
             let mut node_s = map.inner.base_node(guard);
             while !node_s.is_null() {
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let node = unsafe { node_s.deref() };
                 let next = node.next.load(Ordering::Acquire, guard);
                 if !node.is_terminated() && !node.is_temp_split() {
                     let head_s = node.head.load(Ordering::Acquire, guard);
+                    // SAFETY: if non-null, the pointee is kept alive by the
+                    // enclosing pin guard (EBR).
                     if let Some(head) = unsafe { head_s.as_ref() } {
                         let kind = match head.kind {
                             RevKind::Regular => None,

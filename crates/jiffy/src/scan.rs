@@ -37,17 +37,23 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             // pins the emission window).
             let (node_s, head_s, upper) = loop {
                 let node_s = self.find_node_for_key(&cursor, guard);
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let node = unsafe { node_s.deref() };
                 let next_snapshot = node.next.load(Ordering::Acquire, guard);
                 let head_s = node.head.load(Ordering::Acquire, guard);
                 if node.is_terminated() {
                     continue;
                 }
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 if !next_snapshot.is_null() && unsafe { next_snapshot.deref() }.is_temp_split() {
                     // Help and re-read so the window bound is a real node.
                     self.help_temp_split_node(node_s, next_snapshot, guard);
                     continue;
                 }
+                // SAFETY: non-null and reached under the enclosing pin guard;
+                // EBR defers reclamation of epoch-reachable nodes until unpin.
                 let head = unsafe { head_s.deref() };
                 if head.is_merge_terminator() {
                     self.help_merge_terminator(node_s, head_s, guard);
@@ -59,6 +65,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 let upper: Option<K> = if next_snapshot.is_null() {
                     None
                 } else {
+                    // SAFETY: non-null and reached under the enclosing pin guard;
+                    // EBR defers reclamation of epoch-reachable nodes until unpin.
                     match &unsafe { next_snapshot.deref() }.key {
                         NodeKey::Key(k) => Some(k.clone()),
                         NodeKey::NegInf => unreachable!("base node is never a successor"),
@@ -124,6 +132,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             if rev_s.is_null() {
                 return true;
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let rev = unsafe { rev_s.deref() };
             let mut v = rev.version();
             if v < 0 && -v <= snap {

@@ -74,6 +74,9 @@ impl SnapRegistry {
         // First, try to reuse an inactive slot.
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
+            // SAFETY: slots are never freed while the registry is alive
+            // (only `Drop` reclaims them), so any pointer read from the
+            // list is valid here.
             let slot = unsafe { &*cur };
             if !slot.active.load(Ordering::Relaxed)
                 && slot
@@ -96,8 +99,10 @@ impl SnapRegistry {
         }));
         loop {
             let head = self.head.load(Ordering::Acquire);
+            // SAFETY: `slot` is ours until the CAS below publishes it.
             unsafe { (*slot).next = head };
             if self.head.compare_exchange(head, slot, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                // SAFETY: now published; slots live until the registry drops.
                 return unsafe { &*slot };
             }
         }
@@ -122,9 +127,16 @@ impl SnapRegistry {
     /// snapshot still needs.
     pub(crate) fn min_version<C: VersionClock>(&self, clock: &C) -> i64 {
         let pre_walk = clock.now() as i64;
+        // The widest race window of this function: between the pre-walk
+        // clock read and the slot walk, a racing claimer can register a
+        // snapshot the walk will miss — the cap above is what keeps the
+        // result safe. Let the explorer stretch the window.
+        #[cfg(feature = "audit-sched")]
+        jiffy_audit::sched::probe("snapshot::floor-walk");
         let mut min: Option<i64> = None;
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
+            // SAFETY: slots live until the registry is dropped.
             let slot = unsafe { &*cur };
             if slot.active.load(Ordering::Acquire) {
                 let v = slot.version();
@@ -142,6 +154,7 @@ impl SnapRegistry {
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
             n += 1;
+            // SAFETY: slots live until the registry is dropped.
             cur = unsafe { (*cur).next };
         }
         n
@@ -152,6 +165,8 @@ impl Drop for SnapRegistry {
     fn drop(&mut self) {
         let mut cur = *self.head.get_mut();
         while !cur.is_null() {
+            // SAFETY: `&mut self` means no reader can hold a slot
+            // reference; every node was Box-allocated in `register`.
             let boxed = unsafe { Box::from_raw(cur) };
             cur = boxed.next;
         }
@@ -256,6 +271,58 @@ mod tests {
         fn name(&self) -> &'static str {
             "yieldy"
         }
+    }
+
+    /// The §3.3.4 floor race replayed *deterministically* through the
+    /// `snapshot::floor-walk` probe: the scanner is parked between its
+    /// pre-walk clock read and the slot walk while a registration
+    /// completes (claim, re-read clock, refresh) in the window. The
+    /// pre-walk cap makes the resulting floor safe; the pre-fix code
+    /// (post-walk fallback read) would return a floor above the live
+    /// registration. One of the three historical-bug replays the
+    /// audit-sched toolchain pins down (see jiffy-audit).
+    #[cfg(feature = "audit-sched")]
+    #[test]
+    fn floor_walk_probe_replays_the_racing_registration() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::{mpsc, Arc, Mutex};
+        use std::time::Duration;
+
+        let clock = AtomicClock::new();
+        let reg = SnapRegistry::new();
+        let (tx_win, rx_win) = mpsc::channel::<()>();
+        let (tx_go, rx_go) = mpsc::channel::<()>();
+        let rx_go = Mutex::new(rx_go);
+        let armed = Arc::new(AtomicBool::new(true));
+        let h_armed = Arc::clone(&armed);
+        let _h = jiffy_audit::sched::install(Arc::new(move |site| {
+            if site == "snapshot::floor-walk" && h_armed.swap(false, Ordering::SeqCst) {
+                tx_win.send(()).unwrap();
+                rx_go.lock().unwrap().recv().unwrap();
+            }
+        }));
+
+        std::thread::scope(|s| {
+            let scanner = s.spawn(|| reg.min_version(&clock));
+            rx_win
+                .recv_timeout(Duration::from_secs(10))
+                .expect("the scanner never reached the probe");
+            // The racing registration, exactly JiffyMap::snapshot's
+            // protocol: claim at a first clock read, then re-read the
+            // clock and refresh. Both reads are AFTER the scanner's
+            // pre-walk read, so the cap binds.
+            let v0 = clock.now() as i64;
+            let slot = reg.register(v0);
+            let version = clock.now() as i64;
+            slot.refresh(version);
+            tx_go.send(()).unwrap();
+            let floor = scanner.join().unwrap();
+            assert!(
+                floor <= version,
+                "GC floor {floor} passed the racing registration at {version}"
+            );
+            slot.release();
+        });
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         lsr_s: Shared<'g, Revision<K, V>>,
         guard: &'g Guard,
     ) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let node = unsafe { node_s.deref() };
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let lsr = unsafe { lsr_s.deref() };
         let info = lsr.as_split().expect("help_split takes a left split revision").clone();
         #[cfg(debug_assertions)]
@@ -68,6 +72,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 self.install_temp(node_s, lsr_s, next_s, &info.split_key, guard);
                 continue;
             }
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let next = unsafe { next_s.deref() };
             if let NodeKind::TempSplit { lsr: tlsr, .. } = &next.kind {
                 if tlsr.load(Ordering::Acquire, guard) == lsr_s {
@@ -111,6 +117,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         split_key: &K,
         guard: &'g Guard,
     ) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let node = unsafe { node_s.deref() };
         let temp = Owned::new(Node::<K, V>::new_temp_split(split_key.clone()));
         if let NodeKind::TempSplit { origin, lsr } = &temp.kind {
@@ -146,15 +154,21 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         temp_s: Shared<'g, Node<K, V>>,
         guard: &'g Guard,
     ) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let temp = unsafe { temp_s.deref() };
         let NodeKind::TempSplit { origin, lsr } = &temp.kind else {
             return;
         };
         let lsr_s = lsr.load(Ordering::Acquire, guard);
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let lsr_r = unsafe { lsr_s.deref() };
         let temp_next = temp.next.load(Ordering::Acquire, guard);
         if lsr_r.version() >= 0 {
             // Stale temp: the split completed without it (ABA recovery).
+            // SAFETY: non-null and reached under the enclosing pin guard;
+            // EBR defers reclamation of epoch-reachable nodes until unpin.
             let pred = unsafe { pred_s.deref() };
             if pred.next.load(Ordering::Acquire, guard) == temp_s
                 && pred
@@ -162,12 +176,16 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                     .compare_exchange(temp_s, temp_next, Ordering::AcqRel, Ordering::Acquire, guard)
                     .is_ok()
             {
+                // SAFETY: unlinked from the structure above, so no new reader
+                // can reach it; already-pinned readers hold it until they unpin.
                 unsafe { guard.defer_destroy(temp_s) };
             }
             return;
         }
         // Live temp: it hangs off its origin. Build the real node o.
         let origin_s = origin.load(Ordering::Acquire, guard);
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let origin_n = unsafe { origin_s.deref() };
         let info = lsr_r.as_split().expect("temp references a left split revision");
         let rsr_s = info.right.load(Ordering::Acquire, guard);
@@ -178,6 +196,8 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         match origin_n.next.compare_exchange(temp_s, o, Ordering::AcqRel, Ordering::Acquire, guard)
         {
             Ok(o_s) => {
+                // SAFETY: unlinked from the structure above, so no new reader
+                // can reach it; already-pinned readers hold it until they unpin.
                 unsafe { guard.defer_destroy(temp_s) };
                 self.link_tower(o_s, guard);
             }
@@ -193,11 +213,15 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         lsr_s: Shared<'g, Revision<K, V>>,
         guard: &'g Guard,
     ) {
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let node = unsafe { node_s.deref() };
         let next_s = node.next.load(Ordering::Acquire, guard);
         if next_s.is_null() {
             return;
         }
+        // SAFETY: non-null and reached under the enclosing pin guard;
+        // EBR defers reclamation of epoch-reachable nodes until unpin.
         let next = unsafe { next_s.deref() };
         if let NodeKind::TempSplit { lsr, .. } = &next.kind {
             if lsr.load(Ordering::Acquire, guard) == lsr_s {

@@ -1,0 +1,85 @@
+//! Deterministic replay of the merge-adoption race through the
+//! `merge::adopt-recheck` probe (see `jiffy_audit::sched`).
+//!
+//! The historical bug (the ~1/40 debug-suite flake fixed in PR 4): a
+//! merge helper preempted in phase 1 — predecessor chosen, head not yet
+//! read — while a racing helper installed, adopted, and completed the
+//! real merge revision. Waking up, the stalled helper reads a
+//! predecessor head that already *contains* the merged node's data;
+//! without the `merge_rev` re-check it builds a second merge revision
+//! over it, duplicating the range with stale history born-visible. The
+//! probe lets this test park a helper in exactly that window and drive
+//! the racing completion to a fixed point before releasing it.
+#![cfg(feature = "audit-sched")]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use jiffy::{JiffyConfig, JiffyMap};
+
+#[test]
+fn merge_adopt_recheck_probe_replays_the_duplicate_merge_revision_race() {
+    // Tiny revisions: every few removes triggers a merge.
+    let config = JiffyConfig {
+        min_revision_size: 2,
+        max_revision_size: 8,
+        fixed_revision_size: Some(4),
+        ..Default::default()
+    };
+    let map: Arc<JiffyMap<u64, u64>> = Arc::new(JiffyMap::with_config(config));
+    const KEYS: u64 = 64;
+    for k in 0..KEYS {
+        map.put(k, k);
+    }
+
+    let armed = Arc::new(AtomicBool::new(true));
+    let (tx_win, rx_win) = mpsc::channel::<()>();
+    let (tx_go, rx_go) = mpsc::channel::<()>();
+    let rx_go = Mutex::new(rx_go);
+    let h_armed = Arc::clone(&armed);
+    // One-shot hook: the FIRST helper to reach the phase-1 window parks
+    // there; every later arrival (the racing helpers this test drives)
+    // passes straight through.
+    let _h = jiffy_audit::sched::install(Arc::new(move |site| {
+        if site == "merge::adopt-recheck" && h_armed.swap(false, Ordering::SeqCst) {
+            tx_win.send(()).unwrap();
+            rx_go.lock().unwrap().recv().unwrap();
+        }
+    }));
+
+    let remover = {
+        let map = Arc::clone(&map);
+        std::thread::spawn(move || (0..KEYS).map(|k| map.remove(&k)).collect::<Vec<_>>())
+    };
+    // A merge helper is now parked between "predecessor chosen" and
+    // "predecessor head read".
+    rx_win
+        .recv_timeout(Duration::from_secs(30))
+        .expect("no merge reached the probe window (config no longer merge-prone?)");
+    // Complete the merge underneath it: reads help pending merges on
+    // every node they touch, so a full sweep is guaranteed to finish the
+    // one in flight.
+    for k in 0..KEYS {
+        let _ = map.get(&k);
+    }
+    // Release the parked helper. It now re-reads a head that already
+    // contains the merged data; only the merge_rev re-check keeps it
+    // from installing a duplicate merge revision (in debug builds the
+    // concat/adoption asserts fire on the buggy path; in release the
+    // sweeps below catch the duplicated range).
+    tx_go.send(()).unwrap();
+    let removed = remover.join().unwrap();
+
+    assert!(jiffy_audit::sched::hits("merge::adopt-recheck") >= 1);
+    // Every key was removed exactly once, by the remover.
+    for (k, r) in removed.iter().enumerate() {
+        assert_eq!(*r, Some(k as u64), "remove({k}) observed corrupted merge state");
+    }
+    for k in 0..KEYS {
+        assert_eq!(map.get(&k), None, "key {k} resurrected by a duplicated merge revision");
+    }
+    let mut live = Vec::new();
+    map.scan_from(&0, usize::MAX, &mut |k, v| live.push((*k, *v)));
+    assert!(live.is_empty(), "scan found resurrected entries: {live:?}");
+}

@@ -801,6 +801,14 @@ fn usage_error(msg: &str) -> ! {
 }
 
 fn main() {
+    // With the `audit-sched` feature, AUDIT_SCHED_SEED=<n> runs the
+    // whole benchmark under the seeded race explorer (perturbed, NOT
+    // representative of performance — a correctness stress mode).
+    #[cfg(feature = "audit-sched")]
+    let _explorer = jiffy_audit::sched::config_from_env().map(|cfg| {
+        eprintln!("mkbench: audit-sched explorer installed (seed {})", cfg.seed);
+        jiffy_audit::sched::install_explorer(cfg)
+    });
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(

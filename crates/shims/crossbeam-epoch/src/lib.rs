@@ -20,6 +20,8 @@
 //! Tag bits are packed into pointer low bits exactly like crossbeam
 //! (`align_of::<T>() - 1` bits available).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::cell::{Cell, UnsafeCell};
 use std::marker::PhantomData;
 use std::mem;
@@ -65,6 +67,8 @@ struct Garbage {
 // once, after the epoch protocol has proven exclusive access.
 unsafe impl Send for Garbage {}
 
+// SAFETY: callers must pass a `Box::into_raw`-produced `*mut T` (cast to
+// `*mut u8`) to which they hold exclusive access.
 unsafe fn drop_box<T>(data: *mut u8) {
     // SAFETY: `data` was produced by `Box::into_raw` (via `Owned::new` /
     // `Atomic::new`) and the epoch protocol guarantees exclusivity.
@@ -106,6 +110,8 @@ fn global() -> &'static Global {
 
 /// Advance the global epoch if every pinned participant has observed it.
 fn try_advance(g: &Global) -> usize {
+    #[cfg(feature = "audit-sched")]
+    jiffy_audit::sched::probe("epoch::advance");
     let cur = g.epoch.load(Ordering::SeqCst);
     let Ok(parts) = g.participants.try_lock() else {
         return cur;
@@ -145,6 +151,7 @@ fn collect(p: &Participant) {
     let items = mem::take(unsafe { &mut *p.garbage.get() });
     let mut keep = Vec::new();
     release(items, cur, &mut keep);
+    // SAFETY: still the owner thread — nothing else touches the bag.
     unsafe { (*p.garbage.get()).append(&mut keep) };
 
     if let Ok(mut orphans) = g.orphans.try_lock() {
@@ -238,11 +245,14 @@ impl Guard {
     /// unreachable to threads that are not yet pinned, and no thread may
     /// use it after the current pinned threads unpin.
     pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        #[cfg(feature = "audit-sched")]
+        jiffy_audit::sched::probe("epoch::defer");
         let raw = ptr.untagged_raw().cast::<u8>().cast_mut();
         debug_assert!(!raw.is_null(), "defer_destroy(null)");
         match self.participant() {
             None => {
-                // Unprotected guard: the caller asserts exclusive access.
+                // SAFETY: unprotected guard — the caller asserted exclusive
+                // access to `ptr` (see `unprotected`), so free immediately.
                 unsafe { drop_box::<T>(raw) };
             }
             Some(p) => {
@@ -251,6 +261,8 @@ impl Guard {
                 // pinned at `seal` does not block `seal+1 -> seal+2`, so a
                 // lower stamp could free memory that reader still holds.
                 let epoch = global().epoch.load(Ordering::SeqCst);
+                // SAFETY: `p` is this thread's own participant (the guard
+                // pinned it); only the owner touches the bag.
                 let bag = unsafe { &mut *p.garbage.get() };
                 bag.push(Garbage { epoch, destroy: drop_box::<T>, data: raw });
                 if bag.len() >= LOCAL_GARBAGE_HIGH_WATER {
@@ -272,15 +284,22 @@ impl Guard {
             f();
         });
         let data = Box::into_raw(Box::new(boxed));
+        #[cfg(feature = "audit-sched")]
+        jiffy_audit::sched::probe("epoch::defer");
+        // SAFETY: callers pass the `Box::into_raw` result from above,
+        // exactly once — `from_raw` reclaims unique ownership.
         unsafe fn call(data: *mut u8) {
             let f = unsafe { Box::from_raw(data.cast::<Box<dyn FnOnce() + Send>>()) };
             (*f)();
         }
         match self.participant() {
+            // SAFETY: unprotected guard — run the closure immediately;
+            // `data` was allocated two lines up and never shared.
             None => unsafe { call(data.cast()) },
             Some(p) => {
                 // Seal with the global epoch — see `defer_destroy`.
                 let epoch = global().epoch.load(Ordering::SeqCst);
+                // SAFETY: owner thread's own garbage bag (we hold its pin).
                 unsafe { &mut *p.garbage.get() }.push(Garbage {
                     epoch,
                     destroy: call,
@@ -323,6 +342,8 @@ impl Drop for Guard {
 /// Pin the current thread, returning a [`Guard`] that keeps retired memory
 /// alive until dropped.
 pub fn pin() -> Guard {
+    #[cfg(feature = "audit-sched")]
+    jiffy_audit::sched::probe("epoch::pin");
     LOCAL.with(|local| {
         let p = &local.participant;
         let depth = p.active.load(Ordering::Relaxed);
@@ -448,6 +469,8 @@ impl<T> Pointer<T> for Owned<T> {
         data
     }
 
+    // SAFETY: contract is `Pointer::from_usize`'s — `data` came from a
+    // matching `into_usize` and carries unique ownership.
     unsafe fn from_usize(data: usize) -> Self {
         Owned { data, _marker: PhantomData }
     }
@@ -540,6 +563,8 @@ impl<'g, T> Pointer<T> for Shared<'g, T> {
         self.data
     }
 
+    // SAFETY: contract is `Pointer::from_usize`'s — `data` came from a
+    // matching `into_usize` and stays valid under the borrowed guard.
     unsafe fn from_usize(data: usize) -> Self {
         Shared { data, _marker: PhantomData }
     }
@@ -601,10 +626,10 @@ impl<T> Atomic<T> {
         let new = new.into_usize();
         match self.data.compare_exchange(current.into_usize(), new, success, failure) {
             Ok(_) => Ok(Shared { data: new, _marker: PhantomData }),
-            // SAFETY: `new` was just produced by `into_usize` above and is
-            // returned to the caller exactly once.
             Err(actual) => Err(CompareExchangeError {
                 current: Shared { data: actual, _marker: PhantomData },
+                // SAFETY: `new` was just produced by `into_usize` above and
+                // is returned to the caller exactly once.
                 new: unsafe { P::from_usize(new) },
             }),
         }
@@ -642,9 +667,11 @@ mod tests {
         let guard = &pin();
         let s = a.load(Ordering::Acquire, guard);
         assert!(!s.is_null());
+        // SAFETY: non-null and alive under `guard`.
         assert_eq!(unsafe { *s.deref() }, 42);
         let prev = a.swap(Shared::null(), Ordering::AcqRel, guard);
         assert_eq!(prev, s);
+        // SAFETY: the swap unlinked `prev`; nobody re-reads it.
         unsafe { guard.defer_destroy(prev) };
         assert!(a.load(Ordering::Acquire, guard).is_null());
     }
@@ -658,6 +685,7 @@ mod tests {
         let s = a
             .compare_exchange(cur, fresh, Ordering::AcqRel, Ordering::Acquire, guard)
             .unwrap_or_else(|_| panic!("CAS on null must succeed"));
+        // SAFETY: just installed and alive under `guard`.
         assert_eq!(unsafe { *s.deref() }, 7);
         // Losing CAS hands the attempted value back.
         let lose = Owned::new(9u64);
@@ -669,6 +697,7 @@ mod tests {
         assert_eq!(err.current, s);
         assert_eq!(*err.new, 9);
         drop(err.new); // reclaim the loser
+                       // SAFETY: `s` is unlinked by the store below; single-threaded test.
         unsafe { guard.defer_destroy(s) };
         a.store(Shared::<u64>::null(), Ordering::Release);
     }
@@ -679,9 +708,11 @@ mod tests {
         let guard = &pin();
         let s = o.into_shared(guard).with_tag(1);
         assert_eq!(s.tag(), 1);
+        // SAFETY: freshly allocated, alive under `guard`.
         assert_eq!(unsafe { *s.deref() }, 5);
         let untagged = s.with_tag(0);
         assert_eq!(untagged.tag(), 0);
+        // SAFETY: sole owner — the allocation was never published.
         drop(unsafe { untagged.into_owned() });
     }
 
@@ -698,6 +729,7 @@ mod tests {
         {
             let guard = &pin();
             let s = a.swap(Shared::null(), Ordering::AcqRel, guard);
+            // SAFETY: the swap unlinked `s`; nobody re-reads it.
             unsafe { guard.defer_destroy(s) };
         }
         // Cycle enough pins to advance the epoch twice and drain.
@@ -717,8 +749,10 @@ mod tests {
             }
         }
         let a: Atomic<Counted> = Atomic::new(Counted);
+        // SAFETY: single-threaded test — exclusive access throughout.
         let guard = unsafe { unprotected() };
         let s = a.swap(Shared::null(), Ordering::AcqRel, guard);
+        // SAFETY: unlinked, and no other thread exists.
         unsafe { guard.defer_destroy(s) };
         assert_eq!(DROPS.load(Ordering::SeqCst), 1);
     }
@@ -737,6 +771,8 @@ mod tests {
                     let guard = &pin();
                     let prev = a.swap(Owned::new(t * 1_000_000 + i), Ordering::AcqRel, guard);
                     if !prev.is_null() {
+                        // SAFETY: the swap made us the sole retirer of
+                        // `prev`; readers are protected by their pins.
                         unsafe { guard.defer_destroy(prev) };
                     }
                 }
@@ -745,8 +781,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // SAFETY: all workers joined — we have exclusive access.
         let guard = unsafe { unprotected() };
         let last = a.swap(Shared::null(), Ordering::AcqRel, guard);
+        // SAFETY: exclusive access after join.
         unsafe { guard.defer_destroy(last) };
     }
 

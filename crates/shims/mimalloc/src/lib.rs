@@ -17,14 +17,17 @@ unsafe impl GlobalAlloc for MiMalloc {
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller's `GlobalAlloc` contract is forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller's `GlobalAlloc` contract is forwarded verbatim.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: caller's `GlobalAlloc` contract is forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -37,6 +40,8 @@ mod tests {
     #[test]
     fn alloc_roundtrip() {
         let layout = Layout::from_size_align(64, 8).unwrap();
+        // SAFETY: matched alloc/dealloc pair with a valid layout; the
+        // write stays within the 64 allocated bytes.
         unsafe {
             let p = MiMalloc.alloc(layout);
             assert!(!p.is_null());

@@ -22,10 +22,14 @@ impl<T> RwLock<T> {
     }
 
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "audit-sched")]
+        jiffy_audit::sched::probe("lock::rwlock-read");
         self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "audit-sched")]
+        jiffy_audit::sched::probe("lock::rwlock-write");
         self.inner.write().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -66,6 +70,8 @@ impl<T> Mutex<T> {
     }
 
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "audit-sched")]
+        jiffy_audit::sched::probe("lock::mutex");
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 

@@ -26,6 +26,18 @@ fn four_shards() -> ShardedJiffy<u64, u64> {
     ShardedJiffy::with_router(Router::range(vec![1000, 2000, 3000]), Default::default())
 }
 
+/// Deliberately leak a map for the `'static` borrows the hand-rolled
+/// resolver needs, registering it in a process-global root so
+/// LeakSanitizer sees it as reachable — the leak is the test design,
+/// not a defect, and the sanitizer CI job must exit 0.
+fn leak_map(map: ShardedJiffy<u64, u64>) -> &'static ShardedJiffy<u64, u64> {
+    static ROOTS: std::sync::Mutex<Vec<&'static ShardedJiffy<u64, u64>>> =
+        std::sync::Mutex::new(Vec::new());
+    let leaked: &'static ShardedJiffy<u64, u64> = Box::leak(Box::new(map));
+    ROOTS.lock().unwrap().push(leaked);
+    leaked
+}
+
 type Shard = jiffy::JiffyMap<u64, u64, jiffy_shard::SharedClock>;
 type StagedSubs = Vec<(usize, Arc<dyn PreparedBatch>)>;
 
@@ -74,7 +86,7 @@ fn stall_mid_prepare(
 fn stalled_prepare_blocks_nothing_and_readers_resolve_it() {
     // Leak the map so the hand-rolled resolver's 'static captures are
     // sound even though they borrow shards (test-only; one map leaked).
-    let map: &'static ShardedJiffy<u64, u64> = Box::leak(Box::new(four_shards()));
+    let map = leak_map(four_shards());
     map.put(10, 1); // shard 0
     map.put(1010, 1); // shard 1
     map.put(2010, 1); // shard 2
@@ -128,7 +140,7 @@ fn stalled_prepare_blocks_nothing_and_readers_resolve_it() {
 
 #[test]
 fn writer_encountering_pending_entry_resolves_it() {
-    let map: &'static ShardedJiffy<u64, u64> = Box::leak(Box::new(four_shards()));
+    let map = leak_map(four_shards());
     map.put(20, 1);
     map.put(1020, 1);
     let ticket = stall_mid_prepare(map, 20, 1020, 55);
