@@ -277,6 +277,19 @@ impl CrossBatchEpoch {
             if s >> 32 == s & Self::COMPLETED_MASK
                 && self.state.compare_exchange(s, next, Ordering::SeqCst, Ordering::SeqCst).is_ok()
             {
+                if spins > 0 {
+                    // Only a *contended* acquisition is trace-worthy:
+                    // another cross-index batch held the epoch and this
+                    // thread had to wait it out. The epoch has no version
+                    // clock of its own, so borrow the recorder's
+                    // high-water stamp to place the event in the trace.
+                    jiffy_obs::trace_event!(
+                        GateQuiesce,
+                        jiffy_obs::stamp_hint(),
+                        (s >> 32).wrapping_add(1),
+                        spins
+                    );
+                }
                 return CrossBatchGuard { epoch: self };
             }
             spins += 1;
@@ -310,6 +323,10 @@ impl CrossBatchEpoch {
         loop {
             let s = self.state.load(Ordering::SeqCst);
             if s >> 32 == s & Self::COMPLETED_MASK {
+                if spins > 0 {
+                    // See `begin`: trace only waits that actually spun.
+                    jiffy_obs::trace_event!(GateQuiesce, jiffy_obs::stamp_hint(), s >> 32, spins);
+                }
                 return s >> 32;
             }
             spins += 1;

@@ -1,0 +1,78 @@
+//! Rendering the merged trace and metrics snapshot — the forensic
+//! artifact every failure path prints.
+//!
+//! The dump format is line-oriented and grep-stable: CI smokes match
+//! [`DUMP_HEADER`], and the golden-trace fixtures match the normalized
+//! event lines (kind + payload shape, stamps elided).
+
+use std::io::{self, Write};
+
+use crate::event::TraceEvent;
+use crate::metrics::ObsSnapshot;
+use crate::recorder;
+
+/// First line of every flight-recorder dump (CI greps for this).
+pub const DUMP_HEADER: &str = "=== jiffy-obs flight recorder (merged, version-ordered) ===";
+
+/// Last line of every flight-recorder dump.
+pub const DUMP_FOOTER: &str = "=== end flight recorder ===";
+
+/// Render one event as a dump line: stamp, recorder thread, per-thread
+/// sequence number, kind, payload words.
+pub fn format_event(e: &TraceEvent) -> String {
+    format!(
+        "  v={:<12} t{}#{:<5} {:<16} a={:#x} b={:#x}",
+        e.stamp, e.thread, e.seq, e.kind, e.a, e.b
+    )
+}
+
+/// Write the merged flight-recorder tail (the newest `tail` events of
+/// the globally ordered trace) plus the metrics snapshot to `w`.
+pub fn write_dump<W: Write>(w: &mut W, tail: usize) -> io::Result<()> {
+    let trace = recorder::merged_trace();
+    let rings = recorder::rings();
+    writeln!(w, "{DUMP_HEADER}")?;
+    let names: Vec<String> = rings
+        .iter()
+        .map(|r| format!("t{}={:?}({} ev)", r.thread_id(), r.thread_name(), r.recorded()))
+        .collect();
+    writeln!(w, "threads: {} [{}]", rings.len(), names.join(", "))?;
+    let skip = trace.len().saturating_sub(tail);
+    if skip > 0 {
+        writeln!(w, "... {skip} older events elided ...")?;
+    }
+    for e in &trace[skip..] {
+        writeln!(w, "{}", format_event(e))?;
+    }
+    let snap = ObsSnapshot::capture();
+    writeln!(w, "--- metrics snapshot ---")?;
+    writeln!(w, "  events recorded: {} across {} threads", snap.total_events, snap.threads)?;
+    for (kind, n) in &snap.event_counts {
+        writeln!(w, "  {kind:<16} {n}")?;
+    }
+    writeln!(w, "{DUMP_FOOTER}")
+}
+
+/// The dump as a `String` (fixture generation, tests).
+pub fn dump_string(tail: usize) -> String {
+    let mut buf = Vec::new();
+    // Writing to a Vec cannot fail.
+    let _ = write_dump(&mut buf, tail);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// Print the dump to stderr — the one call every failure path makes.
+/// Never panics (a dump inside a panic handler must not double-panic).
+pub fn dump_to_stderr(tail: usize) {
+    let _ = write_dump(&mut io::stderr().lock(), tail);
+}
+
+/// Failure-path entry point: announce `context` (which tripwire or
+/// harness is dumping, and why) and print the merged tail. Called by
+/// the livelock tripwires and the mkbench panic harness *before* the
+/// panic propagates, so the trace reaches the log even if the process
+/// aborts.
+pub fn dump_on_failure(context: &str, tail: usize) {
+    eprintln!("jiffy-obs: dumping flight recorder [{context}]");
+    dump_to_stderr(tail);
+}

@@ -1,0 +1,156 @@
+//! The measurement-window protocol shared by every counter layer.
+//!
+//! The mkbench runner measures a steady-state window: warmup runs,
+//! the coordinator opens the window, sleeps, closes it, and only ops
+//! inside the window count. Thread-local counters (`jiffy`'s
+//! `perf_count!` op-cost layer, the recorder's per-kind tallies) must
+//! be *fenced at the window edges* on each worker thread, or the
+//! aggregate silently includes warmup. That edge-detection used to be
+//! private to the runner; it lives here so the op-cost layer and the
+//! metrics registry reset on one protocol, and so any future harness
+//! (server soak tests, replication drivers) can reuse it.
+//!
+//! * [`WindowGate`] — the coordinator's flag (open / close).
+//! * [`WindowEdge`] — a worker's per-thread edge detector: call
+//!   [`observe`](WindowEdge::observe) once per iteration; a returned
+//!   crossing is the moment to reset (on open) or flush (on close) any
+//!   thread-local counters. [`finish`](WindowEdge::finish) closes out
+//!   a window the stop signal outran.
+//! * [`CounterWindow`] — the registry-side window: a baseline of the
+//!   cross-thread event totals, subtracted on demand.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::event::KIND_COUNT;
+use crate::metrics::event_totals;
+
+/// The coordinator's measurement-window flag. Workers poll it through
+/// [`WindowEdge`]; plain Relaxed flag traffic, same as the runner's
+/// historical `recording` bool — the window boundary is intentionally
+/// fuzzy by a scheduling quantum, and the throughput snapshot is taken
+/// from the shared counters, not from this flag.
+#[derive(Debug, Default)]
+pub struct WindowGate {
+    open: AtomicBool,
+}
+
+impl WindowGate {
+    /// A closed gate.
+    pub const fn new() -> WindowGate {
+        WindowGate { open: AtomicBool::new(false) }
+    }
+
+    /// Open the measurement window.
+    pub fn open(&self) {
+        self.open.store(true, Ordering::Relaxed);
+    }
+
+    /// Close the measurement window.
+    pub fn close(&self) {
+        self.open.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the window is currently open.
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Relaxed)
+    }
+}
+
+/// Which way the gate just flipped, as seen by one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowCrossing {
+    /// The window just opened: reset thread-local counters now.
+    Opened,
+    /// The window just closed: flush thread-local deltas now.
+    Closed,
+}
+
+/// Per-worker edge detector over a [`WindowGate`].
+#[derive(Debug, Default)]
+pub struct WindowEdge {
+    was: bool,
+}
+
+impl WindowEdge {
+    /// A detector that has not yet seen an open window.
+    pub fn new() -> WindowEdge {
+        WindowEdge { was: false }
+    }
+
+    /// Poll the gate; `Some(crossing)` exactly when the observed state
+    /// differs from the last poll.
+    #[inline]
+    pub fn observe(&mut self, gate: &WindowGate) -> Option<WindowCrossing> {
+        let now = gate.is_open();
+        if now == self.was {
+            return None;
+        }
+        self.was = now;
+        Some(if now { WindowCrossing::Opened } else { WindowCrossing::Closed })
+    }
+
+    /// The gate state as of the last [`observe`](WindowEdge::observe)
+    /// (no atomic traffic; suitable for per-op sampling decisions).
+    #[inline]
+    pub fn in_window(&self) -> bool {
+        self.was
+    }
+
+    /// Close out at loop exit. The stop signal can outrun the gate
+    /// closing; returns `true` if a window was still open — the caller
+    /// must flush its thread-local deltas one last time.
+    pub fn finish(&mut self) -> bool {
+        std::mem::take(&mut self.was)
+    }
+}
+
+/// A registry-side measurement window: baseline the cross-thread event
+/// totals at open, subtract at close.
+#[derive(Debug, Clone)]
+pub struct CounterWindow {
+    base: [u64; KIND_COUNT],
+}
+
+impl CounterWindow {
+    /// Baseline the current totals (call when the window opens).
+    pub fn mark() -> CounterWindow {
+        CounterWindow { base: event_totals() }
+    }
+
+    /// Per-kind events recorded since [`mark`](CounterWindow::mark),
+    /// indexed by `EventKind` discriminant. Saturating: a kind cannot
+    /// go backwards, but guard anyway.
+    pub fn delta(&self) -> [u64; KIND_COUNT] {
+        let now = event_totals();
+        std::array::from_fn(|k| now[k].saturating_sub(self.base[k]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_detects_open_close_and_finish() {
+        let gate = WindowGate::new();
+        let mut edge = WindowEdge::new();
+        assert_eq!(edge.observe(&gate), None);
+        assert!(!edge.in_window());
+
+        gate.open();
+        assert_eq!(edge.observe(&gate), Some(WindowCrossing::Opened));
+        assert_eq!(edge.observe(&gate), None);
+        assert!(edge.in_window());
+
+        gate.close();
+        assert_eq!(edge.observe(&gate), Some(WindowCrossing::Closed));
+        assert_eq!(edge.observe(&gate), None);
+        assert!(!edge.in_window());
+
+        // Stop outruns the close: finish() reports the open window once.
+        gate.open();
+        assert_eq!(edge.observe(&gate), Some(WindowCrossing::Opened));
+        assert!(edge.finish());
+        assert!(!edge.finish(), "finish must be idempotent");
+    }
+}

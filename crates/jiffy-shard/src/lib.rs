@@ -384,6 +384,36 @@ where
             .collect()
     }
 
+    /// [`debug_stats`](ShardedIndex::debug_stats) folded into the shared
+    /// observability gauge type — one [`jiffy_obs::ShardObs`] per shard
+    /// plus whole-index aggregates — ready for
+    /// [`jiffy_obs::ObsSnapshot::add_structure`].
+    pub fn obs_stats(&self) -> jiffy_obs::StructureStats {
+        let mut out =
+            jiffy_obs::StructureStats { label: self.label.to_string(), ..Default::default() };
+        for load in self.debug_stats() {
+            let mut shard = jiffy_obs::ShardObs {
+                reads: load.reads,
+                updates: load.updates,
+                ..Default::default()
+            };
+            if let Some(r) = load.revisions {
+                shard.nodes = r.nodes;
+                shard.entries = r.entries;
+                shard.mean_revision_size = r.mean_revision_size();
+                shard.max_revision_depth = r.max_revision_depth;
+                out.nodes += r.nodes;
+                out.entries += r.entries;
+                out.max_revision_depth = out.max_revision_depth.max(r.max_revision_depth);
+            }
+            out.shards.push(shard);
+        }
+        if out.nodes > 0 {
+            out.mean_revision_size = out.entries as f64 / out.nodes as f64;
+        }
+        out
+    }
+
     /// Pin a consistent cut: one view per shard, all advanced to a single
     /// version from the shared clock.
     ///

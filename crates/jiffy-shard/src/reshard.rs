@@ -96,7 +96,7 @@ use crossbeam_epoch::{self as ebr, Atomic, Owned, Shared};
 use crossbeam_utils::CachePadded;
 use index_api::{Batch, BatchOp, BulkLoad, OrderedIndex};
 use jiffy::{JiffyConfig, JiffyMap, MapKey, MapValue};
-use jiffy_clock::DefaultClock;
+use jiffy_clock::{DefaultClock, VersionClock};
 
 use crate::{Router, ShardLoad, ShardedIndex, SharedClock};
 
@@ -220,6 +220,12 @@ impl WriterGate {
             let completed = self.completed.load(Ordering::SeqCst);
             between_loads();
             if completed >= self.started.load(Ordering::SeqCst) {
+                // Contended waits only (the common no-writer pass stays
+                // event-free); the gate has no version clock, so the
+                // stamp is the recorder's borrowed high-water mark.
+                if spins > 0 {
+                    jiffy_obs::trace_event!(GateQuiesce, jiffy_obs::stamp_hint(), completed, spins);
+                }
                 return;
             }
             spins += 1;
@@ -405,6 +411,13 @@ impl<K: MapKey, V: MapValue + PartialEq> ElasticJiffy<K, V> {
         self.current(guard).layout.debug_stats()
     }
 
+    /// The committed layout's gauges folded into the shared observability
+    /// type; see [`ShardedIndex::obs_stats`].
+    pub fn obs_stats(&self) -> jiffy_obs::StructureStats {
+        let guard = &ebr::pin();
+        self.current(guard).layout.obs_stats()
+    }
+
     /// Split the shard owning `at` into `[lo, at)` and `[at, hi)`,
     /// migrating online: snapshot-copy, pending epoch, delta drain
     /// through the two-phase batch path, single-CAS cutover. Returns
@@ -529,6 +542,7 @@ impl<K: MapKey, V: MapValue + PartialEq> ElasticJiffy<K, V> {
                 return Err(ReshardError::MigrationInFlight);
             }
             let migration = build(self, &epoch.layout, Arc::clone(&epoch.gate))?;
+            let (from_shards, to_shards) = (epoch.layout.shard_count(), migration.to.shard_count());
             let next = Owned::new(RouterEpoch {
                 layout: Arc::clone(&epoch.layout),
                 migration: Some(Arc::new(migration)),
@@ -544,6 +558,7 @@ impl<K: MapKey, V: MapValue + PartialEq> ElasticJiffy<K, V> {
                 guard,
             ) {
                 Ok(_) => {
+                    jiffy_obs::trace_event!(ReshardStage, self.clock.now(), from_shards, to_shards);
                     // SAFETY: `shared` was just unlinked by the CAS and is
                     // unreachable to new loads; EBR delays the free past
                     // every pinned reader.
@@ -583,6 +598,12 @@ impl<K: MapKey, V: MapValue + PartialEq> ElasticJiffy<K, V> {
         // visible re-validate, then either help first or touch only
         // shards shared into the new layout — see the module docs.
         mig.prev_gate.await_quiescence();
+        jiffy_obs::trace_event!(
+            GateQuiesce,
+            self.clock.now(),
+            mig.prev_gate.completed.load(Ordering::SeqCst),
+            mig.sources.len()
+        );
         // Drain exactly once. The latch also orders every drain strictly
         // before the commit CAS below (a helper only reaches the CAS
         // after observing `drained == true` or setting it), so no stale
@@ -590,8 +611,14 @@ impl<K: MapKey, V: MapValue + PartialEq> ElasticJiffy<K, V> {
         {
             let mut drained = mig.drained.lock().unwrap_or_else(PoisonError::into_inner);
             if !*drained {
-                Self::drain(mig);
+                let delta_ops = Self::drain(mig);
                 *drained = true;
+                jiffy_obs::trace_event!(
+                    ReshardDrain,
+                    self.clock.now(),
+                    delta_ops,
+                    mig.sources.len()
+                );
             }
         }
         // Commit: pending -> steady on the new layout. One winner; a
@@ -609,6 +636,12 @@ impl<K: MapKey, V: MapValue + PartialEq> ElasticJiffy<K, V> {
             .compare_exchange(observed, next, Ordering::SeqCst, Ordering::SeqCst, guard)
             .is_ok()
         {
+            jiffy_obs::trace_event!(
+                ReshardCutover,
+                self.clock.now(),
+                mig.to.shard_count(),
+                mig.targets.len()
+            );
             // SAFETY: as in `stage` — unlinked by the CAS, EBR-deferred.
             unsafe { guard.defer_destroy(observed) };
         }
@@ -617,8 +650,8 @@ impl<K: MapKey, V: MapValue + PartialEq> ElasticJiffy<K, V> {
     /// Compute and apply the migration delta: whatever changed on the
     /// source shards after the cut copy. Runs exactly once, under the
     /// drain latch, after write quiescence — so the sources are frozen
-    /// and the diff is exact.
-    fn drain(mig: &Migration<K, V>) {
+    /// and the diff is exact. Returns the number of delta ops applied.
+    fn drain(mig: &Migration<K, V>) -> usize {
         let export = |shards: &[Shard<K, V>]| {
             let mut entries: Vec<(K, V)> = Vec::new();
             for shard in shards {
@@ -634,12 +667,14 @@ impl<K: MapKey, V: MapValue + PartialEq> ElasticJiffy<K, V> {
         let source = export(&mig.sources); // post-cut truth (now frozen)
         let copied = export(&mig.targets); // the cut-version copy
         let delta = diff_to_batch(source, copied);
+        let delta_ops = delta.len();
         if !delta.is_empty() {
             // The delta of a split spans both target shards: this is the
             // two-phase cross-shard batch path, so the (still invisible)
             // targets flip to the drained state atomically.
             mig.to.batch_update(Batch::new(delta));
         }
+        delta_ops
     }
 
     /// Run `apply` against a routing epoch with no migration covering
@@ -1247,6 +1282,35 @@ mod tests {
         waiter.join().unwrap();
         assert!(done.load(Ordering::SeqCst));
         assert!(jiffy_audit::sched::hits("gate::between_loads") >= 2);
+
+        // Golden flight-recorder trace: the waiter declared quiescence
+        // only after looping (spins recorded in payload b), and the
+        // replay's kind set matches the checked-in fixture.
+        let golden: Vec<String> = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/gate_quiesce_race.golden"
+        ))
+        .expect("golden fixture")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+        let trace = jiffy_obs::merged_trace();
+        let mut kinds: Vec<&str> = trace
+            .iter()
+            .filter(|e| e.kind == jiffy_obs::EventKind::GateQuiesce)
+            .map(|e| e.kind.name())
+            .collect();
+        kinds.dedup();
+        assert_eq!(kinds, golden, "gate-quiescence kind set diverged from the golden trace");
+        assert!(
+            trace
+                .iter()
+                .any(|e| e.kind == jiffy_obs::EventKind::GateQuiesce && e.a == 2 && e.b >= 2),
+            "no contended quiescence event recorded for the replayed wait \
+             (completed = 2 writers, spins >= 2)"
+        );
     }
 
     #[test]

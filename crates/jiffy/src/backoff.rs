@@ -53,6 +53,12 @@ impl HelpBackoff {
                     return false;
                 }
                 self.step += 1;
+                jiffy_obs::trace_event!(
+                    verbose: BackoffRamp,
+                    jiffy_obs::stamp_hint(),
+                    rival,
+                    progress
+                );
             }
             _ => {
                 // New rival, or the owner advanced since we last looked:

@@ -50,6 +50,17 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
     /// return the descriptor's version is final, which is what every
     /// pending-head encounter needs to make progress.
     pub(crate) fn help_batch_fully(&self, desc: &Arc<BatchDescriptor<K, V>>) {
+        if desc.is_two_phase() && !desc.is_finalized() {
+            // A helper (not the initiator) is about to resolve someone
+            // else's cross-index batch — the §3.3.3 progress property
+            // in action, and the first thing to look for in a trace of
+            // a stuck two-phase commit.
+            jiffy_obs::trace_event!(
+                TwoPhaseHelp,
+                desc.version_cell().load().unsigned_abs(),
+                Arc::as_ptr(desc) as usize
+            );
+        }
         self.help_batch(desc);
         desc.resolve_external();
     }
@@ -72,6 +83,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             {
                 spins += 1;
                 if spins > 30_000_000 {
+                    jiffy_obs::dump_on_failure("help_batch livelock tripwire", 64);
                     panic!(
                         "help_batch livelock: progress {}/{} two_phase={} finalized={}",
                         desc.progress(),

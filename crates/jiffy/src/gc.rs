@@ -51,7 +51,10 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             if depth > 8 && !refreshed {
                 refreshed = true;
                 let fresh = self.snapshots.min_version(&self.clock);
-                self.cached_min.fetch_max(fresh, Ordering::AcqRel);
+                let prev = self.cached_min.fetch_max(fresh, Ordering::AcqRel);
+                if fresh > prev {
+                    jiffy_obs::trace_event!(GcFloorAdvance, fresh, prev as u64, fresh as u64);
+                }
                 min = self.gc_floor();
                 if v >= 0 && v <= min {
                     break rev;

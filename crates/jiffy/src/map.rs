@@ -177,6 +177,21 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyMap<K, V, C> {
             max_revision_depth: depth_max,
         }
     }
+
+    /// [`debug_stats`](JiffyMap::debug_stats) folded into the shared
+    /// observability gauge type, ready for
+    /// [`jiffy_obs::ObsSnapshot::add_structure`].
+    pub fn obs_stats(&self, label: &str) -> jiffy_obs::StructureStats {
+        let s = self.debug_stats();
+        jiffy_obs::StructureStats {
+            label: label.to_string(),
+            nodes: s.nodes as u64,
+            entries: s.entries as u64,
+            mean_revision_size: s.mean_revision_size,
+            max_revision_depth: s.max_revision_depth as u64,
+            shards: Vec::new(),
+        }
+    }
 }
 
 /// Structural statistics returned by [`JiffyMap::debug_stats`].

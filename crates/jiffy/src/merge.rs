@@ -55,6 +55,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             {
                 spins += 1;
                 if spins > 30_000_000 {
+                    jiffy_obs::dump_on_failure("help_merge_terminator livelock tripwire", 64);
                     panic!("help_merge_terminator livelock: mterm_ver={}", mterm.version());
                 }
             }
@@ -123,13 +124,24 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                     // visible.
                     if !pmi.completed.load(Ordering::Acquire) {
                         // Ours, installer stalled before adopting: adopt.
-                        let _ = ti.merge_rev.compare_exchange(
-                            Shared::null(),
-                            phead_s,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                            guard,
-                        );
+                        if ti
+                            .merge_rev
+                            .compare_exchange(
+                                Shared::null(),
+                                phead_s,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                                guard,
+                            )
+                            .is_ok()
+                        {
+                            jiffy_obs::trace_event!(
+                                MergeAdopt,
+                                mterm.version().unsigned_abs(),
+                                phead_s.as_raw() as usize,
+                                mterm_s.as_raw() as usize
+                            );
+                        }
                         mr_s = ti.merge_rev.load(Ordering::Acquire, guard);
                         continue;
                     }
@@ -230,13 +242,30 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
                 guard,
             ) {
                 Ok(published) => {
-                    let _ = ti.merge_rev.compare_exchange(
-                        Shared::null(),
-                        published,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                        guard,
+                    jiffy_obs::trace_event!(
+                        MergeBuild,
+                        mterm.version().unsigned_abs(),
+                        published.as_raw() as usize,
+                        mterm_s.as_raw() as usize
                     );
+                    if ti
+                        .merge_rev
+                        .compare_exchange(
+                            Shared::null(),
+                            published,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                            guard,
+                        )
+                        .is_ok()
+                    {
+                        jiffy_obs::trace_event!(
+                            MergeAdopt,
+                            mterm.version().unsigned_abs(),
+                            published.as_raw() as usize,
+                            mterm_s.as_raw() as usize
+                        );
+                    }
                     // Entry accounting: union minus both sources.
                     // SAFETY: non-null and reached under the enclosing pin guard;
                     // EBR defers reclamation of epoch-reachable nodes until unpin.
@@ -284,13 +313,18 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         let ti = mterm.as_terminator().expect("merge revision references its terminator");
         // Adopt (no-op if already adopted; a different adopted revision is
         // impossible because installation is serialized on pred.head).
-        let _ = ti.merge_rev.compare_exchange(
-            Shared::null(),
-            mr_s,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-            guard,
-        );
+        if ti
+            .merge_rev
+            .compare_exchange(Shared::null(), mr_s, Ordering::AcqRel, Ordering::Acquire, guard)
+            .is_ok()
+        {
+            jiffy_obs::trace_event!(
+                MergeAdopt,
+                mterm.version().unsigned_abs(),
+                mr_s.as_raw() as usize,
+                mterm_s.as_raw() as usize
+            );
+        }
         debug_assert_eq!(ti.merge_rev.load(Ordering::Acquire, guard), mr_s);
 
         let o_s = mi.right_node.load(Ordering::Acquire, guard);
@@ -308,6 +342,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             {
                 spins += 1;
                 if spins > 30_000_000 {
+                    jiffy_obs::dump_on_failure("complete_merge unlink livelock tripwire", 64);
                     panic!("complete_merge unlink livelock");
                 }
             }
@@ -331,7 +366,19 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         // predates the defer" argument sound (Release pairs with the
         // gate's Acquire so a `true` reader also sees the unlink done).
         mi.completed.store(true, Ordering::Release);
+        jiffy_obs::trace_event!(
+            MergeComplete,
+            mr.version().unsigned_abs(),
+            mr_s.as_raw() as usize,
+            o_s.as_raw() as usize
+        );
         if self.claim_merge_cleanup(ti) {
+            jiffy_obs::trace_event!(
+                MergeCleanup,
+                mr.version().unsigned_abs(),
+                o_s.as_raw() as usize,
+                mterm_s.as_raw() as usize
+            );
             // SAFETY: one-shot cleanup — exactly one helper wins the
             // claim CAS, and each has itself verified the node is fully
             // unlinked, so no new reader can reach the shell or the

@@ -41,6 +41,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             {
                 spins += 1;
                 if spins > 30_000_000 {
+                    jiffy_obs::dump_on_failure("locate_for_update livelock tripwire", 64);
                     panic!("locate_for_update livelock");
                 }
             }
@@ -414,7 +415,17 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             Ordering::Acquire,
             guard,
         ) {
-            Ok(published) => Some(published),
+            Ok(published) => {
+                // SAFETY: just published under the enclosing pin guard.
+                let lsr_v = unsafe { published.deref() }.version();
+                jiffy_obs::trace_event!(
+                    SplitBuild,
+                    lsr_v.unsigned_abs(),
+                    published.as_raw() as usize,
+                    node_s.as_raw() as usize
+                );
+                Some(published)
+            }
             Err(e) => {
                 drop(e.new);
                 // SAFETY: the CAS failed, so `rsr` was never published —

@@ -144,7 +144,14 @@ impl SnapRegistry {
             }
             cur = slot.next;
         }
-        min.map_or(pre_walk, |m| m.min(pre_walk))
+        let floor = min.map_or(pre_walk, |m| m.min(pre_walk));
+        if let Some(m) = min {
+            // Trace only walks that saw a live snapshot (the idle path
+            // stays event-free): `b = 1` means the pre-walk cap bound
+            // the floor — the exact outcome the §3.3.4 race is about.
+            jiffy_obs::trace_event!(GcFloorAdvance, floor, m as u64, (m >= pre_walk) as u64);
+        }
+        floor
     }
 
     /// Number of slots ever allocated (for tests/telemetry).
@@ -322,6 +329,33 @@ mod tests {
                 "GC floor {floor} passed the racing registration at {version}"
             );
             slot.release();
+
+            // Golden flight-recorder trace: the walk saw the racing
+            // registration and recorded a cap-bound floor (b = 1).
+            let golden: Vec<String> = std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/tests/fixtures/floor_walk_race.golden"
+            ))
+            .expect("golden fixture")
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect();
+            let trace = jiffy_obs::merged_trace();
+            let mut kinds: Vec<&str> = trace
+                .iter()
+                .filter(|e| e.kind == jiffy_obs::EventKind::GcFloorAdvance)
+                .map(|e| e.kind.name())
+                .collect();
+            kinds.dedup();
+            assert_eq!(kinds, golden, "floor-walk kind set diverged from the golden trace");
+            assert!(
+                trace.iter().any(|e| e.kind == jiffy_obs::EventKind::GcFloorAdvance
+                    && e.stamp == floor
+                    && e.b == 1),
+                "no cap-bound floor event recorded for the replayed walk"
+            );
         });
     }
 

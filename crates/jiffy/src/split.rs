@@ -57,6 +57,7 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             {
                 spins += 1;
                 if spins > 30_000_000 {
+                    jiffy_obs::dump_on_failure("help_split livelock tripwire", 64);
                     panic!("help_split livelock: lsr_ver={}", lsr.version());
                 }
             }
@@ -135,6 +136,14 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
             guard,
         ) {
             Ok(temp_s) => {
+                // SAFETY: non-null and reached under the enclosing pin guard.
+                let lsr_v = unsafe { lsr_s.deref() }.version();
+                jiffy_obs::trace_event!(
+                    SplitTemp,
+                    lsr_v.unsigned_abs(),
+                    temp_s.as_raw() as usize,
+                    node_s.as_raw() as usize
+                );
                 // Drive it straight to the real node.
                 self.help_temp_split_node(node_s, temp_s, guard);
             }
@@ -196,6 +205,12 @@ impl<K: MapKey, V: MapValue, C: VersionClock> JiffyInner<K, V, C> {
         match origin_n.next.compare_exchange(temp_s, o, Ordering::AcqRel, Ordering::Acquire, guard)
         {
             Ok(o_s) => {
+                jiffy_obs::trace_event!(
+                    SplitPublish,
+                    lsr_r.version().unsigned_abs(),
+                    o_s.as_raw() as usize,
+                    temp_s.as_raw() as usize
+                );
                 // SAFETY: unlinked from the structure above, so no new reader
                 // can reach it; already-pinned readers hold it until they unpin.
                 unsafe { guard.defer_destroy(temp_s) };

@@ -98,10 +98,12 @@ fn ticket_of(pending: &dyn PendingVersion) -> &TwoPhaseTicket {
 
 impl<K: MapKey, V: MapValue, C: VersionClock> TwoPhaseBatch<K, V> for JiffyMap<K, V, C> {
     fn pending_version(&self) -> Arc<dyn PendingVersion> {
-        Arc::new(TwoPhaseTicket {
-            cell: Arc::new(VersionCell::with_value(optimistic_version(&self.inner.clock))),
-            aborted: AtomicBool::new(false),
-        })
+        let v = optimistic_version(&self.inner.clock);
+        let cell = Arc::new(VersionCell::with_value(v));
+        // Pending versions are negative; the recorder stamps with the
+        // magnitude so the event sorts where the clock draw happened.
+        jiffy_obs::trace_event!(TwoPhasePrepare, v.unsigned_abs(), Arc::as_ptr(&cell) as usize);
+        Arc::new(TwoPhaseTicket { cell, aborted: AtomicBool::new(false) })
     }
 
     fn prepare_batch(
@@ -133,6 +135,12 @@ impl<K: MapKey, V: MapValue, C: VersionClock> TwoPhaseBatch<K, V> for JiffyMap<K
         if prepared.desc.len() == 0 {
             return;
         }
+        jiffy_obs::trace_event!(
+            TwoPhaseInstall,
+            prepared.desc.version_cell().load().unsigned_abs(),
+            Arc::as_ptr(&prepared.desc) as usize,
+            prepared.desc.len()
+        );
         self.inner.help_batch(&prepared.desc);
         self.inner.bump_update_tick();
     }
@@ -143,15 +151,23 @@ impl<K: MapKey, V: MapValue, C: VersionClock> TwoPhaseBatch<K, V> for JiffyMap<K
             !ticket.aborted.load(Ordering::Acquire),
             "an aborted ticket must never be committed"
         );
-        finalize_cell(&self.inner.clock, ticket.cell())
+        let v = finalize_cell(&self.inner.clock, ticket.cell());
+        jiffy_obs::trace_event!(TwoPhaseCommit, v, Arc::as_ptr(ticket.cell()) as usize);
+        v
     }
 
     fn abort_pending(&self, pending: &dyn PendingVersion) -> bool {
         let ticket = ticket_of(pending);
-        if ticket.cell.load() >= 0 {
+        let v = ticket.cell.load();
+        if v >= 0 {
             return false;
         }
         ticket.aborted.store(true, Ordering::Release);
+        jiffy_obs::trace_event!(
+            TwoPhaseAbort,
+            v.unsigned_abs(),
+            Arc::as_ptr(&ticket.cell) as usize
+        );
         true
     }
 }

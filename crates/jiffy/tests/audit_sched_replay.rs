@@ -82,4 +82,42 @@ fn merge_adopt_recheck_probe_replays_the_duplicate_merge_revision_race() {
     let mut live = Vec::new();
     map.scan_from(&0, usize::MAX, &mut |k, v| live.push((*k, *v)));
     assert!(live.is_empty(), "scan found resurrected entries: {live:?}");
+
+    // Golden flight-recorder trace. The contested (first) merge's
+    // lifecycle, read off the merged, version-ordered trace, must match
+    // the checked-in fixture — in particular exactly one MergeAdopt:
+    // the released helper's re-check adopting a second revision at the
+    // same version IS the historical bug.
+    let golden =
+        read_golden(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/merge_adopt_race.golden"));
+    let trace = jiffy_obs::merged_trace();
+    assert!(
+        trace
+            .windows(2)
+            .all(|w| (w[0].stamp, w[0].thread, w[0].seq) <= (w[1].stamp, w[1].thread, w[1].seq)),
+        "merged trace must be totally ordered by (stamp, thread, seq)"
+    );
+    let merges: Vec<&jiffy_obs::TraceEvent> =
+        trace.iter().filter(|e| e.kind.name().starts_with("Merge")).collect();
+    assert!(!merges.is_empty(), "the replay must record merge lifecycle events");
+    // Build/Adopt carry the terminator's version, Complete/Cleanup the
+    // merge revision's (later) one, so one merge's lifecycle is four
+    // contiguous events in version order; the contested merge is the
+    // first. The payload links agree: Build/Adopt/Complete share the
+    // merge-revision pointer in `a`.
+    let lifecycle: Vec<&str> = merges.iter().take(4).map(|e| e.kind.name()).collect();
+    assert_eq!(lifecycle, golden, "contested-merge lifecycle diverged from the golden trace");
+    assert_eq!(merges[0].a, merges[1].a, "Build and Adopt must share the merge revision");
+    assert_eq!(merges[1].a, merges[2].a, "Adopt and Complete must share the merge revision");
+}
+
+/// Fixture lines, comments and blanks stripped.
+fn read_golden(path: &str) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("golden fixture {path}: {e}"))
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
 }

@@ -1,212 +1,9 @@
-//! Hand-rolled log-bucketed latency histogram (the container vendors no
-//! crates.io, so no `hdrhistogram`).
+//! Log-bucketed latency histogram, re-exported from `jiffy-obs`.
 //!
-//! Values (nanoseconds) are bucketed with 8 sub-buckets per power of two:
-//! relative quantile error is bounded by one sub-bucket width, i.e.
-//! ≤ 12.5 % of the value — plenty for p50/p95/p99 tails that span orders
-//! of magnitude. Values `< 8` get exact unit buckets. 64-bit range needs
-//! `8 + 61 * 8 = 496` buckets ≈ 4 KB per histogram, cheap enough to keep
-//! one per (thread, role) and merge at the end of a run.
+//! The histogram was born here and lifted into `jiffy-obs` so that every
+//! subsystem (not just the benchmark harness) can feed latency
+//! distributions into an `ObsSnapshot`. The type and its tests live in
+//! `jiffy_obs::hist`; this module keeps the historical `mkbench::hist`
+//! path working unchanged.
 
-/// Sub-buckets per octave (8 → ≤ 12.5 % relative error).
-const SUB: u64 = 8;
-const SUB_BITS: u32 = 3;
-/// Linear region `[0, SUB)` + 8 sub-buckets per octave for msb 3..=63.
-const BUCKETS: usize = (SUB + (64 - SUB_BITS as u64) * SUB) as usize;
-
-/// A mergeable log-bucketed histogram of `u64` samples (nanoseconds by
-/// convention in this crate).
-#[derive(Clone)]
-pub struct LogHistogram {
-    counts: Box<[u64; BUCKETS]>,
-    count: u64,
-    max: u64,
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LogHistogram {
-    pub fn new() -> Self {
-        LogHistogram { counts: Box::new([0; BUCKETS]), count: 0, max: 0 }
-    }
-
-    #[inline]
-    fn bucket_index(v: u64) -> usize {
-        if v < SUB {
-            return v as usize;
-        }
-        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
-        let sub = (v >> (msb - SUB_BITS)) & (SUB - 1);
-        (SUB + (msb - SUB_BITS) as u64 * SUB + sub) as usize
-    }
-
-    /// Lower bound of the value range bucket `idx` covers.
-    fn bucket_low(idx: usize) -> u64 {
-        let idx = idx as u64;
-        if idx < SUB {
-            return idx;
-        }
-        let octave = (idx - SUB) / SUB + SUB_BITS as u64;
-        let sub = (idx - SUB) % SUB;
-        (1u64 << octave) + sub * (1u64 << (octave - SUB_BITS as u64))
-    }
-
-    /// Representative value for bucket `idx` (midpoint, to halve the
-    /// systematic low bias of reporting bucket floors).
-    fn bucket_mid(idx: usize) -> u64 {
-        let lo = Self::bucket_low(idx);
-        if (idx as u64) < SUB {
-            return lo;
-        }
-        let octave = (idx as u64 - SUB) / SUB + SUB_BITS as u64;
-        lo + (1u64 << (octave - SUB_BITS as u64)) / 2
-    }
-
-    #[inline]
-    pub fn record(&mut self, v: u64) {
-        self.counts[Self::bucket_index(v)] += 1;
-        self.count += 1;
-        self.max = self.max.max(v);
-    }
-
-    pub fn merge(&mut self, other: &LogHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.max = self.max.max(other.max);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Exact maximum recorded value (tracked outside the buckets).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Value at percentile `p` in `[0, 100]` (bucket-midpoint resolution,
-    /// capped at the exact max). Returns 0 on an empty histogram.
-    pub fn percentile(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Self::bucket_mid(idx).min(self.max);
-            }
-        }
-        self.max
-    }
-}
-
-impl std::fmt::Debug for LogHistogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LogHistogram")
-            .field("count", &self.count)
-            .field("max", &self.max)
-            .field("p50", &self.percentile(50.0))
-            .field("p99", &self.percentile(99.0))
-            .finish()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn bucket_index_monotone_and_in_range() {
-        let mut last = 0usize;
-        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
-            let idx = LogHistogram::bucket_index(v);
-            assert!(idx < BUCKETS, "v={v}: idx {idx}");
-            assert!(idx >= last, "bucket index must be monotone in v (v={v})");
-            last = idx;
-            // The bucket's floor must not exceed the value it holds.
-            assert!(LogHistogram::bucket_low(idx) <= v, "v={v} idx={idx}");
-        }
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = LogHistogram::new();
-        for v in 0..8u64 {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 8);
-        assert_eq!(h.percentile(1.0), 0);
-        assert_eq!(h.percentile(100.0), 7);
-    }
-
-    #[test]
-    fn percentiles_within_bucket_error() {
-        // Uniform ramp 1..=100_000 ns: p50 ≈ 50_000, p99 ≈ 99_000, with
-        // ≤ 12.5 % log-bucket error.
-        let mut h = LogHistogram::new();
-        for v in 1..=100_000u64 {
-            h.record(v);
-        }
-        for (p, want) in [(50.0, 50_000.0), (95.0, 95_000.0), (99.0, 99_000.0)] {
-            let got = h.percentile(p) as f64;
-            let err = (got - want).abs() / want;
-            assert!(err < 0.125, "p{p}: got {got}, want ~{want} (err {err:.3})");
-        }
-        assert_eq!(h.max(), 100_000);
-        assert_eq!(h.percentile(100.0), 100_000);
-    }
-
-    #[test]
-    fn merge_equals_combined_recording() {
-        let mut a = LogHistogram::new();
-        let mut b = LogHistogram::new();
-        let mut whole = LogHistogram::new();
-        for v in 0..10_000u64 {
-            let sample = v.wrapping_mul(0x9E3779B97F4A7C15) >> 40;
-            if v % 2 == 0 {
-                a.record(sample);
-            } else {
-                b.record(sample);
-            }
-            whole.record(sample);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), whole.count());
-        assert_eq!(a.max(), whole.max());
-        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
-            assert_eq!(a.percentile(p), whole.percentile(p), "p{p}");
-        }
-    }
-
-    #[test]
-    fn empty_histogram() {
-        let h = LogHistogram::new();
-        assert!(h.is_empty());
-        assert_eq!(h.percentile(50.0), 0);
-        assert_eq!(h.max(), 0);
-    }
-
-    #[test]
-    fn skewed_distribution_tail() {
-        // 99 % fast ops at ~100 ns, 1 % slow at ~1 ms: p50 must sit near
-        // the fast mode, p99.5 near the slow one.
-        let mut h = LogHistogram::new();
-        for i in 0..10_000u64 {
-            h.record(if i % 100 == 0 { 1_000_000 } else { 100 });
-        }
-        assert!(h.percentile(50.0) < 200, "{h:?}");
-        assert!(h.percentile(99.5) > 500_000, "{h:?}");
-    }
-}
+pub use jiffy_obs::hist::*;

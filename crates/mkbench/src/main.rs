@@ -10,7 +10,15 @@
 //! mkbench speedup        [--threads N] [--secs S] [--keys K]     # §4.3: Jiffy vs CA-AVL/CA-SL, 100-op random batches
 //! mkbench autoscale      [--secs S] [--keys K]                   # §4.3: revision sizes under write-only vs update-lookup
 //! mkbench ablation clock|hash|revsize [--threads ...] [--secs S] # A1/A2/A3
+//! mkbench trace          [--threads N] [--secs S] [--keys K] [--json FILE]  # merged flight-recorder trace + obs snapshot as JSON
 //! ```
+//!
+//! Observability hooks: every subcommand runs with the `jiffy-obs`
+//! flight recorder live; a worker panic dumps the merged,
+//! version-ordered event tail plus a metrics snapshot to stderr.
+//! `MKBENCH_INJECT_PANIC=<n>` (reshard only) deliberately crashes one
+//! worker after `n` ops in the mid-migration window, to exercise that
+//! dump path end to end.
 //!
 //! Absolute numbers depend on the machine; the *shapes* (who wins, by
 //! roughly what factor, where lock-based batching collapses) are the
@@ -512,6 +520,12 @@ fn cmd_reshard(args: &Args) {
     let threads = *args.threads.iter().max().unwrap();
     let shards = args.shards.max(2);
     let key_space = args.keys;
+    // MKBENCH_INJECT_PANIC=<n>: deliberately panic the worker whose op
+    // takes the mid-migration window's counter to exactly n, so CI can
+    // smoke the dump-on-panic path (the panic-context wrapper prints the
+    // merged flight-recorder tail before re-raising).
+    let inject_panic: Option<u64> =
+        std::env::var("MKBENCH_INJECT_PANIC").ok().and_then(|v| v.parse().ok());
     let map = Arc::new(jiffy_shard::ElasticJiffy::<u64, u64>::with_router(
         jiffy_shard::Router::range_uniform(shards, key_space),
         jiffy::JiffyConfig::default(),
@@ -526,6 +540,9 @@ fn cmd_reshard(args: &Args) {
     let measure = |label: &str, during: Option<&dyn Fn(&AtomicBool)>| -> f64 {
         let stop = AtomicBool::new(false);
         let ops = AtomicU64::new(0);
+        // Arm the deliberate crash only while migrations are in flight,
+        // so the dumped tail actually contains reshard lifecycle events.
+        let armed = inject_panic.filter(|_| label.starts_with("mid-migration"));
         let plans = workload::ThreadMix::MIXED.plan(threads);
         std::thread::scope(|s| {
             for (tid, plan) in plans.iter().enumerate() {
@@ -566,7 +583,12 @@ fn cmd_reshard(args: &Args) {
                                         std::hint::black_box(map.scan_collect(&k, 100));
                                     }
                                 }
-                                ops.fetch_add(1, Ordering::Relaxed);
+                                let n = ops.fetch_add(1, Ordering::Relaxed) + 1;
+                                // fetch_add hands out unique values, so
+                                // exactly one worker crosses the trigger.
+                                if armed == Some(n) {
+                                    panic!("deliberate MKBENCH_INJECT_PANIC crash after {n} ops");
+                                }
                             }
                         },
                     );
@@ -633,6 +655,92 @@ fn cmd_reshard(args: &Args) {
         mid / steady_before.max(1e-9),
         steady_after / steady_before.max(1e-9)
     );
+}
+
+/// `mkbench trace` — exercise every traced subsystem briefly (single
+/// and 10-op batched updates, lookups, scans, plus one live shard
+/// split+merge on an elastic-jiffy map), then emit the merged,
+/// version-ordered flight-recorder trace and the metrics snapshot as
+/// JSON (schema `jiffy-obs-trace/v1`). `--json FILE` writes a file;
+/// default is stdout. Build with `--features trace-verbose` to include
+/// the high-frequency events (e.g. `BackoffRamp`).
+fn cmd_trace(args: &Args) {
+    use index_api::OrderedIndex as _;
+    if args.indices.is_some() {
+        usage_error("trace always runs elastic-jiffy; --indices is not accepted");
+    }
+    let threads = (*args.threads.iter().max().unwrap()).max(2);
+    let key_space = args.keys;
+    let map = Arc::new(jiffy_shard::ElasticJiffy::<u64, u64>::with_router(
+        jiffy_shard::Router::range_uniform(2, key_space),
+        jiffy::JiffyConfig::default(),
+    ));
+    for i in 0..key_space / 2 {
+        map.put(workload::permute(i, key_space), i);
+    }
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let map = Arc::clone(&map);
+            let stop = &stop;
+            s.spawn(move || {
+                let mut gen =
+                    workload::KeyGen::new(workload::KeyDist::Uniform, key_space, tid as u64 + 1);
+                let mut buf: Vec<index_api::BatchOp<u64, u64>> = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let k = gen.next_key();
+                    match gen.next_raw() & 3 {
+                        0 => {
+                            buf.clear();
+                            for _ in 0..10 {
+                                let k = gen.next_key();
+                                if gen.next_raw() & 1 == 0 {
+                                    buf.push(index_api::BatchOp::Put(k, k));
+                                } else {
+                                    buf.push(index_api::BatchOp::Remove(k));
+                                }
+                            }
+                            map.batch_update(index_api::Batch::new(std::mem::take(&mut buf)));
+                        }
+                        1 => {
+                            map.put(k, k);
+                        }
+                        2 => {
+                            std::hint::black_box(map.get(&k));
+                        }
+                        _ => {
+                            std::hint::black_box(map.scan_collect(&k, 50));
+                        }
+                    }
+                }
+            });
+        }
+        // One live split and merge mid-run, so the trace holds the full
+        // reshard lifecycle (Stage → GateQuiesce → Drain → Cutover)
+        // interleaved with the per-shard events.
+        let run = Duration::from_secs_f64(args.secs.max(0.3));
+        std::thread::sleep(run / 3);
+        let first_boundary = map.splits().first().copied().unwrap_or(key_space);
+        let mid_key = first_boundary / 2;
+        if mid_key > 0 && map.split_at(mid_key).is_ok() {
+            map.merge_at(0).expect("the boundary just inserted can be removed");
+        }
+        std::thread::sleep(run / 3);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    let trace = jiffy_obs::merged_trace();
+    let mut snap = jiffy_obs::snapshot();
+    snap.add_structure(map.obs_stats());
+    let meta = args.meta("trace");
+    let text = mkbench::report::render_trace_json("trace", meta.created_unix, &trace, &snap);
+    match &args.json {
+        Some(path) => {
+            std::fs::write(path, &text).expect("write trace json");
+            eprintln!("wrote {path} ({} events, {} recorder threads)", trace.len(), snap.threads);
+        }
+        None => print!("{text}"),
+    }
 }
 
 /// §4.3 headline: large random batches, Jiffy vs the lock-based CA trees.
@@ -807,12 +915,21 @@ fn main() {
     #[cfg(feature = "audit-sched")]
     let _explorer = jiffy_audit::sched::config_from_env().map(|cfg| {
         eprintln!("mkbench: audit-sched explorer installed (seed {})", cfg.seed);
+        // A failure found by the explorer is worthless without the seed
+        // *and* the interleaving: dump the flight-recorder tail with the
+        // seed attached before the default hook prints the backtrace.
+        let seed = cfg.seed;
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            jiffy_obs::dump_on_failure(&format!("audit-sched explorer failure (seed {seed})"), 64);
+            prev(info);
+        }));
         jiffy_audit::sched::install_explorer(cfg)
     });
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!(
-            "usage: mkbench <figure N|quick|compare OLD NEW|sharding|reshard|speedup|autoscale|ablation WHICH> [flags]"
+            "usage: mkbench <figure N|quick|compare OLD NEW|sharding|reshard|speedup|autoscale|ablation WHICH|trace> [flags]"
         );
         eprintln!("flags: --threads 1,2,4  --secs S  --warmup S  --keys K  --indices a,b,c");
         eprintln!("       --shards N (default for sharded-* indices named without :<n>)");
@@ -831,6 +948,10 @@ fn main() {
         "reshard" => {
             let args = parse_flags(&argv[1..]);
             cmd_reshard(&args);
+        }
+        "trace" => {
+            let args = parse_flags(&argv[1..]);
+            cmd_trace(&args);
         }
         "compare" => {
             cmd_compare(&argv[1..]);

@@ -82,6 +82,11 @@ pub struct Measurement {
     /// informational — additive like `latency_ns`, so v1/v2 consumers
     /// and the compare gate are unaffected).
     pub op_costs: Option<OpCosts>,
+    /// Flight-recorder event counts (one slot per `jiffy_obs::EventKind`
+    /// discriminant) accumulated inside the measurement window, present
+    /// only when the run emitted any events. Additive like `op_costs`;
+    /// the compare gate ignores it.
+    pub trace_events: Option<[u64; jiffy_obs::KIND_COUNT]>,
 }
 
 /// One output row.
@@ -184,7 +189,9 @@ fn latency_json(role: &str, lat: &Option<LatencySummary>) -> Option<String> {
 /// baselines) keep working; `latency_ns` holds only roles the run
 /// actually exercised, and `op_costs` (raw counter totals plus derived
 /// `nodes_per_descent` / `fastpath_hit_rate`) appears only on rows
-/// measured with the `perf-counters` feature.
+/// measured with the `perf-counters` feature. `trace_events` (nonzero
+/// flight-recorder kind → window count) appears only on rows whose run
+/// recorded any events.
 pub fn render_json(meta: &RunMeta, rows: &[Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -250,9 +257,115 @@ pub fn render_json(meta: &RunMeta, rows: &[Row]) -> String {
                 c.fastpath_hit_rate().unwrap_or(0.0)
             );
         }
+        if let Some(ev) = &r.m.trace_events {
+            let named: Vec<String> = jiffy_obs::ALL_KINDS
+                .iter()
+                .map(|k| (k.name(), ev[*k as usize]))
+                .filter(|(_, n)| *n > 0)
+                .map(|(name, n)| format!("\"{name}\": {n}"))
+                .collect();
+            let _ = write!(out, ", \"trace_events\": {{ {} }}", named.join(", "));
+        }
         let _ = writeln!(out, " }}{comma}");
     }
     let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a merged flight-recorder trace plus an observability snapshot
+/// as JSON (hand-rolled, like [`render_json`]). Schema
+/// `jiffy-obs-trace/v1`: `{schema, label, created_unix, events[{stamp,
+/// thread, seq, kind, a, b}], snapshot{total_events, threads,
+/// event_counts{<kind>: n}, histograms{<name>{count, p50, p95, p99,
+/// max}}, structures[{label, nodes, entries, mean_revision_size,
+/// max_revision_depth, shards[...]}]}}`. Events arrive already sorted
+/// by `(stamp, thread, seq)` from `jiffy_obs::merged_trace`.
+pub fn render_trace_json(
+    label: &str,
+    created_unix: u64,
+    trace: &[jiffy_obs::TraceEvent],
+    snap: &jiffy_obs::ObsSnapshot,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"jiffy-obs-trace/v1\",");
+    let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(label));
+    let _ = writeln!(out, "  \"created_unix\": {created_unix},");
+    let _ = writeln!(out, "  \"events\": [");
+    for (i, e) in trace.iter().enumerate() {
+        let comma = if i + 1 < trace.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"stamp\": {}, \"thread\": {}, \"seq\": {}, \"kind\": \"{}\", \
+             \"a\": {}, \"b\": {} }}{comma}",
+            e.stamp,
+            e.thread,
+            e.seq,
+            e.kind.name(),
+            e.a,
+            e.b
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"snapshot\": {{");
+    let _ = writeln!(out, "    \"total_events\": {},", snap.total_events);
+    let _ = writeln!(out, "    \"threads\": {},", snap.threads);
+    let counts: Vec<String> =
+        snap.event_counts.iter().map(|(k, n)| format!("\"{}\": {n}", k.name())).collect();
+    let _ = writeln!(out, "    \"event_counts\": {{ {} }},", counts.join(", "));
+    let hists: Vec<String> = snap
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            format!(
+                "\"{}\": {{ \"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }}",
+                json_escape(name),
+                h.count,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "    \"histograms\": {{ {} }},", hists.join(", "));
+    let _ = writeln!(out, "    \"structures\": [");
+    for (i, st) in snap.structures.iter().enumerate() {
+        let comma = if i + 1 < snap.structures.len() { "," } else { "" };
+        let _ = write!(
+            out,
+            "      {{ \"label\": \"{}\", \"nodes\": {}, \"entries\": {}, \
+             \"mean_revision_size\": {:.3}, \"max_revision_depth\": {}",
+            json_escape(&st.label),
+            st.nodes,
+            st.entries,
+            st.mean_revision_size,
+            st.max_revision_depth
+        );
+        if !st.shards.is_empty() {
+            let shards: Vec<String> = st
+                .shards
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{ \"reads\": {}, \"updates\": {}, \"nodes\": {}, \"entries\": {}, \
+                         \"mean_revision_size\": {:.3}, \"max_revision_depth\": {} }}",
+                        s.reads,
+                        s.updates,
+                        s.nodes,
+                        s.entries,
+                        s.mean_revision_size,
+                        s.max_revision_depth
+                    )
+                })
+                .collect();
+            let _ = write!(out, ", \"shards\": [{}]", shards.join(", "));
+        }
+        let _ = writeln!(out, " }}{comma}");
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     out
 }
@@ -381,10 +494,80 @@ mod tests {
     }
 
     #[test]
+    fn json_trace_events_only_nonzero_kinds() {
+        let meta = RunMeta {
+            label: "trace".into(),
+            threads: vec![1],
+            secs: 0.1,
+            warmup: 0.0,
+            key_space: 10,
+            created_unix: 1,
+        };
+        let mut rows = vec![row("s1", "jiffy", 1, 1.0), row("s1", "cslm", 1, 1.0)];
+        let mut ev = [0u64; jiffy_obs::KIND_COUNT];
+        ev[jiffy_obs::EventKind::SplitPublish as usize] = 4;
+        ev[jiffy_obs::EventKind::GcFloorAdvance as usize] = 9;
+        rows[0].m.trace_events = Some(ev);
+        let text = render_json(&meta, &rows);
+        assert_eq!(text.matches("trace_events").count(), 1, "baseline row must omit the column");
+        assert!(text.contains("\"SplitPublish\": 4"), "{text}");
+        assert!(text.contains("\"GcFloorAdvance\": 9"), "{text}");
+        assert!(!text.contains("TwoPhasePrepare"), "zero kinds must be omitted");
+        let braces = text.matches('{').count();
+        assert_eq!(braces, text.matches('}').count());
+    }
+
+    #[test]
     fn op_costs_derived_rates() {
         let z = OpCosts::default();
         assert_eq!(z.nodes_per_descent(), None);
         assert_eq!(z.fastpath_hit_rate(), None);
+    }
+
+    #[test]
+    fn trace_json_schema_and_balance() {
+        let trace = vec![
+            jiffy_obs::TraceEvent {
+                stamp: 10,
+                thread: 0,
+                seq: 1,
+                kind: jiffy_obs::EventKind::ReshardStage,
+                a: 2,
+                b: 4,
+            },
+            jiffy_obs::TraceEvent {
+                stamp: 12,
+                thread: 1,
+                seq: 1,
+                kind: jiffy_obs::EventKind::ReshardCutover,
+                a: 4,
+                b: 2,
+            },
+        ];
+        let mut snap = jiffy_obs::ObsSnapshot {
+            event_counts: vec![(jiffy_obs::EventKind::ReshardStage, 1)],
+            total_events: 2,
+            threads: 2,
+            ..Default::default()
+        };
+        snap.add_structure(jiffy_obs::StructureStats {
+            label: "elastic \"x\"".into(),
+            nodes: 3,
+            entries: 9,
+            mean_revision_size: 3.0,
+            max_revision_depth: 2,
+            shards: vec![jiffy_obs::ShardObs { reads: 5, updates: 7, ..Default::default() }],
+        });
+        let text = render_trace_json("trace", 42, &trace, &snap);
+        assert!(text.contains("\"schema\": \"jiffy-obs-trace/v1\""));
+        assert!(text.contains("\"kind\": \"ReshardStage\""));
+        assert!(text.contains("\"kind\": \"ReshardCutover\""));
+        assert!(text.contains("\"event_counts\": { \"ReshardStage\": 1 }"));
+        assert!(text.contains("\"label\": \"elastic \\\"x\\\"\""));
+        assert!(text.contains("\"shards\": [{ \"reads\": 5, \"updates\": 7"));
+        let braces = text.matches('{').count();
+        assert_eq!(braces, text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub fn with_panic_context<R>(ctx: impl Fn() -> String, f: impl FnOnce() -> R) ->
                 .unwrap_or_else(|| "<non-string panic payload>".into());
             let report = format!("worker panic [{}]: {}", ctx(), msg);
             eprintln!("mkbench: {report}");
+            // Dump the merged flight-recorder tail and a metrics snapshot
+            // while the sibling workers' rings are still warm — the
+            // re-raise is about to tear the whole scope down.
+            jiffy_obs::dump_on_failure(&report, 64);
             *LAST_WORKER_PANIC.lock().unwrap() = Some(report);
             std::panic::resume_unwind(payload);
         }
@@ -177,19 +181,19 @@ pub fn run_scenario<K: BenchKey, V: Value>(
 
     let plans = scenario.mix.plan(cfg.threads);
     let stop = Arc::new(AtomicBool::new(false));
-    let recording = Arc::new(AtomicBool::new(false));
+    let window = Arc::new(jiffy_obs::WindowGate::new());
     let counters: Arc<[AtomicU64; 3]> = Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
     let hists: Arc<Mutex<[LogHistogram; 3]>> =
         Arc::new(Mutex::new(std::array::from_fn(|_| LogHistogram::new())));
     #[cfg(feature = "perf-counters")]
     let op_costs: Arc<Mutex<OpCosts>> = Arc::new(Mutex::new(OpCosts::default()));
-    let mut measured = ([0u64; 3], Duration::ZERO);
+    let mut measured = ([0u64; 3], Duration::ZERO, [0u64; jiffy_obs::KIND_COUNT]);
 
     std::thread::scope(|s| {
         for (tid, plan) in plans.iter().enumerate() {
             let index = Arc::clone(&index);
             let stop = Arc::clone(&stop);
-            let recording = Arc::clone(&recording);
+            let window = Arc::clone(&window);
             let counters = Arc::clone(&counters);
             let hists = Arc::clone(&hists);
             #[cfg(feature = "perf-counters")]
@@ -221,26 +225,24 @@ pub fn run_scenario<K: BenchKey, V: Value>(
                         // other roles never get sampled.
                         let mut issued = [0u64; 3];
                         // Op-cost counters are thread-local inside jiffy; fence
-                        // them at the recording-window edges so the aggregate
+                        // them at the measurement-window edges so the aggregate
                         // matches the throughput window (warmup discarded).
-                        #[cfg(feature = "perf-counters")]
-                        let mut was_recording = false;
+                        let mut edge = jiffy_obs::WindowEdge::new();
                         while !stop.load(Ordering::Relaxed) {
-                            #[cfg(feature = "perf-counters")]
-                            {
-                                let now_recording = recording.load(Ordering::Relaxed);
-                                if now_recording != was_recording {
+                            if let Some(crossing) = edge.observe(&window) {
+                                #[cfg(feature = "perf-counters")]
+                                {
                                     let delta = jiffy::counters::take();
-                                    if was_recording {
+                                    if matches!(crossing, jiffy_obs::WindowCrossing::Closed) {
                                         add_op_costs(&op_costs, &delta);
                                     }
-                                    was_recording = now_recording;
                                 }
+                                #[cfg(not(feature = "perf-counters"))]
+                                let _ = crossing;
                             }
                             let pick = sched.next_role() as usize;
 
-                            let sampled = issued[pick] & SAMPLE_MASK == 0
-                                && recording.load(Ordering::Relaxed);
+                            let sampled = issued[pick] & SAMPLE_MASK == 0 && edge.in_window();
                             issued[pick] = issued[pick].wrapping_add(1);
                             let t_start = sampled.then(Instant::now);
                             // `done` is what the index verifiably did: basic ops
@@ -323,9 +325,9 @@ pub fn run_scenario<K: BenchKey, V: Value>(
                             counters[r].fetch_add(local[r], Ordering::Relaxed);
                         }
                         // The stop flag can arrive before the worker observes the
-                        // recording flag dropping; flush the open window either way.
+                        // window closing; flush the open window either way.
                         #[cfg(feature = "perf-counters")]
-                        if was_recording {
+                        if edge.finish() {
                             add_op_costs(&op_costs, &jiffy::counters::take());
                         }
                         let mut shared = hists.lock().unwrap();
@@ -340,17 +342,18 @@ pub fn run_scenario<K: BenchKey, V: Value>(
         // measure (and sample latency in) only the steady-state window.
         std::thread::sleep(cfg.warmup);
         let t0: [u64; 3] = std::array::from_fn(|r| counters[r].load(Ordering::Relaxed));
-        recording.store(true, Ordering::Relaxed);
+        let trace_base = jiffy_obs::CounterWindow::mark();
+        window.open();
         let started = Instant::now();
         std::thread::sleep(cfg.duration);
-        recording.store(false, Ordering::Relaxed);
+        window.close();
         let elapsed = started.elapsed();
         let t1: [u64; 3] = std::array::from_fn(|r| counters[r].load(Ordering::Relaxed));
         stop.store(true, Ordering::Relaxed);
-        measured = (std::array::from_fn(|r| t1[r] - t0[r]), elapsed);
+        measured = (std::array::from_fn(|r| t1[r] - t0[r]), elapsed, trace_base.delta());
     });
 
-    let (ops, elapsed) = measured;
+    let (ops, elapsed, trace_events) = measured;
     let secs = elapsed.as_secs_f64();
     let hists = hists.lock().unwrap();
     Measurement {
@@ -371,6 +374,9 @@ pub fn run_scenario<K: BenchKey, V: Value>(
         },
         #[cfg(not(feature = "perf-counters"))]
         op_costs: None,
+        // Window-scoped flight-recorder event counts. All-zero (e.g. a
+        // baseline index that never emits events) omits the column.
+        trace_events: trace_events.iter().any(|&n| n > 0).then_some(trace_events),
     }
 }
 
