@@ -283,12 +283,7 @@ impl CrossBatchEpoch {
                     // thread had to wait it out. The epoch has no version
                     // clock of its own, so borrow the recorder's
                     // high-water stamp to place the event in the trace.
-                    jiffy_obs::trace_event!(
-                        GateQuiesce,
-                        jiffy_obs::stamp_hint(),
-                        (s >> 32).wrapping_add(1),
-                        spins
-                    );
+                    jiffy_obs::trace_event!(hint: GateQuiesce, (s >> 32).wrapping_add(1), spins);
                 }
                 return CrossBatchGuard { epoch: self };
             }
@@ -325,7 +320,7 @@ impl CrossBatchEpoch {
             if s >> 32 == s & Self::COMPLETED_MASK {
                 if spins > 0 {
                     // See `begin`: trace only waits that actually spun.
-                    jiffy_obs::trace_event!(GateQuiesce, jiffy_obs::stamp_hint(), s >> 32, spins);
+                    jiffy_obs::trace_event!(hint: GateQuiesce, s >> 32, spins);
                 }
                 return s >> 32;
             }

@@ -18,12 +18,12 @@ pub const DUMP_HEADER: &str = "=== jiffy-obs flight recorder (merged, version-or
 pub const DUMP_FOOTER: &str = "=== end flight recorder ===";
 
 /// Render one event as a dump line: stamp, recorder thread, per-thread
-/// sequence number, kind, payload words.
+/// sequence number, kind, payload words. A borrowed (hinted) stamp is
+/// prefixed `~` — it is a lower bound on when the event happened, not
+/// a clock reading.
 pub fn format_event(e: &TraceEvent) -> String {
-    format!(
-        "  v={:<12} t{}#{:<5} {:<16} a={:#x} b={:#x}",
-        e.stamp, e.thread, e.seq, e.kind, e.a, e.b
-    )
+    let stamp = if e.hinted { format!("~{}", e.stamp) } else { format!("{}", e.stamp) };
+    format!("  v={:<12} t{}#{:<5} {:<16} a={:#x} b={:#x}", stamp, e.thread, e.seq, e.kind, e.a, e.b)
 }
 
 /// Write the merged flight-recorder tail (the newest `tail` events of

@@ -138,15 +138,24 @@ impl std::fmt::Display for EventKind {
 
 /// One merged, validated trace entry.
 ///
-/// The total order over a merged trace is `(stamp, thread, seq)`:
-/// primary key is the shared-clock version stamp; ties (same stamp from
-/// two threads, or a coarse clock) break deterministically by recorder
-/// thread id and then by the recorder's per-thread sequence number.
+/// The total order over a merged trace is `(stamp, hinted, thread,
+/// seq)`: primary key is the shared-clock version stamp; at equal
+/// stamps, clock-exact events sort before *hinted* ones (see below);
+/// remaining ties (same stamp from two threads, or a coarse clock)
+/// break deterministically by recorder thread id and then by the
+/// recorder's per-thread sequence number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Shared-clock version stamp (non-negative by call-site convention:
     /// pending/optimistic versions are recorded as their magnitude).
     pub stamp: i64,
+    /// Whether `stamp` was *borrowed* via `stamp_hint()` rather than
+    /// read from a clock in scope at the instrumentation point. A
+    /// hinted stamp is the recorder's high-water mark at record time:
+    /// the event happened *at or after* that stamp was current, never
+    /// before it — so at equal stamps, hinted events sort after
+    /// clock-exact ones.
+    pub hinted: bool,
     /// Recorder thread id (registration order, dense from 0).
     pub thread: u32,
     /// Per-thread sequence number (1-based; the thread's n-th event).
@@ -160,8 +169,13 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
-    /// The deterministic merge key: `(stamp, thread, seq)`.
-    pub fn order_key(&self) -> (i64, u32, u64) {
-        (self.stamp, self.thread, self.seq)
+    /// The deterministic merge key: `(stamp, hinted, thread, seq)`.
+    /// `hinted` second: a borrowed stamp is a lower bound on when the
+    /// event happened, so the clock-exact event that *produced* a tied
+    /// stamp must come first — without this, the tiebreak fell through
+    /// to thread id and could place a hinted event before the very
+    /// event its stamp was borrowed from.
+    pub fn order_key(&self) -> (i64, bool, u32, u64) {
+        (self.stamp, self.hinted, self.thread, self.seq)
     }
 }

@@ -67,20 +67,43 @@ pub fn snapshot() -> ObsSnapshot {
 /// stores into the calling thread's ring — no RMW, no shared cache
 /// line — mirroring `jiffy`'s `perf_count!`. The `verbose:` form
 /// compiles to nothing unless the `verbose` feature is enabled
-/// somewhere in the build graph.
+/// somewhere in the build graph. The `hint:` form is for
+/// instrumentation points with **no clock in scope**: it stamps the
+/// event with [`stamp_hint`] and marks it *hinted*, so the merged
+/// trace sorts it after any clock-exact event with the same stamp
+/// (never before the event the stamp was borrowed from).
 ///
 /// ```
 /// use jiffy_obs::trace_event;
 /// trace_event!(GateQuiesce, 42i64, 7u64);
-/// trace_event!(verbose: BackoffRamp, jiffy_obs::stamp_hint(), 1u64, 2u64);
+/// trace_event!(hint: GateQuiesce, 7u64, 3u64);
+/// trace_event!(verbose: hint: BackoffRamp, 1u64, 2u64);
 /// assert!(jiffy_obs::merged_trace().iter().any(|e| e.stamp == 42));
 /// ```
 #[macro_export]
 macro_rules! trace_event {
+    (verbose: hint: $kind:ident $(, $p:expr)* $(,)?) => {
+        if $crate::VERBOSE {
+            $crate::trace_event!(hint: $kind $(, $p)*);
+        }
+    };
     (verbose: $kind:ident, $stamp:expr $(, $p:expr)* $(,)?) => {
         if $crate::VERBOSE {
             $crate::trace_event!($kind, $stamp $(, $p)*);
         }
+    };
+    (hint: $kind:ident $(,)?) => {
+        $crate::recorder::record_hinted($crate::EventKind::$kind, 0, 0)
+    };
+    (hint: $kind:ident, $a:expr $(,)?) => {
+        $crate::recorder::record_hinted($crate::EventKind::$kind, ($a) as u64, 0)
+    };
+    (hint: $kind:ident, $a:expr, $b:expr $(,)?) => {
+        $crate::recorder::record_hinted(
+            $crate::EventKind::$kind,
+            ($a) as u64,
+            ($b) as u64,
+        )
     };
     ($kind:ident, $stamp:expr $(,)?) => {
         $crate::recorder::record($crate::EventKind::$kind, ($stamp) as i64, 0, 0)

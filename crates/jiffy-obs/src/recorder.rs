@@ -16,7 +16,7 @@
 //!   registered ring (readable cross-thread), validates each slot with
 //!   a seqlock-style check so a concurrently overwritten slot is
 //!   *skipped rather than torn*, and sorts the union by
-//!   `(stamp, thread, seq)`.
+//!   `(stamp, hinted, thread, seq)`.
 //!
 //! # Slot publication protocol
 //!
@@ -55,10 +55,16 @@ struct Slot {
     /// number of the event the slot holds.
     seq: AtomicU64,
     stamp: AtomicI64,
+    /// `EventKind` discriminant in the low 16 bits; bit 16
+    /// ([`HINTED_BIT`]) marks a stamp borrowed via [`stamp_hint`].
     kind: AtomicU64,
     a: AtomicU64,
     b: AtomicU64,
 }
+
+/// Bit in [`Slot::kind`] marking a hinted (borrowed) stamp. Kind
+/// discriminants are `u16`, so bit 16 can never collide with one.
+const HINTED_BIT: u64 = 1 << 16;
 
 impl Slot {
     fn empty() -> Slot {
@@ -82,7 +88,8 @@ pub struct ThreadRing {
     /// Events ever recorded by this thread (the ring holds the last
     /// `RING_CAP` of them).
     head: AtomicU64,
-    /// The newest stamp this thread recorded (feeds [`stamp_hint`]).
+    /// The newest *clock-exact* stamp this thread recorded (feeds
+    /// [`stamp_hint`]; hinted events do not advance it).
     last_stamp: AtomicI64,
     /// Per-kind always-on counters; single-writer plain stores, summed
     /// cross-thread by `metrics::event_totals`.
@@ -118,20 +125,24 @@ impl ThreadRing {
     }
 
     /// Owner-only write path; see the module docs for the protocol.
-    fn push(&self, kind: EventKind, stamp: i64, a: u64, b: u64) {
+    fn push(&self, kind: EventKind, stamp: i64, a: u64, b: u64, hinted: bool) {
         let n = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(n as usize) & (RING_CAP - 1)];
         slot.seq.store(0, Ordering::Relaxed);
         fence(Ordering::Release);
         slot.stamp.store(stamp, Ordering::Relaxed);
-        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.kind.store(kind as u64 | if hinted { HINTED_BIT } else { 0 }, Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
         #[cfg(feature = "audit-sched")]
         jiffy_audit::sched::probe("obs::record-mid");
         slot.seq.store(n + 1, Ordering::Release);
         self.head.store(n + 1, Ordering::Release);
-        self.last_stamp.store(stamp, Ordering::Relaxed);
+        if !hinted {
+            // A borrowed stamp must not feed future hints: `last_stamp`
+            // stays the newest *clock-exact* stamp this thread saw.
+            self.last_stamp.store(stamp, Ordering::Relaxed);
+        }
         let c = &self.kind_counts[kind as usize];
         c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
     }
@@ -158,10 +169,11 @@ impl ThreadRing {
             if s2 != n + 1 {
                 continue; // overwritten while we read: reject, never tear
             }
+            let hinted = kind & HINTED_BIT != 0;
             let Some(kind) = EventKind::from_u16(kind as u16) else {
                 continue;
             };
-            out.push(TraceEvent { stamp, thread: self.thread, seq: n + 1, kind, a, b });
+            out.push(TraceEvent { stamp, hinted, thread: self.thread, seq: n + 1, kind, a, b });
         }
         out
     }
@@ -200,13 +212,28 @@ fn register_current_thread() -> Arc<ThreadRing> {
 #[inline]
 pub fn record(kind: EventKind, stamp: i64, a: u64, b: u64) {
     let _ = LOCAL.try_with(|cell| {
-        cell.get_or_init(register_current_thread).push(kind, stamp, a, b);
+        cell.get_or_init(register_current_thread).push(kind, stamp, a, b, false);
+    });
+}
+
+/// Record one event with a **borrowed** stamp: the instrumentation
+/// point has no version clock in scope, so the event is stamped with
+/// [`stamp_hint`] and marked `hinted` — in the merged trace it sorts
+/// *after* any clock-exact event carrying the same stamp (see
+/// [`TraceEvent::order_key`]). This is the function the
+/// `trace_event!(hint: ...)` macro form expands to.
+#[inline]
+pub fn record_hinted(kind: EventKind, a: u64, b: u64) {
+    let stamp = stamp_hint();
+    let _ = LOCAL.try_with(|cell| {
+        cell.get_or_init(register_current_thread).push(kind, stamp, a, b, true);
     });
 }
 
 /// Snapshot every registered ring and merge into one trace, totally
-/// ordered by `(stamp, thread, seq)` — the shared-clock stamp first,
-/// with a deterministic tiebreak.
+/// ordered by `(stamp, hinted, thread, seq)` — the shared-clock stamp
+/// first, clock-exact before hinted at equal stamps, then a
+/// deterministic tiebreak.
 pub fn merged_trace() -> Vec<TraceEvent> {
     let rings: Vec<Arc<ThreadRing>> = REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).clone();
     let mut out = Vec::new();
@@ -228,7 +255,10 @@ pub fn rings() -> Vec<Arc<ThreadRing>> {
 /// serialized `CrossBatchEpoch` fallback, helping backoff). Events
 /// stamped this way sort adjacent to the activity that surrounded
 /// them, which is what a forensic trace needs; they make no claim of
-/// clock-exact placement.
+/// clock-exact placement. Record such events through [`record_hinted`]
+/// (the `trace_event!(hint: ...)` form), which marks them `hinted` so
+/// the merge never places them *before* the clock-exact event their
+/// stamp was borrowed from.
 pub fn stamp_hint() -> i64 {
     REGISTRY
         .lock()

@@ -80,6 +80,63 @@ fn merged_trace_is_totally_ordered_with_deterministic_tiebreak() {
     assert_eq!(trace, again, "merge must be deterministic");
 }
 
+/// Pins the hinted-stamp tie-break: an event recorded through
+/// `trace_event!(hint: ...)` borrows the recorder's high-water stamp,
+/// so at *equal* stamps it must sort after every clock-exact event —
+/// even when the hinted recorder has the **lower thread id**, which is
+/// exactly the case the old `(stamp, thread, seq)` key inverted.
+#[test]
+fn hinted_stamps_sort_after_clocked_ties() {
+    const MAGIC: u64 = 0x41D7_ED00; // payload filter for this test
+                                    // Above anything a concurrently running test can record, so the
+                                    // hint is guaranteed to borrow *this* test's clocked stamp.
+    const STAMP: i64 = i64::MAX - 1;
+    // Thread A registers first (lower thread id) and will record the
+    // hinted event; thread B records the clock-exact event that the
+    // hint borrows its stamp from.
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let (clocked_tx, clocked_rx) = std::sync::mpsc::channel();
+    let a = std::thread::Builder::new()
+        .name("obs-hint-a".into())
+        .spawn(move || {
+            // Register this ring *now* so its thread id is below B's.
+            trace_event!(GcFloorAdvance, STAMP - 1, 0, MAGIC);
+            ready_tx.send(()).unwrap();
+            clocked_rx.recv().unwrap();
+            trace_event!(hint: GateQuiesce, 1u64, MAGIC);
+        })
+        .unwrap();
+    ready_rx.recv().unwrap();
+    let b = std::thread::Builder::new()
+        .name("obs-hint-b".into())
+        .spawn(move || {
+            trace_event!(GateQuiesce, STAMP, 2u64, MAGIC);
+            clocked_tx.send(()).unwrap();
+        })
+        .unwrap();
+    a.join().unwrap();
+    b.join().unwrap();
+
+    let trace: Vec<TraceEvent> =
+        recorder::merged_trace().into_iter().filter(|e| e.b == MAGIC).collect();
+    let hinted = trace.iter().find(|e| e.hinted).expect("hinted event recorded");
+    let clocked = trace.iter().find(|e| !e.hinted && e.stamp == STAMP).unwrap();
+    // The hint borrowed B's stamp (B's was the newest clock-exact stamp
+    // when A recorded) ...
+    assert_eq!(hinted.stamp, clocked.stamp, "hint must borrow the high-water stamp");
+    assert!(hinted.thread < clocked.thread, "test setup: hinted ring must have lower id");
+    // ... and the merge places it after the event it borrowed from,
+    // where the naive thread-id tiebreak would have put it first.
+    assert!(
+        clocked.order_key() < hinted.order_key(),
+        "hinted event sorted before its stamp's origin: {clocked:?} vs {hinted:?}"
+    );
+    let pos = |needle: &TraceEvent| {
+        trace.iter().position(|e| (e.thread, e.seq) == (needle.thread, needle.seq)).unwrap()
+    };
+    assert!(pos(clocked) < pos(hinted), "merged trace order must match order_key");
+}
+
 /// A dump racing a recording thread may *skip* slots being overwritten,
 /// but must never return a torn event. The writer maintains `b = !a`
 /// and `stamp = a` in every event; any mix of two events breaks both

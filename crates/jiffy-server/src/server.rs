@@ -1,0 +1,553 @@
+//! The server proper: acceptor + thread-per-core event loops +
+//! coalescing shard workers over one shared [`ElasticJiffy`].
+//!
+//! # Thread architecture
+//!
+//! ```text
+//! acceptor ──round-robin──▶ io-thread 0..I   (nonblocking sockets,
+//!    │                        │  │             frame reassembly,
+//!    ▼                        ▼  ▼             response writes)
+//!  TcpListener            ingress queues (wait-free MPSC, one per worker)
+//!                             │  │
+//!                             ▼  ▼
+//!                         worker 0..W  ──▶  Arc<ElasticJiffy<u64, u64>>
+//! ```
+//!
+//! Each **event-loop thread** owns a set of connections outright
+//! (`std::net` nonblocking sockets polled round-robin — no epoll in a
+//! dependency-free build, and loopback soak traffic keeps every
+//! iteration busy). It reassembles frames, decodes requests and routes
+//! each to a shard worker's ingress queue, picked from the *current*
+//! router split points so one worker sees one shard's keys. Routing is
+//! an affinity hint, not a correctness requirement: every worker
+//! executes against the whole elastic map, so a key that moved shards
+//! mid-flight (live split/merge) is still handled correctly, just with
+//! less batching locality for a moment.
+//!
+//! Each **shard worker** drains its ingress queue and *coalesces*: a
+//! run of queued single-key puts becomes ONE Jiffy batch
+//! (`Batch::new` + `batch_update` — the paper's §3.3.2 batch install,
+//! one pending-version protocol for N client writes). Gets, removes,
+//! scans and transactions act as barriers: the pending run is flushed
+//! first. Multi-key transactions go through `batch_update` too, which
+//! routes cross-shard sets through the existing two-phase path.
+//! Responses are enqueued on the connection's response queue — another
+//! MPSC instance, consumed by the owning event loop — and a put's
+//! response is enqueued only *after* its batch installs, so a
+//! client-observed response is always a linearization witness.
+//!
+//! # Ordering
+//!
+//! A connection's requests for the **same key** are answered in request
+//! order: key-affinity routing sends them to one worker, the ingress
+//! queue is FIFO, and the worker's flush-before-barrier rule keeps a
+//! pending coalesced put ahead of the get that follows it. Requests for
+//! **different keys** may complete out of order (they fan out to
+//! different workers) — that is what the protocol's request ids are
+//! for, and why pipelined clients must match responses by id. Once a
+//! write is *acknowledged*, it is visible to every subsequent request on
+//! every connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use index_api::{Batch, BatchOp, OrderedIndex as _};
+use jiffy_shard::ElasticJiffy;
+
+use crate::protocol::{
+    decode_request, encode_response, FrameDecoder, Request, Response, StatsSnapshot, WireError,
+};
+use crate::queue;
+
+/// The storage engine the server fronts.
+pub type Map = ElasticJiffy<u64, u64>;
+
+/// Tuning knobs for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Event-loop threads (thread-per-core; connections are assigned
+    /// round-robin at accept time and never migrate).
+    pub io_threads: usize,
+    /// Shard workers, each with its own wait-free ingress queue.
+    pub workers: usize,
+    /// Flush a coalescing run once it reaches this many puts even if
+    /// the queue has more (bounds per-batch latency and memory).
+    pub coalesce_max: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { io_threads: 2, workers: 2, coalesce_max: 128 }
+    }
+}
+
+/// Always-on server counters (relaxed increments, read by `Stats`
+/// requests and the soak gate).
+#[derive(Default)]
+pub struct ServerStats {
+    installed_batches: AtomicU64,
+    coalesced_puts: AtomicU64,
+    direct_ops: AtomicU64,
+    txns: AtomicU64,
+}
+
+impl ServerStats {
+    /// Snapshot the counters for a `Stats` reply.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            installed_batches: self.installed_batches.load(Ordering::Relaxed),
+            coalesced_puts: self.coalesced_puts.load(Ordering::Relaxed),
+            direct_ops: self.direct_ops.load(Ordering::Relaxed),
+            txns: self.txns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-connection state shared with the workers that execute its
+/// requests: the response queue's producer end.
+struct ConnShared {
+    resp_tx: queue::Sender<Vec<u8>>,
+}
+
+/// One request in flight from an event loop to a shard worker.
+struct Ingress {
+    conn: Arc<ConnShared>,
+    req: Request,
+}
+
+/// A worker's ingress side plus its wake handle.
+struct WorkerHandle {
+    tx: queue::Sender<Ingress>,
+    thread: std::thread::Thread,
+    /// Set by the worker just before parking; a producer that swaps it
+    /// back to `false` owes the worker an unpark.
+    sleeping: Arc<AtomicBool>,
+}
+
+impl WorkerHandle {
+    fn send(&self, msg: Ingress) {
+        self.tx.send(msg);
+        if self.sleeping.swap(false, Ordering::AcqRel) {
+            self.thread.unpark();
+        }
+    }
+}
+
+/// A running server: address, control handles, stats.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    map: Arc<Map>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (loopback, ephemeral port unless configured).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared storage engine (for drivers that reshard it live).
+    pub fn map(&self) -> &Arc<Map> {
+        &self.map
+    }
+
+    /// The server-side counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// Stop accepting, drain the threads, close every connection.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the acceptor's blocking `accept` with a throwaway
+        // connection; ignore failure (the listener may already be gone).
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `map` until the handle
+/// is shut down.
+pub fn serve(map: Arc<Map>, addr: &str, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let mut threads = Vec::new();
+
+    // Shard workers.
+    let workers: Arc<Vec<Arc<WorkerHandle>>> = Arc::new(
+        (0..cfg.workers.max(1))
+            .map(|w| {
+                let (tx, rx) = queue::channel::<Ingress>();
+                let map = Arc::clone(&map);
+                let stats = Arc::clone(&stats);
+                let shutdown = Arc::clone(&shutdown);
+                let coalesce_max = cfg.coalesce_max.max(2);
+                let sleeping = Arc::new(AtomicBool::new(false));
+                let sleeping_worker = Arc::clone(&sleeping);
+                let join = std::thread::Builder::new()
+                    .name(format!("jfs-worker-{w}"))
+                    .spawn(move || {
+                        worker_loop(map, rx, stats, shutdown, coalesce_max, sleeping_worker)
+                    })
+                    .expect("spawn worker");
+                let handle = Arc::new(WorkerHandle { tx, thread: join.thread().clone(), sleeping });
+                threads.push(join);
+                handle
+            })
+            .collect(),
+    );
+
+    // Event-loop threads.
+    let mut conn_txs = Vec::new();
+    for i in 0..cfg.io_threads.max(1) {
+        let (tx, rx) = queue::channel::<TcpStream>();
+        conn_txs.push(tx);
+        let map = Arc::clone(&map);
+        let workers = Arc::clone(&workers);
+        let stats = Arc::clone(&stats);
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("jfs-io-{i}"))
+                .spawn(move || io_loop(map, rx, workers, stats, shutdown))
+                .expect("spawn io thread"),
+        );
+    }
+
+    // Acceptor.
+    {
+        let shutdown = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name("jfs-accept".into())
+                .spawn(move || {
+                    let mut next = 0usize;
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        conn_txs[next % conn_txs.len()].send(stream);
+                        next += 1;
+                    }
+                })
+                .expect("spawn acceptor"),
+        );
+    }
+
+    Ok(ServerHandle { addr, shutdown, stats, map, threads })
+}
+
+/// One live connection owned by an event-loop thread.
+struct Conn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    /// Encoded-but-unwritten response bytes (short writes leave a tail).
+    out: Vec<u8>,
+    out_at: usize,
+    resp_rx: queue::Receiver<Vec<u8>>,
+    shared: Arc<ConnShared>,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        let (resp_tx, resp_rx) = queue::channel();
+        Conn {
+            stream,
+            dec: FrameDecoder::new(),
+            out: Vec::new(),
+            out_at: 0,
+            resp_rx,
+            shared: Arc::new(ConnShared { resp_tx }),
+            dead: false,
+        }
+    }
+
+    /// Move queued responses into the write buffer and flush what the
+    /// socket will take; returns whether any bytes moved.
+    fn pump_out(&mut self) -> bool {
+        let mut progressed = false;
+        while let Some(frame) = self.resp_rx.recv() {
+            // Compact the consumed prefix before growing the buffer.
+            if self.out_at > 0 && self.out_at == self.out.len() {
+                self.out.clear();
+                self.out_at = 0;
+            }
+            self.out.extend_from_slice(&frame);
+            progressed = true;
+        }
+        while self.out_at < self.out.len() {
+            match self.stream.write(&self.out[self.out_at..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.out_at += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+}
+
+/// Pick the shard worker for `key` from the cached split points (the
+/// shard whose range holds the key, folded onto the worker set).
+fn route(splits: &[u64], key: u64, workers: usize) -> usize {
+    splits.partition_point(|s| *s <= key) % workers
+}
+
+fn io_loop(
+    map: Arc<Map>,
+    mut new_conns: queue::Receiver<TcpStream>,
+    workers: Arc<Vec<Arc<WorkerHandle>>>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut splits: Vec<u64> = map.splits();
+    let mut iter = 0u64;
+    let mut idle_streak = 0u32;
+    let mut read_buf = vec![0u8; 64 * 1024];
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return; // drops (closes) every owned connection
+        }
+        iter += 1;
+        if iter % 64 == 0 {
+            // Refresh routing affinity: cheap relative to 64 polls, and
+            // keeps batches single-shard across live splits/merges.
+            splits = map.splits();
+        }
+        let mut progressed = false;
+        while let Some(stream) = new_conns.recv() {
+            conns.push(Conn::new(stream));
+            progressed = true;
+        }
+        for conn in conns.iter_mut() {
+            progressed |= conn.pump_out();
+            if conn.dead {
+                continue;
+            }
+            match conn.stream.read(&mut read_buf) {
+                Ok(0) => conn.dead = true, // client hung up
+                Ok(n) => {
+                    progressed = true;
+                    conn.dec.extend(&read_buf[..n]);
+                    drain_frames(conn, &splits, &workers, &stats);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => conn.dead = true,
+            }
+        }
+        conns.retain(|c| !c.dead);
+        if progressed {
+            idle_streak = 0;
+        } else {
+            idle_streak += 1;
+            if idle_streak > 16 {
+                // Fully idle: nap briefly. 200µs keeps worst-case added
+                // latency small while not spinning a shared core away
+                // from the workers actually executing operations.
+                std::thread::sleep(Duration::from_micros(200));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Decode every complete frame buffered on `conn` and route it.
+fn drain_frames(
+    conn: &mut Conn,
+    splits: &[u64],
+    workers: &[Arc<WorkerHandle>],
+    stats: &ServerStats,
+) {
+    loop {
+        match conn.dec.next_frame() {
+            Ok(None) => return,
+            Ok(Some(payload)) => match decode_request(&payload) {
+                Ok(req) => route_request(conn, req, splits, workers, stats),
+                Err(_) => {
+                    // Framing is intact — reject this request, keep the
+                    // connection. Echo the id when it was readable.
+                    let id = payload
+                        .get(..8)
+                        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                        .unwrap_or(0);
+                    respond(&conn.shared, &Response::Error { id });
+                }
+            },
+            Err(WireError::BadLength(_)) | Err(WireError::Malformed(_)) => {
+                // Unsynchronized stream: best-effort error, then close
+                // this connection only — the event loop and its other
+                // connections are unaffected.
+                respond(&conn.shared, &Response::Error { id: 0 });
+                conn.pump_out();
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Send `req` where it executes: point ops, scans and transactions to a
+/// shard worker (affinity-routed); `Stats` answered inline — counters
+/// are monotonic and order against nothing.
+fn route_request(
+    conn: &Conn,
+    req: Request,
+    splits: &[u64],
+    workers: &[Arc<WorkerHandle>],
+    stats: &ServerStats,
+) {
+    let w = match &req {
+        Request::Get { key, .. } | Request::Put { key, .. } | Request::Remove { key, .. } => {
+            route(splits, *key, workers.len())
+        }
+        Request::Scan { lo, .. } => route(splits, *lo, workers.len()),
+        Request::Txn { ops, .. } => {
+            route(splits, ops.first().map(|(k, _)| *k).unwrap_or(0), workers.len())
+        }
+        Request::Stats { id } => {
+            respond(&conn.shared, &Response::Stats { id: *id, stats: stats.snapshot() });
+            return;
+        }
+    };
+    workers[w].send(Ingress { conn: Arc::clone(&conn.shared), req });
+}
+
+/// Encode and enqueue one response on the connection's response queue.
+fn respond(conn: &ConnShared, resp: &Response) {
+    let mut buf = Vec::with_capacity(32);
+    encode_response(&mut buf, resp);
+    conn.resp_tx.send(buf);
+}
+
+fn worker_loop(
+    map: Arc<Map>,
+    mut rx: queue::Receiver<Ingress>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    coalesce_max: usize,
+    sleeping: Arc<AtomicBool>,
+) {
+    // The coalescing run: queued single-key puts awaiting one batch.
+    let mut run_ops: Vec<BatchOp<u64, u64>> = Vec::new();
+    let mut run_resps: Vec<(Arc<ConnShared>, u64)> = Vec::new();
+
+    let flush = |run_ops: &mut Vec<BatchOp<u64, u64>>,
+                 run_resps: &mut Vec<(Arc<ConnShared>, u64)>| {
+        match run_ops.len() {
+            0 => return,
+            1 => {
+                // A lone put gains nothing from the batch protocol.
+                let Some(BatchOp::Put(k, v)) = run_ops.pop() else { unreachable!() };
+                map.put(k, v);
+                stats.direct_ops.fetch_add(1, Ordering::Relaxed);
+            }
+            n => {
+                // N queued puts -> ONE Jiffy batch (§3.3.2 install; the
+                // elastic map runs cross-shard sets through two-phase).
+                map.batch_update(Batch::new(std::mem::take(run_ops)));
+                stats.installed_batches.fetch_add(1, Ordering::Relaxed);
+                stats.coalesced_puts.fetch_add(n as u64, Ordering::Relaxed);
+            }
+        }
+        // Respond only after the writes are installed: the response is
+        // the client's linearization witness.
+        for (conn, id) in run_resps.drain(..) {
+            respond(&conn, &Response::Put { id });
+        }
+    };
+
+    loop {
+        match rx.recv() {
+            Some(Ingress { conn, req }) => match req {
+                Request::Put { id, key, val } => {
+                    run_ops.push(BatchOp::Put(key, val));
+                    run_resps.push((conn, id));
+                    if run_ops.len() >= coalesce_max {
+                        flush(&mut run_ops, &mut run_resps);
+                    }
+                }
+                Request::Get { id, key } => {
+                    flush(&mut run_ops, &mut run_resps);
+                    let val = map.get(&key);
+                    stats.direct_ops.fetch_add(1, Ordering::Relaxed);
+                    respond(&conn, &Response::Get { id, val });
+                }
+                Request::Remove { id, key } => {
+                    flush(&mut run_ops, &mut run_resps);
+                    let had = map.remove(&key);
+                    stats.direct_ops.fetch_add(1, Ordering::Relaxed);
+                    respond(&conn, &Response::Remove { id, had });
+                }
+                Request::Scan { id, lo, limit } => {
+                    flush(&mut run_ops, &mut run_resps);
+                    let entries = map.scan_collect(&lo, limit as usize);
+                    stats.direct_ops.fetch_add(1, Ordering::Relaxed);
+                    respond(&conn, &Response::Scan { id, entries });
+                }
+                Request::Txn { id, ops } => {
+                    flush(&mut run_ops, &mut run_resps);
+                    if !ops.is_empty() {
+                        let batch = Batch::new(
+                            ops.into_iter()
+                                .map(|(k, v)| match v {
+                                    Some(v) => BatchOp::Put(k, v),
+                                    None => BatchOp::Remove(k),
+                                })
+                                .collect(),
+                        );
+                        map.batch_update(batch);
+                    }
+                    stats.txns.fetch_add(1, Ordering::Relaxed);
+                    respond(&conn, &Response::Txn { id });
+                }
+                Request::Stats { id } => {
+                    flush(&mut run_ops, &mut run_resps);
+                    respond(&conn, &Response::Stats { id, stats: stats.snapshot() });
+                }
+            },
+            None => {
+                // Queue drained (or head mid-publish): install what we
+                // coalesced, then sleep until a producer wakes us.
+                flush(&mut run_ops, &mut run_resps);
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                sleeping.store(true, Ordering::Release);
+                if rx.is_empty() {
+                    // Timeout bounds a lost wake (producer checked
+                    // `sleeping` before we set it).
+                    std::thread::park_timeout(Duration::from_millis(1));
+                }
+                sleeping.store(false, Ordering::Release);
+            }
+        }
+    }
+}

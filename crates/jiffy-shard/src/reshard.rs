@@ -224,7 +224,7 @@ impl WriterGate {
                 // event-free); the gate has no version clock, so the
                 // stamp is the recorder's borrowed high-water mark.
                 if spins > 0 {
-                    jiffy_obs::trace_event!(GateQuiesce, jiffy_obs::stamp_hint(), completed, spins);
+                    jiffy_obs::trace_event!(hint: GateQuiesce, completed, spins);
                 }
                 return;
             }

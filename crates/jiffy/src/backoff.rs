@@ -53,12 +53,7 @@ impl HelpBackoff {
                     return false;
                 }
                 self.step += 1;
-                jiffy_obs::trace_event!(
-                    verbose: BackoffRamp,
-                    jiffy_obs::stamp_hint(),
-                    rival,
-                    progress
-                );
+                jiffy_obs::trace_event!(verbose: hint: BackoffRamp, rival, progress);
             }
             _ => {
                 // New rival, or the owner advanced since we last looked:

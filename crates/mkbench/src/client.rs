@@ -1,0 +1,410 @@
+//! `mkbench client` — the end-to-end serving benchmark: drive a real
+//! in-process `jiffy-server` over loopback TCP with many pipelined
+//! connections and measure what a *client* sees — end-to-end throughput
+//! and p50/p95/p99 latency per op class — rather than the in-process
+//! numbers the other subcommands report.
+//!
+//! Each driver thread owns a slice of the connections as **nonblocking**
+//! sockets (thousands of connections would need thousands of threads
+//! otherwise) and runs them round-robin: top each connection up to the
+//! configured pipeline depth, flush writes, collect whatever responses
+//! have arrived. Latency is stamped at request encode and measured at
+//! response decode, so it includes the wire, the server's frame
+//! reassembly, the ingress queue, coalescing, the Jiffy operation, and
+//! the response path — the full serving stack.
+//!
+//! The measured window uses the same [`jiffy_obs::WindowGate`] edge
+//! discipline as the in-process runner, and brackets the window with
+//! two server `Stats` fetches: the delta becomes the row's `server`
+//! column, which is how a report *proves* coalescing was active (mean
+//! ops per installed batch > 1) instead of asserting it.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use index_api::OrderedIndex as _;
+use jiffy_server::protocol::{decode_response, encode_request, FrameDecoder, Request, Response};
+use jiffy_server::{serve, Client, Map, ServerConfig};
+use workload::{KeyDist, KeyGen, ThreadMix};
+
+use crate::hist::LogHistogram;
+use crate::report::{Measurement, ServerCounters};
+use crate::runner::summarize;
+
+/// Parameters of one `mkbench client` run.
+#[derive(Clone, Debug)]
+pub struct ClientDriverConfig {
+    /// Concurrent loopback connections (spread over the driver threads).
+    pub conns: usize,
+    /// Pipelined requests kept in flight per connection.
+    pub pipeline: usize,
+    /// Driver threads (each owns `conns / threads` nonblocking sockets).
+    pub threads: usize,
+    /// Measured-window length in seconds.
+    pub secs: f64,
+    /// Warmup before the window opens.
+    pub warmup: f64,
+    /// Key space driven by the workload.
+    pub key_space: u64,
+    /// Starting shard count of the served elastic map.
+    pub shards: usize,
+    /// Split and re-merge a shard continuously during the window, so
+    /// the measured traffic crosses live migrations.
+    pub churn: bool,
+}
+
+impl Default for ClientDriverConfig {
+    fn default() -> ClientDriverConfig {
+        ClientDriverConfig {
+            conns: 64,
+            pipeline: 8,
+            threads: 2,
+            secs: 1.0,
+            warmup: 0.5,
+            key_space: 100_000,
+            shards: 2,
+            churn: false,
+        }
+    }
+}
+
+/// Issue-weight mix of the driver: 45% pipelined puts, 10% 4-op
+/// transactions (update class), 35% gets, 10% scans of up to 100.
+const PUT_W: u64 = 45;
+const TXN_W: u64 = 10;
+const GET_W: u64 = 35;
+const TXN_OPS: u64 = 4;
+const SCAN_LIMIT: u32 = 100;
+
+const UPDATE: usize = 0;
+const LOOKUP: usize = 1;
+const SCAN: usize = 2;
+
+/// One in-flight request: id, role slot, op units it will count as on
+/// completion (scans patch this from the entries actually returned),
+/// and its encode-time stamp.
+struct Inflight {
+    id: u64,
+    role: usize,
+    units: u64,
+    sent: Instant,
+}
+
+/// One nonblocking pipelined connection owned by a driver thread.
+struct PipeConn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    out: Vec<u8>,
+    out_at: usize,
+    inflight: VecDeque<Inflight>,
+    gen: KeyGen,
+    next_id: u64,
+}
+
+impl PipeConn {
+    fn connect(addr: std::net::SocketAddr, key_space: u64, seed: u64) -> std::io::Result<PipeConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(PipeConn {
+            stream,
+            dec: FrameDecoder::new(),
+            out: Vec::new(),
+            out_at: 0,
+            inflight: VecDeque::new(),
+            gen: KeyGen::new(KeyDist::Uniform, key_space, seed),
+            next_id: 1,
+        })
+    }
+
+    /// Encode new requests until the pipeline is full.
+    fn top_up(&mut self, depth: usize, key_space: u64) {
+        while self.inflight.len() < depth {
+            let id = self.next_id;
+            self.next_id += 1;
+            let k = self.gen.next_key();
+            let (req, role, units) = match self.gen.next_raw() % 100 {
+                r if r < PUT_W => (Request::Put { id, key: k, val: id }, UPDATE, 1),
+                r if r < PUT_W + TXN_W => (
+                    Request::Txn {
+                        id,
+                        ops: (0..TXN_OPS).map(|i| ((k + i) % key_space, Some(id))).collect(),
+                    },
+                    UPDATE,
+                    TXN_OPS,
+                ),
+                r if r < PUT_W + TXN_W + GET_W => (Request::Get { id, key: k }, LOOKUP, 1),
+                _ => (Request::Scan { id, lo: k, limit: SCAN_LIMIT }, SCAN, 0),
+            };
+            // Compact the written prefix before growing the buffer.
+            if self.out_at > 0 && self.out_at == self.out.len() {
+                self.out.clear();
+                self.out_at = 0;
+            }
+            encode_request(&mut self.out, &req);
+            self.inflight.push_back(Inflight { id, role, units, sent: Instant::now() });
+        }
+    }
+
+    /// Push buffered request bytes; short writes keep the tail.
+    fn pump_out(&mut self) -> std::io::Result<()> {
+        while self.out_at < self.out.len() {
+            match self.stream.write(&self.out[self.out_at..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_at += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Collect every response available right now. Completion is
+    /// id-matched, not order-matched: a connection's requests fan out to
+    /// shard workers by key, so responses for different keys may
+    /// interleave (same-key requests stay ordered — same worker, FIFO
+    /// ingress). That interleaving is the whole reason the wire protocol
+    /// carries request ids.
+    fn pump_in(
+        &mut self,
+        buf: &mut [u8],
+        mut complete: impl FnMut(usize, u64, Duration),
+    ) -> std::io::Result<()> {
+        loop {
+            match self.stream.read(buf) {
+                Ok(0) => return Err(std::io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => {
+                    self.dec.extend(&buf[..n]);
+                    while let Some(payload) = self
+                        .dec
+                        .next_frame()
+                        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+                    {
+                        let resp = decode_response(&payload)
+                            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                        let pos = self
+                            .inflight
+                            .iter()
+                            .position(|f| f.id == resp.id())
+                            .expect("server answered an id this connection never sent");
+                        let head = self.inflight.remove(pos).expect("position just found");
+                        // A scan counts the entries it actually returned
+                        // (the repo-wide sink-verified accounting rule).
+                        let units = match &resp {
+                            Response::Scan { entries, .. } => entries.len() as u64,
+                            _ => head.units,
+                        };
+                        complete(head.role, units, head.sent.elapsed());
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Run the end-to-end driver: start an in-process server, drive it, and
+/// return the client-observed measurement (with the `server` column).
+pub fn run_client_driver(cfg: &ClientDriverConfig) -> Measurement {
+    let map = Arc::new(Map::with_router(
+        jiffy_shard::Router::range_uniform(cfg.shards.max(1), cfg.key_space),
+        jiffy::JiffyConfig::default(),
+    ));
+    // Prefill to the harness's standard 50% density so gets and scans
+    // have something to find from the first request.
+    for i in 0..cfg.key_space / 2 {
+        map.put(workload::permute(i, cfg.key_space), i);
+    }
+    let server = serve(
+        Arc::clone(&map),
+        "127.0.0.1:0",
+        ServerConfig { io_threads: 2, workers: 2, coalesce_max: 128 },
+    )
+    .expect("bind loopback server");
+    let addr = server.addr();
+
+    let threads = cfg.threads.max(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let window = Arc::new(jiffy_obs::WindowGate::new());
+    let counters: Arc<[AtomicU64; 3]> = Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
+    let hists: Arc<Mutex<[LogHistogram; 3]>> =
+        Arc::new(Mutex::new(std::array::from_fn(|_| LogHistogram::new())));
+    let mut window_result: (Duration, ServerCounters) = (Duration::ZERO, ServerCounters::default());
+
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let stop = Arc::clone(&stop);
+            let window = Arc::clone(&window);
+            let counters = Arc::clone(&counters);
+            let hists = Arc::clone(&hists);
+            let cfg = cfg.clone();
+            let my_conns = cfg.conns / threads + usize::from(tid < cfg.conns % threads);
+            s.spawn(move || {
+                crate::with_panic_context(
+                    || format!("client driver thread {tid}, {my_conns} conns"),
+                    || {
+                        let mut conns: Vec<PipeConn> = (0..my_conns)
+                            .map(|c| {
+                                PipeConn::connect(addr, cfg.key_space, (tid * 1_000 + c) as u64 + 1)
+                                    .expect("client driver connect")
+                            })
+                            .collect();
+                        let mut edge = jiffy_obs::WindowEdge::new();
+                        let mut local =
+                            [LogHistogram::new(), LogHistogram::new(), LogHistogram::new()];
+                        let mut done = [0u64; 3];
+                        let mut buf = vec![0u8; 16 * 1024];
+                        while !stop.load(Ordering::Relaxed) {
+                            let crossing = edge.observe(&window);
+                            if crossing == Some(jiffy_obs::WindowCrossing::Closed) {
+                                // Publish this window's counts the moment
+                                // it closes, before the main thread reads.
+                                for (r, n) in done.iter().enumerate() {
+                                    counters[r].fetch_add(*n, Ordering::Relaxed);
+                                }
+                                done = [0; 3];
+                                let mut shared = hists.lock().unwrap();
+                                for (r, h) in local.iter().enumerate() {
+                                    shared[r].merge(h);
+                                }
+                                local = std::array::from_fn(|_| LogHistogram::new());
+                            }
+                            let in_window = edge.in_window();
+                            let mut progressed = false;
+                            for conn in conns.iter_mut() {
+                                conn.top_up(cfg.pipeline, cfg.key_space);
+                                conn.pump_out().expect("client driver write");
+                                let before = conn.inflight.len();
+                                conn.pump_in(&mut buf, |role, units, lat| {
+                                    if in_window {
+                                        done[role] += units;
+                                        local[role].record(lat.as_nanos() as u64);
+                                    }
+                                })
+                                .expect("client driver read");
+                                progressed |= conn.inflight.len() != before;
+                            }
+                            if !progressed {
+                                std::thread::yield_now();
+                            }
+                        }
+                        // Stop outran the closed edge: publish anyway so
+                        // a racing shutdown never drops window counts.
+                        if edge.finish() {
+                            for (r, n) in done.iter().enumerate() {
+                                counters[r].fetch_add(*n, Ordering::Relaxed);
+                            }
+                            let mut shared = hists.lock().unwrap();
+                            for (r, h) in local.iter().enumerate() {
+                                shared[r].merge(h);
+                            }
+                        }
+                    },
+                );
+            });
+        }
+
+        // Control plane: warmup, bracket the window with stats fetches,
+        // optionally churn the shard layout through the window.
+        let mut control = Client::connect(addr).expect("control connect");
+        std::thread::sleep(Duration::from_secs_f64(cfg.warmup));
+        let stats0 = control.stats().expect("stats before window");
+        window.open();
+        let t0 = Instant::now();
+        let deadline = t0 + Duration::from_secs_f64(cfg.secs);
+        if cfg.churn {
+            while Instant::now() < deadline {
+                let mut bounds = vec![0u64];
+                bounds.extend(map.splits());
+                bounds.push(cfg.key_space);
+                let (left, mid) = bounds
+                    .windows(2)
+                    .enumerate()
+                    .max_by_key(|(_, w)| w[1] - w[0])
+                    .map(|(i, w)| (i, w[0] + (w[1] - w[0]) / 2))
+                    .expect("at least one shard");
+                if mid > 0 && map.split_at(mid).is_ok() {
+                    map.merge_at(left).expect("just-inserted boundary merges");
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        } else {
+            std::thread::sleep(Duration::from_secs_f64(cfg.secs));
+        }
+        window.close();
+        let elapsed = t0.elapsed();
+        let stats1 = control.stats().expect("stats after window");
+        // Give every driver thread a beat to notice the closed edge and
+        // publish its window counts before we aggregate.
+        std::thread::sleep(Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        window_result = (
+            elapsed,
+            ServerCounters {
+                installed_batches: stats1.installed_batches - stats0.installed_batches,
+                coalesced_puts: stats1.coalesced_puts - stats0.coalesced_puts,
+                direct_ops: stats1.direct_ops - stats0.direct_ops,
+                txns: stats1.txns - stats0.txns,
+            },
+        );
+    });
+
+    server.shutdown();
+    let (elapsed, server_counters) = window_result;
+    let secs = elapsed.as_secs_f64();
+    let ops: [u64; 3] = std::array::from_fn(|r| counters[r].load(Ordering::Relaxed));
+    let hists = hists.lock().unwrap();
+    Measurement {
+        total_mops: ops.iter().sum::<u64>() as f64 / secs / 1e6,
+        update_mops: ops[UPDATE] as f64 / secs / 1e6,
+        read_mops: ops[LOOKUP] as f64 / secs / 1e6,
+        scan_mops: ops[SCAN] as f64 / secs / 1e6,
+        mix: ThreadMix {
+            update: (PUT_W + TXN_W) as f64 / 100.0,
+            lookup: GET_W as f64 / 100.0,
+            scan: (100 - PUT_W - TXN_W - GET_W) as f64 / 100.0,
+        },
+        update_lat: summarize(&hists[UPDATE]),
+        lookup_lat: summarize(&hists[LOOKUP]),
+        scan_lat: summarize(&hists[SCAN]),
+        op_costs: None,
+        trace_events: None,
+        server: Some(server_counters),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end run: ops complete, latency is recorded,
+    /// and the server column proves coalescing happened.
+    #[test]
+    fn tiny_client_driver_run_measures_and_coalesces() {
+        let m = run_client_driver(&ClientDriverConfig {
+            conns: 16,
+            pipeline: 8,
+            threads: 2,
+            secs: 0.4,
+            warmup: 0.1,
+            key_space: 10_000,
+            shards: 2,
+            churn: true,
+        });
+        assert!(m.total_mops > 0.0, "no ops completed in the window");
+        let upd = m.update_lat.expect("puts ran, update latency must exist");
+        assert!(upd.p50_ns <= upd.p99_ns && upd.p99_ns <= upd.max_ns);
+        let sv = m.server.expect("client rows always carry the server column");
+        assert!(
+            sv.installed_batches > 0 && sv.ops_per_batch() > 1.0,
+            "coalescing not provably active: {sv:?}"
+        );
+    }
+}

@@ -97,6 +97,8 @@ pub fn parse_report(text: &str) -> Result<BenchReport, String> {
 pub struct Comparison {
     /// Rows present in both reports.
     pub compared: usize,
+    /// Rows in the baseline report (the coverage the gate must keep).
+    pub baseline_rows: usize,
     /// Gating failures: total_mops dropped beyond tolerance.
     pub regressions: Vec<String>,
     /// total_mops improved beyond tolerance (trajectory going up).
@@ -107,13 +109,16 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// The gate: no regressions beyond tolerance — and at least one row
-    /// actually compared. Zero matched rows means the reports describe
-    /// disjoint runs (renamed index/scenario, different thread grid);
-    /// passing vacuously would let any regression ship behind a rename,
-    /// so that is a failure, not a pass.
+    /// The gate: no regressions beyond tolerance — and every baseline row
+    /// actually compared. A baseline row with no counterpart in the new
+    /// report means coverage shrank: a renamed index/scenario or a
+    /// narrowed thread grid would otherwise let a regression ship inside
+    /// the rows that silently stopped being compared. (Zero matched rows
+    /// — fully disjoint runs — is the degenerate case of the same hole.)
+    /// Rows that exist only in the *new* report are fine: that is how new
+    /// scenarios ride along informationally until they are re-baselined.
     pub fn passed(&self) -> bool {
-        self.compared > 0 && self.regressions.is_empty()
+        self.compared > 0 && self.compared >= self.baseline_rows && self.regressions.is_empty()
     }
 
     /// Human-readable diff, one finding per line.
@@ -121,8 +126,9 @@ impl Comparison {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "compared {} rows (tolerance {:.0}%): {} regression(s), {} improvement(s)",
+            "compared {} of {} baseline rows (tolerance {:.0}%): {} regression(s), {} improvement(s)",
             self.compared,
+            self.baseline_rows,
             self.tolerance_pct,
             self.regressions.len(),
             self.improvements.len()
@@ -138,6 +144,12 @@ impl Comparison {
         }
         if self.compared == 0 {
             let _ = writeln!(out, "no rows matched: reports describe disjoint runs");
+        } else if self.compared < self.baseline_rows {
+            let _ = writeln!(
+                out,
+                "coverage shrank: {} baseline row(s) have no counterpart in the new report",
+                self.baseline_rows - self.compared
+            );
         }
         let _ = writeln!(out, "{}", if self.passed() { "PASS" } else { "FAIL" });
         out
@@ -154,7 +166,7 @@ fn pct(old: f64, new: f64) -> f64 {
 /// Compare `new` against the `old` baseline with a symmetric tolerance in
 /// percent. Only `total_mops` gates; everything else is informational.
 pub fn compare(old: &BenchReport, new: &BenchReport, tolerance_pct: f64) -> Comparison {
-    let mut out = Comparison { tolerance_pct, ..Default::default() };
+    let mut out = Comparison { tolerance_pct, baseline_rows: old.rows.len(), ..Default::default() };
     // Noise floor for the informational per-role columns: a role doing
     // almost nothing (e.g. 0.05 Mops/s of updates among 75% lookups)
     // swings wildly run to run and would drown the report.
@@ -279,12 +291,31 @@ mod tests {
     }
 
     #[test]
-    fn unmatched_rows_are_notes_not_failures() {
-        let old = report(&[("s", "jiffy", 1, 1.0), ("s", "cslm", 1, 1.0)]);
+    fn new_only_rows_are_notes_not_failures() {
+        // Rows that exist only in the new report (a new scenario/index
+        // riding along before re-baselining) stay informational.
+        let old = report(&[("s", "jiffy", 1, 1.0)]);
         let new = report(&[("s", "jiffy", 1, 1.0), ("s", "lfca", 1, 1.0)]);
         let c = compare(&old, &new, 10.0);
         assert!(c.passed());
         assert_eq!(c.compared, 1);
+        assert_eq!(c.baseline_rows, 1);
+        assert_eq!(c.notes.len(), 1, "{:?}", c.notes);
+        assert!(c.notes[0].contains("new row"), "{:?}", c.notes);
+    }
+
+    #[test]
+    fn missing_baseline_rows_fail_the_gate() {
+        // A label rename leaves the renamed row unmatched on *both*
+        // sides; the surviving match must not carry the gate alone —
+        // coverage dropped below the baseline's row count.
+        let old = report(&[("s", "jiffy", 1, 1.0), ("s", "cslm", 1, 1.0)]);
+        let new = report(&[("s", "jiffy", 1, 1.0), ("s", "lfca", 1, 1.0)]);
+        let c = compare(&old, &new, 10.0);
+        assert_eq!(c.compared, 1);
+        assert_eq!(c.baseline_rows, 2);
+        assert!(!c.passed(), "shrunken coverage must fail the gate");
+        assert!(c.render().contains("coverage shrank"), "{}", c.render());
         assert_eq!(c.notes.len(), 2, "{:?}", c.notes);
     }
 

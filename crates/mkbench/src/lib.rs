@@ -14,6 +14,7 @@
 //! (p50/p95/p99/max) come from hand-rolled log-bucketed histograms, and
 //! `compare` diffs two `BENCH_*.json` reports as a regression gate.
 
+pub mod client;
 pub mod compare;
 pub mod hist;
 pub mod json;
@@ -21,8 +22,13 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 
+pub use client::{run_client_driver, ClientDriverConfig};
 pub use compare::{compare, parse_report, BenchReport, BenchRow, Comparison};
 pub use hist::LogHistogram;
 pub use registry::{indices_for_figure, make_index_u32, make_index_u64, IndexKind, DEFAULT_SHARDS};
-pub use report::{write_csv, write_json, LatencySummary, Measurement, OpCosts, Row, RunMeta};
-pub use runner::{last_worker_panic, run_scenario, with_panic_context, BenchKey, RunConfig};
+pub use report::{
+    write_csv, write_json, LatencySummary, Measurement, OpCosts, Row, RunMeta, ServerCounters,
+};
+pub use runner::{
+    last_worker_panic, parse_inject_panic, run_scenario, with_panic_context, BenchKey, RunConfig,
+};

@@ -58,6 +58,35 @@ impl OpCosts {
     }
 }
 
+/// Server-side counters captured across a `mkbench client` measurement
+/// window: the delta of the jiffy-server coalescing counters between
+/// window open and close. `installed_batches`/`coalesced_puts` prove the
+/// ingress coalescing actually converted pipelined single-key puts into
+/// Jiffy batches (mean ops per installed batch > 1 under load). Additive
+/// v2 column like `op_costs`; the compare gate ignores it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Coalesced multi-put batches installed via `batch_update`.
+    pub installed_batches: u64,
+    /// Single-key puts that rode in those batches.
+    pub coalesced_puts: u64,
+    /// Operations executed directly (lone puts, gets, removes, scans).
+    pub direct_ops: u64,
+    /// Client-submitted multi-key transactions.
+    pub txns: u64,
+}
+
+impl ServerCounters {
+    /// Mean client puts per installed batch (0.0 when none installed).
+    pub fn ops_per_batch(&self) -> f64 {
+        if self.installed_batches == 0 {
+            0.0
+        } else {
+            self.coalesced_puts as f64 / self.installed_batches as f64
+        }
+    }
+}
+
 /// Throughput of one run, in millions of basic ops per second, plus the
 /// v2 fields: effective mix and per-role latency percentiles.
 #[derive(Clone, Copy, Debug, Default)]
@@ -87,6 +116,9 @@ pub struct Measurement {
     /// only when the run emitted any events. Additive like `op_costs`;
     /// the compare gate ignores it.
     pub trace_events: Option<[u64; jiffy_obs::KIND_COUNT]>,
+    /// Server-side coalescing counters, present only on rows produced by
+    /// the `client` end-to-end driver (additive; gate-ignored).
+    pub server: Option<ServerCounters>,
 }
 
 /// One output row.
@@ -266,6 +298,18 @@ pub fn render_json(meta: &RunMeta, rows: &[Row]) -> String {
                 .collect();
             let _ = write!(out, ", \"trace_events\": {{ {} }}", named.join(", "));
         }
+        if let Some(sv) = &r.m.server {
+            let _ = write!(
+                out,
+                ", \"server\": {{ \"installed_batches\": {}, \"coalesced_puts\": {}, \
+                 \"direct_ops\": {}, \"txns\": {}, \"ops_per_batch\": {:.3} }}",
+                sv.installed_batches,
+                sv.coalesced_puts,
+                sv.direct_ops,
+                sv.txns,
+                sv.ops_per_batch()
+            );
+        }
         let _ = writeln!(out, " }}{comma}");
     }
     let _ = writeln!(out, "  ]");
@@ -295,10 +339,13 @@ pub fn render_trace_json(
     let _ = writeln!(out, "  \"events\": [");
     for (i, e) in trace.iter().enumerate() {
         let comma = if i + 1 < trace.len() { "," } else { "" };
+        // `hinted` is emitted only when set: borrowed-stamp events are
+        // rare and the column stays additive for existing consumers.
+        let hinted = if e.hinted { ", \"hinted\": true" } else { "" };
         let _ = writeln!(
             out,
             "    {{ \"stamp\": {}, \"thread\": {}, \"seq\": {}, \"kind\": \"{}\", \
-             \"a\": {}, \"b\": {} }}{comma}",
+             \"a\": {}, \"b\": {}{hinted} }}{comma}",
             e.stamp,
             e.thread,
             e.seq,
@@ -529,6 +576,7 @@ mod tests {
         let trace = vec![
             jiffy_obs::TraceEvent {
                 stamp: 10,
+                hinted: false,
                 thread: 0,
                 seq: 1,
                 kind: jiffy_obs::EventKind::ReshardStage,
@@ -537,6 +585,7 @@ mod tests {
             },
             jiffy_obs::TraceEvent {
                 stamp: 12,
+                hinted: true,
                 thread: 1,
                 seq: 1,
                 kind: jiffy_obs::EventKind::ReshardCutover,
@@ -562,6 +611,9 @@ mod tests {
         assert!(text.contains("\"schema\": \"jiffy-obs-trace/v1\""));
         assert!(text.contains("\"kind\": \"ReshardStage\""));
         assert!(text.contains("\"kind\": \"ReshardCutover\""));
+        // Hinted stamps are marked; clock-exact events omit the column.
+        assert!(text.contains("\"b\": 2, \"hinted\": true"), "{text}");
+        assert!(!text.contains("\"b\": 4, \"hinted\""), "{text}");
         assert!(text.contains("\"event_counts\": { \"ReshardStage\": 1 }"));
         assert!(text.contains("\"label\": \"elastic \\\"x\\\"\""));
         assert!(text.contains("\"shards\": [{ \"reads\": 5, \"updates\": 7"));

@@ -64,6 +64,21 @@ pub fn with_panic_context<R>(ctx: impl Fn() -> String, f: impl FnOnce() -> R) ->
     }
 }
 
+/// Parse the `MKBENCH_INJECT_PANIC` environment value: the op count at
+/// which the forced-panic smoke crashes one worker. An empty value is
+/// treated as unset; anything else that is not a `u64` is an **error**,
+/// not a disarm — a typo'd trigger must fail the run loudly rather than
+/// let the dump-on-panic CI smoke silently pass without ever panicking.
+pub fn parse_inject_panic(raw: &str) -> Result<Option<u64>, String> {
+    let t = raw.trim();
+    if t.is_empty() {
+        return Ok(None);
+    }
+    t.parse::<u64>().map(Some).map_err(|_| {
+        format!("MKBENCH_INJECT_PANIC takes an op count (non-negative integer), got `{raw}`")
+    })
+}
+
 /// Benchmark keys are derived from `u64` draws.
 pub trait BenchKey: Ord + Clone + Send + Sync + 'static {
     fn from_u64(v: u64) -> Self;
@@ -160,7 +175,7 @@ const SAMPLE_MASK: u64 = 0xF;
 /// cross-thread contention off the hot path.
 const FLUSH_EVERY: u64 = 1024;
 
-fn summarize(h: &LogHistogram) -> Option<LatencySummary> {
+pub(crate) fn summarize(h: &LogHistogram) -> Option<LatencySummary> {
     (!h.is_empty()).then(|| LatencySummary {
         p50_ns: h.percentile(50.0),
         p95_ns: h.percentile(95.0),
@@ -377,6 +392,8 @@ pub fn run_scenario<K: BenchKey, V: Value>(
         // Window-scoped flight-recorder event counts. All-zero (e.g. a
         // baseline index that never emits events) omits the column.
         trace_events: trace_events.iter().any(|&n| n > 0).then_some(trace_events),
+        // Only the networked `client` driver has a server to report on.
+        server: None,
     }
 }
 
@@ -463,6 +480,23 @@ mod tests {
         let report = last_worker_panic().expect("panic recorded");
         assert!(report.contains("scenario s1, worker 3/4"), "{report}");
         assert!(report.contains("boom at key 42"), "{report}");
+    }
+
+    /// A typo'd `MKBENCH_INJECT_PANIC` must be an error, never a silent
+    /// disarm: the forced-panic smoke would otherwise "pass" having
+    /// tested nothing.
+    #[test]
+    fn inject_panic_parse_rejects_garbage() {
+        assert_eq!(parse_inject_panic("20000"), Ok(Some(20000)));
+        assert_eq!(parse_inject_panic(" 7 "), Ok(Some(7)));
+        assert_eq!(parse_inject_panic("0"), Ok(Some(0)));
+        assert_eq!(parse_inject_panic(""), Ok(None));
+        assert_eq!(parse_inject_panic("   "), Ok(None));
+        for bad in ["2oooo", "-1", "1e4", "20_000", "yes", "18446744073709551616"] {
+            let err = parse_inject_panic(bad).expect_err(bad);
+            assert!(err.contains("MKBENCH_INJECT_PANIC"), "{err}");
+            assert!(err.contains(bad.trim()), "{err}");
+        }
     }
 
     /// Scans near the top of the key space must credit only visited
