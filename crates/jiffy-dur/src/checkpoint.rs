@@ -1,0 +1,257 @@
+//! Non-blocking checkpoints: sorted, checksummed, individually-fsynced
+//! chunk files plus a manifest that commits the checkpoint atomically
+//! (write `MANIFEST.tmp`, fsync, rename). A checkpoint directory with
+//! no valid manifest is an aborted attempt and is ignored — recovery
+//! falls back to the previous complete checkpoint, which is why the
+//! pruner always retains at least two.
+//!
+//! # The cut argument
+//!
+//! A checkpoint is **not** one consistent snapshot: each chunk is an
+//! independently consistent `scan_collect`, taken while writers, splits
+//! and merges keep running. Consistency is restored by the watermark
+//! rule: per-stripe watermarks (`Stripe::last_seq` read under the
+//! stripe lock) are latched **before** the first chunk scan. Any record
+//! at or below its stripe's watermark finished its map install before
+//! the latch (install happens under the same lock), so every chunk —
+//! all scanned later — reflects it. Any record above the watermark is
+//! replayed at recovery, in per-stripe append order, which per key *is*
+//! install order. Either way the recovered value of every key is the
+//! value of its last durable write; the WAL pruner may therefore drop
+//! exactly the segments wholly at-or-below the oldest retained
+//! manifest's watermarks, and nothing else.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::failpoint;
+use crate::wal::crc32;
+
+/// Chunk-file magic.
+pub const CHUNK_MAGIC: &[u8; 5] = b"JFCK1";
+/// Manifest magic.
+pub const MANIFEST_MAGIC: &[u8; 5] = b"JFMF1";
+
+/// A complete checkpoint's metadata, as committed by its manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint id (monotonic per durability root).
+    pub id: u64,
+    /// Total entries across all chunks.
+    pub entries: u64,
+    /// Number of chunk files (`chunk-NNNNNN.ck`, dense from 0).
+    pub chunks: u32,
+    /// Per-stripe replay watermarks, latched before the first scan.
+    pub watermarks: Vec<u64>,
+}
+
+/// Checkpoint root under a durability root.
+pub fn ckpt_root(root: &Path) -> PathBuf {
+    root.join("ckpt")
+}
+
+/// One checkpoint's directory.
+pub fn ckpt_dir(root: &Path, id: u64) -> PathBuf {
+    ckpt_root(root).join(format!("ck-{id:06}"))
+}
+
+/// A chunk file's path.
+pub fn chunk_path(dir: &Path, idx: u32) -> PathBuf {
+    dir.join(format!("chunk-{idx:06}.ck"))
+}
+
+fn write_synced(path: &Path, bytes: &[u8], site: &'static str) -> io::Result<()> {
+    let mut f = OpenOptions::new().create(true).truncate(true).write(true).open(path)?;
+    if let Some(cut) = failpoint::write_cut(site, bytes.len()) {
+        let _ = f.write_all(&bytes[..cut]);
+        let _ = f.sync_data();
+        failpoint::crash_after_cut(site);
+    }
+    f.write_all(bytes)?;
+    f.sync_data()?;
+    Ok(())
+}
+
+/// Write chunk `idx`: magic | idx:u32 | count:u32 | count*(k,v):u64le |
+/// crc32 of everything before it. fsynced before return, so a later
+/// manifest commit covers it.
+pub fn write_chunk(dir: &Path, idx: u32, entries: &[(u64, u64)]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(16 + entries.len() * 16);
+    buf.extend_from_slice(CHUNK_MAGIC);
+    buf.extend_from_slice(&idx.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (k, v) in entries {
+        buf.extend_from_slice(&k.to_le_bytes());
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    write_synced(&chunk_path(dir, idx), &buf, "ckpt-chunk")
+}
+
+/// Read and validate chunk `idx`; `InvalidData` on any corruption.
+pub fn read_chunk(dir: &Path, idx: u32) -> io::Result<Vec<(u64, u64)>> {
+    let mut bytes = Vec::new();
+    File::open(chunk_path(dir, idx))?.read_to_end(&mut bytes)?;
+    let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, format!("chunk {idx}: {why}"));
+    if bytes.len() < 17 {
+        return Err(bad("truncated"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    if crc32(body) != u32::from_le_bytes(tail.try_into().unwrap()) {
+        return Err(bad("checksum mismatch"));
+    }
+    if &body[..5] != CHUNK_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    if u32::from_le_bytes(body[5..9].try_into().unwrap()) != idx {
+        return Err(bad("index mismatch"));
+    }
+    let count = u32::from_le_bytes(body[9..13].try_into().unwrap()) as usize;
+    let data = &body[13..];
+    if data.len() != count * 16 {
+        return Err(bad("count mismatch"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for c in data.chunks_exact(16) {
+        out.push((
+            u64::from_le_bytes(c[0..8].try_into().unwrap()),
+            u64::from_le_bytes(c[8..16].try_into().unwrap()),
+        ));
+    }
+    Ok(out)
+}
+
+/// Commit `m` as the checkpoint's manifest: encode, write
+/// `MANIFEST.tmp` fsynced, rename to `MANIFEST`. The rename is the
+/// commit point; a crash anywhere earlier leaves an ignorable attempt.
+pub fn commit_manifest(dir: &Path, m: &Manifest) -> io::Result<()> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    buf.extend_from_slice(&m.id.to_le_bytes());
+    buf.extend_from_slice(&m.entries.to_le_bytes());
+    buf.extend_from_slice(&m.chunks.to_le_bytes());
+    buf.extend_from_slice(&(m.watermarks.len() as u32).to_le_bytes());
+    for w in &m.watermarks {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    let tmp = dir.join("MANIFEST.tmp");
+    write_synced(&tmp, &buf, "ckpt-manifest")?;
+    fs::rename(&tmp, dir.join("MANIFEST"))?;
+    // Best-effort directory sync so the rename itself is durable.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Read and validate a checkpoint's manifest.
+pub fn read_manifest(dir: &Path) -> io::Result<Manifest> {
+    let mut bytes = Vec::new();
+    File::open(dir.join("MANIFEST"))?.read_to_end(&mut bytes)?;
+    let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, format!("manifest: {why}"));
+    if bytes.len() < 33 {
+        return Err(bad("truncated"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    if crc32(body) != u32::from_le_bytes(tail.try_into().unwrap()) {
+        return Err(bad("checksum mismatch"));
+    }
+    if &body[..5] != MANIFEST_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let id = u64::from_le_bytes(body[5..13].try_into().unwrap());
+    let entries = u64::from_le_bytes(body[13..21].try_into().unwrap());
+    let chunks = u32::from_le_bytes(body[21..25].try_into().unwrap());
+    let n = u32::from_le_bytes(body[25..29].try_into().unwrap()) as usize;
+    let data = &body[29..];
+    if data.len() != n * 8 {
+        return Err(bad("watermark count mismatch"));
+    }
+    let watermarks =
+        data.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+    Ok(Manifest { id, entries, chunks, watermarks })
+}
+
+/// List checkpoint directories under `root`, newest id first. Includes
+/// attempts without a manifest (callers validate per directory).
+pub fn list_checkpoints(root: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    match fs::read_dir(ckpt_root(root)) {
+        Ok(entries) => {
+            for e in entries {
+                let e = e?;
+                let name = e.file_name().to_string_lossy().into_owned();
+                if let Some(id) = name.strip_prefix("ck-").and_then(|s| s.parse::<u64>().ok()) {
+                    out.push((id, e.path()));
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    out.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
+    Ok(out)
+}
+
+/// Load a checkpoint's full contents after validating every chunk.
+/// Any invalid chunk fails the whole checkpoint (`InvalidData`).
+pub fn load_checkpoint(dir: &Path, m: &Manifest) -> io::Result<Vec<Vec<(u64, u64)>>> {
+    let mut total = 0u64;
+    let mut out = Vec::with_capacity(m.chunks as usize);
+    for idx in 0..m.chunks {
+        let entries = read_chunk(dir, idx)?;
+        total += entries.len() as u64;
+        out.push(entries);
+    }
+    if total != m.entries {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "checkpoint entry total mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("jiffy-dur-ckpt-{}-{}", std::process::id(), name));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn chunk_and_manifest_roundtrip() {
+        let d = tmp("roundtrip");
+        write_chunk(&d, 0, &[(1, 10), (2, 20)]).unwrap();
+        write_chunk(&d, 1, &[(3, 30)]).unwrap();
+        assert_eq!(read_chunk(&d, 0).unwrap(), vec![(1, 10), (2, 20)]);
+        let m = Manifest { id: 7, entries: 3, chunks: 2, watermarks: vec![5, 0, 9] };
+        commit_manifest(&d, &m).unwrap();
+        assert_eq!(read_manifest(&d).unwrap(), m);
+        assert_eq!(load_checkpoint(&d, &m).unwrap().concat(), vec![(1, 10), (2, 20), (3, 30)]);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corrupt_chunk_fails_validation_not_panics() {
+        let d = tmp("corrupt");
+        write_chunk(&d, 0, &[(1, 10), (2, 20)]).unwrap();
+        let p = chunk_path(&d, 0);
+        let mut bytes = fs::read(&p).unwrap();
+        bytes[10] ^= 0x40;
+        fs::write(&p, &bytes).unwrap();
+        assert!(read_chunk(&d, 0).is_err());
+        // Truncation too.
+        fs::write(&p, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(read_chunk(&d, 0).is_err());
+        fs::write(&p, b"").unwrap();
+        assert!(read_chunk(&d, 0).is_err());
+        let _ = fs::remove_dir_all(&d);
+    }
+}

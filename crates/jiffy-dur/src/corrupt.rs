@@ -1,0 +1,39 @@
+//! File-corruption helpers for the crash test family: the driver-side
+//! half of `DurFailpoint` (truncate and bit-flip happen to dead files,
+//! from the recovering process). Test-support code, but compiled
+//! always — it has no unsafe, no deps, and the crash driver lives in a
+//! different crate's integration tests.
+
+use std::fs::{self, OpenOptions};
+use std::io;
+use std::path::Path;
+
+/// Truncate `path` to `len` bytes (simulates a tail lost in flight).
+pub fn truncate_to(path: &Path, len: u64) -> io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_data()
+}
+
+/// Flip one bit of `path` at byte `offset` (simulates media rot).
+pub fn flip_bit(path: &Path, offset: u64, bit: u8) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    let i = (offset as usize).min(bytes.len().saturating_sub(1));
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    bytes[i] ^= 1 << (bit % 8);
+    fs::write(path, bytes)
+}
+
+/// Append raw garbage to `path` (simulates a torn append of noise).
+pub fn append_garbage(path: &Path, garbage: &[u8]) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    bytes.extend_from_slice(garbage);
+    fs::write(path, bytes)
+}
+
+/// File length helper for cut-point arithmetic in tests.
+pub fn len_of(path: &Path) -> io::Result<u64> {
+    Ok(fs::metadata(path)?.len())
+}

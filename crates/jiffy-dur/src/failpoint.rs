@@ -1,0 +1,203 @@
+//! `DurFailpoint` — the kill-at-injection-point layer the crash test
+//! family is built on, modeled on audit-sched's probe hooks: named
+//! sites compiled permanently into the durability hot path, armed from
+//! the environment by a *driver process* that spawns the victim, waits
+//! for the induced death, and then recovers from whatever reached disk.
+//!
+//! Arming syntax (the [`ENV`] variable):
+//!
+//! ```text
+//! JIFFY_DUR_FAILPOINT=<site>:<countdown>[:torn[:<seed>]]
+//! ```
+//!
+//! The `<countdown>`-th hit of `<site>` triggers. Plain mode hard-stops
+//! the process (`abort`) *before* the site's effect — a crash at a
+//! record boundary. `torn` mode applies only to sites that write a byte
+//! run ([`write_cut`]): the site writes a seeded-random **prefix** of
+//! the run to the real file and then aborts — a torn write that can cut
+//! any record mid-byte. Everything still buffered in the process (the
+//! simulated page cache, see [`crate::wal`]) dies with it.
+//!
+//! Sites never fire unless armed: the unarmed fast path is one relaxed
+//! load of a process-wide `OnceLock`.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable a crash driver arms a child's failpoint with.
+pub const ENV: &str = "JIFFY_DUR_FAILPOINT";
+
+/// The sites compiled into the durability path (drivers pick from this
+/// list; `hit`/`write_cut` accept any name, so the list is documentation
+/// plus the fuzzer's sample space, not an enum straitjacket).
+pub const SITES: &[&str] = &[
+    "wal-append",
+    "wal-sync",
+    "ckpt-begin",
+    "ckpt-chunk",
+    "ckpt-manifest",
+    "ckpt-rotate",
+    "wal-prune",
+];
+
+/// How an armed site dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Hard-stop before the site's effect (crash at a record boundary).
+    Abort,
+    /// For byte-run sites: persist a random prefix, then hard-stop
+    /// (torn write, possibly mid-record).
+    Torn,
+}
+
+/// One armed failpoint (at most one per process, parsed from [`ENV`]).
+#[derive(Debug)]
+pub struct Armed {
+    site: String,
+    countdown: AtomicI64,
+    mode: Mode,
+    rng: Mutex<u64>,
+}
+
+static ARMED: OnceLock<Option<Armed>> = OnceLock::new();
+
+fn armed() -> Option<&'static Armed> {
+    ARMED.get_or_init(|| std::env::var(ENV).ok().and_then(|s| parse_spec(&s))).as_ref()
+}
+
+/// Parse an arming spec; `None` when malformed (a driver typo must not
+/// silently disarm a crash test, so callers that *require* arming check
+/// [`armed_site`]).
+pub fn parse_spec(spec: &str) -> Option<Armed> {
+    let mut parts = spec.split(':');
+    let site = parts.next()?.trim();
+    if site.is_empty() {
+        return None;
+    }
+    let countdown: i64 = parts.next()?.trim().parse().ok()?;
+    if countdown < 1 {
+        return None;
+    }
+    let (mode, seed) = match parts.next() {
+        None => (Mode::Abort, 0x9e3779b97f4a7c15),
+        Some("torn") => (
+            Mode::Torn,
+            match parts.next() {
+                None => 0x9e3779b97f4a7c15,
+                Some(s) => s.trim().parse().ok()?,
+            },
+        ),
+        Some(_) => return None,
+    };
+    Some(Armed {
+        site: site.to_string(),
+        countdown: AtomicI64::new(countdown),
+        mode,
+        rng: Mutex::new(seed | 1),
+    })
+}
+
+/// The armed site's name, if the process was armed with a valid spec.
+pub fn armed_site() -> Option<&'static str> {
+    armed().map(|a| a.site.as_str())
+}
+
+fn triggered(a: &Armed, site: &str) -> bool {
+    a.site == site && a.countdown.fetch_sub(1, Ordering::Relaxed) == 1
+}
+
+/// Announce and die. The stderr marker is the driver's proof the death
+/// was the induced one (vs. an unrelated panic or a natural exit).
+fn crash(site: &str) -> ! {
+    eprintln!("jiffy-dur-failpoint: crashing at {site}");
+    std::process::abort();
+}
+
+/// A pure crash point: if this process is armed for `site` and the
+/// countdown ran out, hard-stop *now*, before the caller's effect.
+pub fn hit(site: &str) {
+    if let Some(a) = armed() {
+        if triggered(a, site) {
+            crash(site);
+        }
+    }
+}
+
+/// A byte-run crash point for a site about to persist `len` bytes.
+/// `None`: not triggered, write everything. `Some(cut)`: persist
+/// exactly the first `cut` bytes (possibly 0, possibly mid-record),
+/// then call [`crash_after_cut`].
+pub fn write_cut(site: &str, len: usize) -> Option<usize> {
+    let a = armed()?;
+    if !triggered(a, site) {
+        return None;
+    }
+    match a.mode {
+        Mode::Abort => Some(0),
+        Mode::Torn => {
+            let mut s = a.rng.lock().unwrap();
+            // xorshift64*: deterministic per seed, good enough spread.
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            let r = s.wrapping_mul(0x2545f4914f6cdd1d);
+            Some((r % (len as u64 + 1)) as usize)
+        }
+    }
+}
+
+/// Second half of a triggered [`write_cut`]: the caller has persisted
+/// the prefix and flushed it; die.
+pub fn crash_after_cut(site: &str) -> ! {
+    crash(site)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_modes_and_rejects_garbage() {
+        let a = parse_spec("wal-sync:3").unwrap();
+        assert_eq!(a.site, "wal-sync");
+        assert_eq!(a.mode, Mode::Abort);
+        let a = parse_spec("ckpt-chunk:1:torn").unwrap();
+        assert_eq!(a.mode, Mode::Torn);
+        let a = parse_spec("ckpt-chunk:2:torn:99").unwrap();
+        assert_eq!(a.mode, Mode::Torn);
+        assert!(parse_spec("").is_none());
+        assert!(parse_spec("site").is_none());
+        assert!(parse_spec("site:0").is_none());
+        assert!(parse_spec("site:-1").is_none());
+        assert!(parse_spec("site:2:shredded").is_none());
+    }
+
+    #[test]
+    fn countdown_triggers_on_nth_hit_only() {
+        let a = parse_spec("s:3").unwrap();
+        assert!(!triggered(&a, "other"));
+        assert!(!triggered(&a, "s"));
+        assert!(!triggered(&a, "s"));
+        assert!(triggered(&a, "s"));
+        assert!(!triggered(&a, "s")); // fires once
+    }
+
+    fn cut(a: &Armed, len: usize) -> usize {
+        let mut s = a.rng.lock().unwrap();
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        (s.wrapping_mul(0x2545f4914f6cdd1d) % (len as u64 + 1)) as usize
+    }
+
+    #[test]
+    fn torn_cut_is_bounded_and_deterministic() {
+        let a = parse_spec("s:1:torn:42").unwrap();
+        let b = parse_spec("s:1:torn:42").unwrap();
+        for len in [0usize, 1, 7, 4096] {
+            let ca = cut(&a, len);
+            assert!(ca <= len);
+            assert_eq!(ca, cut(&b, len), "same seed must give the same cuts");
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! `jiffy-dur` — durability for the Jiffy workspace: striped
+//! write-ahead logs with group commit, non-blocking chunked
+//! checkpoints, crash recovery, and the `DurFailpoint` crash-injection
+//! layer the `crash` test family drives.
+//!
+//! # Shape
+//!
+//! [`DurableMap`] wraps any `OrderedIndex<u64, u64> + BulkLoad` (in
+//! practice `Arc<ElasticJiffy<u64, u64>>`) and owns N WAL **stripes**
+//! — per-shard logs in the paper's spirit, keyed by a fixed hash of
+//! the key so a key's records always land in one stripe regardless of
+//! live splits and merges. Each write:
+//!
+//! 1. takes its stripe lock(s), draws a process-wide `seq`,
+//! 2. appends the record to the stripe's buffer (write-ahead),
+//! 3. installs into the wrapped map **still under the lock** — so
+//!    per-stripe log order equals per-key install order, the invariant
+//!    recovery's replay depends on,
+//! 4. releases, then (policy [`Durability::Fsync`]) syncs the stripe —
+//!    one fsync covers every record buffered meanwhile: group commit,
+//!    riding the jiffy-server coalescer's one-batch-per-flush shape.
+//!
+//! A batch spanning stripes locks them in ascending order and logs one
+//! `BatchPart` per stripe under a shared seq; recovery applies a batch
+//! only when every part survived — acked batches always do (sync is
+//! sequential per stripe), torn ones vanish whole.
+//!
+//! [`DurableMap::checkpoint`] streams the live map to sorted,
+//! checksummed chunks without blocking writers (see
+//! [`checkpoint`] for the cut argument), commits a manifest, rotates
+//! the stripes and prunes segments older checkpoints no longer need.
+//! [`DurableMap::open`] recovers: newest complete checkpoint
+//! bulk-loaded, WAL tails replayed, torn tails repaired to the last
+//! valid prefix.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod corrupt;
+pub mod failpoint;
+pub mod recover;
+pub mod wal;
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use index_api::{Batch, BatchOp, BulkLoad, OrderedIndex};
+use jiffy_obs::{trace_event, LogHistogram, ObsSnapshot};
+use parking_lot::Mutex;
+
+pub use recover::RecoveryReport;
+use wal::{Payload, Record, Stripe};
+
+/// When the acknowledgement may be released relative to the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No WAL at all: the wrapper is never constructed; callers keep
+    /// the RAM-only hot path. Exists so CLI knobs can say `none`.
+    None,
+    /// Append (buffered) before install; fsync rides later appends,
+    /// size thresholds, checkpoints and shutdown. Bounded loss window:
+    /// a crash loses at most the un-synced buffer, never tears it.
+    #[default]
+    Batch,
+    /// Ack only after the record's stripe is fsynced: acked ⇒ durable,
+    /// the property the crash harness proves.
+    Fsync,
+}
+
+impl std::str::FromStr for Durability {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Durability, String> {
+        match s {
+            "none" => Ok(Durability::None),
+            "batch" => Ok(Durability::Batch),
+            "fsync" => Ok(Durability::Fsync),
+            other => Err(format!("unknown durability mode {other:?} (none|batch|fsync)")),
+        }
+    }
+}
+
+/// Tuning for a [`DurableMap`].
+#[derive(Debug, Clone)]
+pub struct DurOptions {
+    /// Ack policy. Must not be [`Durability::None`] (don't build the
+    /// wrapper at all for that).
+    pub mode: Durability,
+    /// WAL stripes. Fixed per durability root (persisted in `meta`);
+    /// reopening with a different value is an error.
+    pub stripes: usize,
+    /// Entries per checkpoint chunk file.
+    pub chunk_entries: usize,
+    /// Complete checkpoints to retain (≥ 1; 2 gives the corrupt-chunk
+    /// fallback the acceptance criteria require).
+    pub keep_checkpoints: usize,
+    /// `Batch` mode: fsync once the buffer exceeds this many bytes.
+    pub batch_flush_bytes: usize,
+}
+
+impl Default for DurOptions {
+    fn default() -> DurOptions {
+        DurOptions {
+            mode: Durability::Batch,
+            stripes: 4,
+            chunk_entries: 4096,
+            keep_checkpoints: 2,
+            batch_flush_bytes: 64 << 10,
+        }
+    }
+}
+
+/// What one [`DurableMap::checkpoint`] call produced.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointReport {
+    /// The committed checkpoint's id.
+    pub id: u64,
+    /// Chunk files written.
+    pub chunks: u32,
+    /// Entries streamed.
+    pub entries: u64,
+    /// WAL segment files pruned afterwards.
+    pub pruned_segments: usize,
+}
+
+struct CkptState {
+    next_id: u64,
+    hist_chunk: LogHistogram,
+}
+
+/// The durable wrapper. See the crate docs for the protocol; see
+/// [`recover`] for what [`DurableMap::open`] re-establishes.
+pub struct DurableMap<I> {
+    inner: I,
+    root: PathBuf,
+    opts: DurOptions,
+    stripes: Vec<Mutex<Stripe>>,
+    /// Process-wide record seq. Drawn under a stripe lock, so relaxed
+    /// is enough: uniqueness comes from the RMW, per-stripe
+    /// monotonicity from the lock.
+    seq: AtomicU64,
+    ckpt: Mutex<CkptState>,
+}
+
+const META_NAME: &str = "meta";
+
+fn write_meta(root: &Path, stripes: usize) -> io::Result<()> {
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(root.join(META_NAME))?;
+    f.write_all(format!("jiffy-dur/v1\nstripes={stripes}\n").as_bytes())?;
+    f.sync_data()
+}
+
+fn read_meta(root: &Path) -> io::Result<Option<usize>> {
+    let text = match fs::read_to_string(root.join(META_NAME)) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let bad = || io::Error::new(io::ErrorKind::InvalidData, "unreadable jiffy-dur meta file");
+    let mut lines = text.lines();
+    if lines.next() != Some("jiffy-dur/v1") {
+        return Err(bad());
+    }
+    let stripes = lines
+        .next()
+        .and_then(|l| l.strip_prefix("stripes="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(bad)?;
+    Ok(Some(stripes))
+}
+
+impl<I: OrderedIndex<u64, u64> + BulkLoad<u64, u64>> DurableMap<I> {
+    /// Open (or create) a durability root at `dir`, recovering any
+    /// existing state **into `inner`** (which must be empty), then
+    /// resuming the log with fresh segment generations.
+    pub fn open(
+        inner: I,
+        dir: &Path,
+        opts: DurOptions,
+    ) -> io::Result<(DurableMap<I>, RecoveryReport)> {
+        if opts.mode == Durability::None {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "Durability::None means no DurableMap: construct nothing instead",
+            ));
+        }
+        if opts.stripes == 0 || opts.chunk_entries == 0 || opts.keep_checkpoints == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "zero-sized DurOptions field"));
+        }
+        fs::create_dir_all(dir)?;
+        let stripes = match read_meta(dir)? {
+            Some(n) => {
+                if n != opts.stripes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "durability root has {n} stripes, options ask for {}",
+                            opts.stripes
+                        ),
+                    ));
+                }
+                n
+            }
+            None => {
+                write_meta(dir, opts.stripes)?;
+                opts.stripes
+            }
+        };
+        let report = recover::recover(dir, stripes, &inner)?;
+        let mut stripe_states = Vec::with_capacity(stripes);
+        for i in 0..stripes {
+            // last_seq starts at the global max: per-stripe seqs only
+            // ever need to be monotone, and starting every stripe past
+            // everything durable keeps replay dedup trivially correct.
+            stripe_states.push(Mutex::new(Stripe::open(
+                dir,
+                i,
+                report.next_gens.get(i).copied().unwrap_or(1).max(1),
+                report.next_seq.saturating_sub(1),
+            )?));
+        }
+        let next_ckpt =
+            checkpoint::list_checkpoints(dir)?.first().map(|(id, _)| id + 1).unwrap_or(1);
+        let opts2 = DurOptions { stripes, ..opts };
+        Ok((
+            DurableMap {
+                inner,
+                root: dir.to_path_buf(),
+                opts: opts2,
+                stripes: stripe_states,
+                seq: AtomicU64::new(report.next_seq.saturating_sub(1)),
+                ckpt: Mutex::new(CkptState { next_id: next_ckpt, hist_chunk: LogHistogram::new() }),
+            },
+            report,
+        ))
+    }
+
+    /// The wrapped map (reads go straight here; so may writers that
+    /// consciously bypass durability).
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// The durability root this map logs under.
+    pub fn dir(&self) -> &Path {
+        &self.root
+    }
+
+    /// Which stripe a key's records land in: a fixed multiplicative
+    /// hash, deliberately independent of the elastic router — live
+    /// splits and merges move keys between *shards*, never between
+    /// *stripes*, so per-key log order survives resharding.
+    pub fn stripe_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33) as usize % self.opts.stripes
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn after_append(&self, stripe: usize, seq: u64) -> io::Result<()> {
+        match self.opts.mode {
+            Durability::Fsync => {
+                let mut g = self.stripes[stripe].lock();
+                if g.synced_seq() >= seq {
+                    return Ok(()); // a rival's group commit covered us
+                }
+                g.sync()
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Durable put: logged, installed, then (policy) fsynced. On `Ok`,
+    /// the write is installed in memory and as durable as the policy
+    /// promises; on `Err` it may be installed but is not durable.
+    pub fn put(&self, key: u64, val: u64) -> io::Result<()> {
+        let s = self.stripe_of(key);
+        let seq;
+        {
+            let mut g = self.stripes[s].lock();
+            seq = self.next_seq();
+            g.append(&Record { seq, payload: Payload::Put { key, val } });
+            self.inner.put(key, val);
+            if self.opts.mode == Durability::Batch && g.pending_len() >= self.opts.batch_flush_bytes
+            {
+                g.sync()?;
+            }
+        }
+        self.after_append(s, seq)
+    }
+
+    /// Durable remove; returns whether the key was present.
+    pub fn remove(&self, key: &u64) -> io::Result<bool> {
+        let s = self.stripe_of(*key);
+        let seq;
+        let had;
+        {
+            let mut g = self.stripes[s].lock();
+            seq = self.next_seq();
+            g.append(&Record { seq, payload: Payload::Remove { key: *key } });
+            had = self.inner.remove(key);
+            if self.opts.mode == Durability::Batch && g.pending_len() >= self.opts.batch_flush_bytes
+            {
+                g.sync()?;
+            }
+        }
+        self.after_append(s, seq).map(|()| had)
+    }
+
+    /// Durable atomic batch: one `BatchPart` record per touched stripe
+    /// under one shared seq, stripe locks taken in ascending order,
+    /// the install under all of them. Recovery applies all parts or
+    /// none.
+    pub fn batch_update(&self, batch: Batch<u64, u64>) -> io::Result<()> {
+        let ops = batch.into_ops();
+        if ops.is_empty() {
+            return Ok(());
+        }
+        // Group the canonical ops by stripe, preserving their order.
+        let mut by_stripe: Vec<Vec<wal::PartOp>> = vec![Vec::new(); self.opts.stripes];
+        for op in &ops {
+            match op {
+                BatchOp::Put(k, v) => by_stripe[self.stripe_of(*k)].push((*k, Some(*v))),
+                BatchOp::Remove(k) => by_stripe[self.stripe_of(*k)].push((*k, None)),
+            }
+        }
+        let touched: Vec<usize> =
+            (0..self.opts.stripes).filter(|&s| !by_stripe[s].is_empty()).collect();
+        let parts = touched.len() as u16;
+        let seq;
+        {
+            // Ascending lock order (touched is ascending by construction).
+            let mut guards: Vec<_> = touched.iter().map(|&s| self.stripes[s].lock()).collect();
+            seq = self.next_seq();
+            for (part, g) in guards.iter_mut().enumerate() {
+                g.append(&Record {
+                    seq,
+                    payload: Payload::BatchPart {
+                        part: part as u16,
+                        parts,
+                        ops: std::mem::take(&mut by_stripe[touched[part]]),
+                    },
+                });
+            }
+            self.inner.batch_update(Batch::new(ops));
+            if self.opts.mode == Durability::Batch {
+                for g in guards.iter_mut() {
+                    if g.pending_len() >= self.opts.batch_flush_bytes {
+                        g.sync()?;
+                    }
+                }
+            }
+        }
+        if self.opts.mode == Durability::Fsync {
+            for &s in &touched {
+                self.after_append(s, seq)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read through to the wrapped map.
+    pub fn get(&self, key: &u64) -> Option<u64> {
+        self.inner.get(key)
+    }
+
+    /// Scan through to the wrapped map (ascending from `lo`, up to `n`).
+    pub fn scan_collect(&self, lo: &u64, n: usize) -> Vec<(u64, u64)> {
+        self.inner.scan_collect(lo, n)
+    }
+
+    /// Flush and fsync every stripe (shutdown, or a `Batch`-mode
+    /// durability barrier).
+    pub fn sync(&self) -> io::Result<()> {
+        for s in &self.stripes {
+            s.lock().sync()?;
+        }
+        Ok(())
+    }
+
+    /// Stream a checkpoint while traffic continues; commit it; rotate
+    /// the stripes; prune checkpoints and WAL segments nothing needs.
+    /// Serialized against itself (one checkpoint at a time).
+    pub fn checkpoint(&self) -> io::Result<CheckpointReport> {
+        let mut ck = self.ckpt.lock();
+        failpoint::hit("ckpt-begin");
+        let id = ck.next_id;
+
+        // Latch watermarks BEFORE the first scan — the cut argument
+        // (see the checkpoint module docs) depends on this order.
+        let watermarks: Vec<u64> = self.stripes.iter().map(|m| m.lock().last_seq()).collect();
+        trace_event!(hint: CkptBegin, id, watermarks.len() as u64);
+
+        let dir = checkpoint::ckpt_dir(&self.root, id);
+        if dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        fs::create_dir_all(&dir)?;
+        let mut chunks = 0u32;
+        let mut entries = 0u64;
+        let mut lo = 0u64;
+        loop {
+            let t0 = std::time::Instant::now();
+            let chunk = self.inner.scan_collect(&lo, self.opts.chunk_entries);
+            if chunk.is_empty() {
+                break;
+            }
+            checkpoint::write_chunk(&dir, chunks, &chunk)?;
+            ck.hist_chunk.record(t0.elapsed().as_nanos() as u64);
+            trace_event!(hint: CkptChunk, chunks as u64, chunk.len() as u64);
+            entries += chunk.len() as u64;
+            chunks += 1;
+            let last = chunk.last().expect("non-empty").0;
+            if chunk.len() < self.opts.chunk_entries || last == u64::MAX {
+                break;
+            }
+            lo = last + 1;
+        }
+        checkpoint::commit_manifest(
+            &dir,
+            &checkpoint::Manifest { id, entries, chunks, watermarks },
+        )?;
+        ck.next_id = id + 1;
+        trace_event!(hint: CkptEnd, entries, chunks as u64);
+
+        // Rotate so pruning has whole sealed segments to consider.
+        failpoint::hit("ckpt-rotate");
+        for m in &self.stripes {
+            m.lock().rotate()?;
+        }
+
+        // Prune checkpoints beyond the retention count, then segments
+        // wholly covered by the *oldest retained* manifest — falling
+        // back to an older checkpoint must always find its WAL tail.
+        let all = checkpoint::list_checkpoints(&self.root)?;
+        let mut retained_marks: Option<Vec<u64>> = None;
+        let mut kept = 0usize;
+        for (cid, cdir) in &all {
+            if let Ok(m) = checkpoint::read_manifest(cdir) {
+                kept += 1;
+                if kept <= self.opts.keep_checkpoints {
+                    retained_marks = Some(m.watermarks);
+                    continue;
+                }
+            } else if *cid == id {
+                continue; // never delete the one we just wrote
+            }
+            fs::remove_dir_all(cdir)?;
+        }
+        let mut pruned = 0usize;
+        if let Some(marks) = retained_marks.filter(|m| m.len() == self.stripes.len()) {
+            for (i, m) in self.stripes.iter().enumerate() {
+                pruned += m.lock().prune(marks[i])?;
+            }
+        }
+        Ok(CheckpointReport { id, chunks, entries, pruned_segments: pruned })
+    }
+
+    /// Attach WAL/checkpoint latency histograms to an observability
+    /// snapshot (`dur.sync_nanos`, `dur.ckpt_chunk_nanos`).
+    pub fn attach_obs(&self, snap: &mut ObsSnapshot) {
+        let mut sync = LogHistogram::new();
+        for s in &self.stripes {
+            sync.merge(&s.lock().hist_sync);
+        }
+        snap.add_histogram("dur.sync_nanos", &sync);
+        snap.add_histogram("dur.ckpt_chunk_nanos", &self.ckpt.lock().hist_chunk);
+    }
+}

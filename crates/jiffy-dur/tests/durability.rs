@@ -1,0 +1,339 @@
+//! The corruption matrix and the recovery roundtrips: every way a WAL
+//! or checkpoint can arrive damaged, each must recover cleanly to the
+//! last valid prefix (or the previous checkpoint) — never panic, never
+//! tear. The crash-injection family (process-death at failpoints) lives
+//! in the workspace `system-tests` crate; this file owns the
+//! file-surgery half.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use index_api::{Batch, BatchOp};
+use jiffy::JiffyMap;
+use jiffy_dur::{corrupt, wal, DurOptions, Durability, DurableMap};
+
+type Inner = JiffyMap<u64, u64>;
+type Dur = DurableMap<Inner>;
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("jiffy-dur-it-{}-{}", std::process::id(), name));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn opts() -> DurOptions {
+    DurOptions { mode: Durability::Fsync, stripes: 3, chunk_entries: 8, ..Default::default() }
+}
+
+fn open(dir: &Path) -> (Dur, jiffy_dur::RecoveryReport) {
+    DurableMap::open(JiffyMap::new(), dir, opts()).expect("open durable map")
+}
+
+fn contents(m: &Dur) -> Vec<(u64, u64)> {
+    m.scan_collect(&0, usize::MAX)
+}
+
+/// Every stripe's segment files, sorted, for surgical corruption.
+fn seg_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for i in 0..opts().stripes {
+        let sd = wal::stripe_dir(dir, i);
+        if let Ok(rd) = fs::read_dir(&sd) {
+            for e in rd.flatten() {
+                out.push(e.path());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn wal_roundtrip_puts_removes_batches() {
+    let dir = tmp("roundtrip");
+    {
+        let (m, rep) = open(&dir);
+        assert_eq!(rep.replayed, 0);
+        for k in 0..40u64 {
+            m.put(k, k * 10).unwrap();
+        }
+        m.remove(&7).unwrap();
+        m.batch_update(Batch::new(vec![
+            BatchOp::Put(100, 1),
+            BatchOp::Put(200, 2),
+            BatchOp::Remove(5),
+            BatchOp::Put(300, 3),
+        ]))
+        .unwrap();
+        m.put(100, 4).unwrap(); // overwrite after the batch
+    }
+    let (m2, rep) = open(&dir);
+    assert!(rep.replayed > 0, "everything should come back via replay: {rep:?}");
+    assert_eq!(rep.checkpoint, None);
+    assert_eq!(m2.get(&7), None);
+    assert_eq!(m2.get(&5), None);
+    assert_eq!(m2.get(&100), Some(4));
+    assert_eq!(m2.get(&200), Some(2));
+    assert_eq!(m2.get(&300), Some(3));
+    assert_eq!(contents(&m2).len(), 40 - 2 + 3);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_then_tail_replay_and_pruning() {
+    let dir = tmp("ckpt-tail");
+    let before;
+    {
+        let (m, _) = open(&dir);
+        for k in 0..100u64 {
+            m.put(k, k).unwrap();
+        }
+        let r1 = m.checkpoint().unwrap();
+        assert!(r1.chunks >= 2, "chunk_entries=8 must force multiple chunks: {r1:?}");
+        assert_eq!(r1.entries, 100);
+        for k in 0..50u64 {
+            m.put(k, k + 1000).unwrap(); // tail past the checkpoint
+        }
+        // A second checkpoint makes the first prunable-but-retained.
+        let r2 = m.checkpoint().unwrap();
+        assert_eq!(r2.id, r1.id + 1);
+        for k in 200..220u64 {
+            m.put(k, k).unwrap();
+        }
+        before = contents(&m);
+    }
+    let (m2, rep) = open(&dir);
+    assert_eq!(rep.checkpoint, Some(2));
+    assert_eq!(rep.checkpoint_entries, 100);
+    assert_eq!(rep.replayed, 20, "only the post-checkpoint tail replays: {rep:?}");
+    assert_eq!(contents(&m2), before);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reopen_with_wrong_stripe_count_is_refused() {
+    let dir = tmp("stripe-mismatch");
+    {
+        let (m, _) = open(&dir);
+        m.put(1, 1).unwrap();
+    }
+    let bad = DurOptions { stripes: 5, ..opts() };
+    let err = match DurableMap::open(Inner::new(), &dir, bad) {
+        Err(e) => e,
+        Ok(_) => panic!("stripe-count mismatch must be refused"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---- the corruption matrix -------------------------------------------------
+
+/// Torn tail record: the last segment loses its final bytes mid-record.
+/// Recovery keeps the valid prefix and repairs the file.
+#[test]
+fn corruption_torn_tail_record() {
+    let dir = tmp("torn-tail");
+    {
+        let (m, _) = open(&dir);
+        for k in 0..30u64 {
+            m.put(k, k).unwrap();
+        }
+    }
+    // Cut 5 bytes off every stripe's newest segment: each stripe loses
+    // exactly its last record (the rest decode clean).
+    for f in seg_files(&dir) {
+        let len = corrupt::len_of(&f).unwrap();
+        if len > wal::SEG_HEADER as u64 + 5 {
+            corrupt::truncate_to(&f, len - 5).unwrap();
+        }
+    }
+    let (m2, rep) = open(&dir);
+    assert!(rep.torn_stripes >= 1, "{rep:?}");
+    let got = contents(&m2).len();
+    assert!(got >= 30 - opts().stripes && got < 30, "lost exactly the torn tails, got {got}");
+    // The repaired log must reopen clean and keep accepting writes.
+    {
+        let m3 = m2;
+        m3.put(999, 999).unwrap();
+    }
+    let (m4, rep) = open(&dir);
+    assert_eq!(rep.torn_stripes, 0, "repair must leave a clean log: {rep:?}");
+    assert_eq!(m4.get(&999), Some(999));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Bad checksum mid-log: a bit flip in an early record. The stripe
+/// recovers to the prefix before the flip; no panic.
+#[test]
+fn corruption_bad_checksum_mid_log() {
+    let dir = tmp("midlog-flip");
+    {
+        let (m, _) = open(&dir);
+        for k in 0..60u64 {
+            m.put(k, k).unwrap();
+        }
+    }
+    let files = seg_files(&dir);
+    // Flip a bit early in the record area of the first stripe file.
+    corrupt::flip_bit(&files[0], wal::SEG_HEADER as u64 + 12, 3).unwrap();
+    let (m2, rep) = open(&dir);
+    assert!(rep.torn_stripes >= 1, "{rep:?}");
+    let got = contents(&m2);
+    assert!(got.len() < 60, "the flipped stripe must lose its suffix");
+    for (k, v) in got {
+        assert_eq!(k, v, "surviving records are intact");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Truncated length prefix: the tail ends inside the 8-byte frame
+/// header. Recovery stops at the boundary before it.
+#[test]
+fn corruption_truncated_length_prefix() {
+    let dir = tmp("trunc-len");
+    {
+        let (m, _) = open(&dir);
+        for k in 0..12u64 {
+            m.put(k, k).unwrap();
+        }
+    }
+    for f in seg_files(&dir) {
+        let len = corrupt::len_of(&f).unwrap();
+        if len > wal::SEG_HEADER as u64 + 3 {
+            // Leave 3 bytes of a frame header dangling.
+            let keep = wal::SEG_HEADER as u64 + 3;
+            corrupt::truncate_to(&f, keep).unwrap();
+        }
+    }
+    let (m2, rep) = open(&dir);
+    assert!(rep.torn_stripes >= 1, "{rep:?}");
+    assert_eq!(contents(&m2), vec![], "3 dangling bytes decode to zero records");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// An absurd length prefix (garbage appended as a frame header) must
+/// not make the reader allocate or read gigabytes.
+#[test]
+fn corruption_absurd_length_prefix() {
+    let dir = tmp("absurd-len");
+    {
+        let (m, _) = open(&dir);
+        m.put(1, 1).unwrap();
+    }
+    for f in seg_files(&dir) {
+        corrupt::append_garbage(&f, &u32::MAX.to_le_bytes()).unwrap();
+        corrupt::append_garbage(&f, &[0xab; 12]).unwrap();
+    }
+    let (m2, rep) = open(&dir);
+    assert!(rep.torn_stripes >= 1);
+    assert_eq!(m2.get(&1), Some(1));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Duplicate-version records (replay overlap): the same encoded record
+/// appended twice decodes as a non-monotone seq and is skipped, not
+/// re-applied and not fatal.
+#[test]
+fn corruption_duplicate_version_records() {
+    let dir = tmp("dup-seq");
+    {
+        let (m, _) = open(&dir);
+        m.put(10, 1).unwrap();
+        m.put(10, 2).unwrap();
+    }
+    // Duplicate the whole record area of each stripe file onto its own
+    // tail: every record now appears twice, old seqs after new ones.
+    for f in seg_files(&dir) {
+        let bytes = fs::read(&f).unwrap();
+        let area = bytes[wal::SEG_HEADER..].to_vec();
+        if !area.is_empty() {
+            corrupt::append_garbage(&f, &area).unwrap();
+        }
+    }
+    let (m2, rep) = open(&dir);
+    assert_eq!(m2.get(&10), Some(2), "stale duplicate must not overwrite the newer value");
+    assert!(rep.skipped_stale >= 2, "duplicates must be counted as stale: {rep:?}");
+    assert_eq!(rep.torn_stripes, 0, "duplicated valid bytes are not a tear");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A corrupt chunk in the newest checkpoint: recovery falls back to the
+/// previous checkpoint plus a longer WAL tail, losing nothing.
+#[test]
+fn corruption_checkpoint_chunk_falls_back() {
+    let dir = tmp("ckpt-fallback");
+    let before;
+    {
+        let (m, _) = open(&dir);
+        for k in 0..64u64 {
+            m.put(k, k).unwrap();
+        }
+        m.checkpoint().unwrap(); // ck-1: survives
+        for k in 0..64u64 {
+            m.put(k, k + 500).unwrap();
+        }
+        m.checkpoint().unwrap(); // ck-2: about to be corrupted
+        m.put(1000, 1000).unwrap();
+        before = contents(&m);
+    }
+    let ck2 = jiffy_dur::checkpoint::ckpt_dir(&dir, 2);
+    corrupt::flip_bit(&jiffy_dur::checkpoint::chunk_path(&ck2, 0), 20, 1).unwrap();
+    let (m2, rep) = open(&dir);
+    assert_eq!(rep.checkpoint, Some(1), "must fall back to ck-1: {rep:?}");
+    assert!(rep.checkpoints_rejected >= 1);
+    assert_eq!(contents(&m2), before, "fallback + longer replay loses nothing");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A checkpoint directory with no manifest (a crashed attempt) is
+/// ignored entirely.
+#[test]
+fn corruption_manifestless_checkpoint_ignored() {
+    let dir = tmp("no-manifest");
+    let before;
+    {
+        let (m, _) = open(&dir);
+        for k in 0..20u64 {
+            m.put(k, k).unwrap();
+        }
+        m.checkpoint().unwrap(); // ck-1
+        before = contents(&m);
+    }
+    // Fake an aborted ck-2: chunks but no MANIFEST.
+    let ck2 = jiffy_dur::checkpoint::ckpt_dir(&dir, 2);
+    fs::create_dir_all(&ck2).unwrap();
+    jiffy_dur::checkpoint::write_chunk(&ck2, 0, &[(9999, 1)]).unwrap();
+    let (m2, rep) = open(&dir);
+    assert_eq!(rep.checkpoint, Some(1));
+    assert_eq!(m2.get(&9999), None, "the aborted attempt's data must not leak in");
+    assert_eq!(contents(&m2), before);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Batch atomicity across loss: if one stripe's part of a batch is
+/// gone, no part applies — but later singles on the surviving stripes
+/// still do.
+#[test]
+fn incomplete_batch_parts_drop_whole() {
+    let dir = tmp("incomplete-batch");
+    // Find two keys on different stripes, plus their stripes' files.
+    let (m, _) = open(&dir);
+    let a = 0u64;
+    let mut b = 1u64;
+    while m.stripe_of(a) == m.stripe_of(b) {
+        b += 1;
+    }
+    m.batch_update(Batch::new(vec![BatchOp::Put(a, 11), BatchOp::Put(b, 22)])).unwrap();
+    let stripe_b = m.stripe_of(b);
+    drop(m);
+    // Wipe stripe B's record area: its part of the batch is lost.
+    let sd = wal::stripe_dir(&dir, stripe_b);
+    for e in fs::read_dir(&sd).unwrap().flatten() {
+        corrupt::truncate_to(&e.path(), wal::SEG_HEADER as u64).unwrap();
+    }
+    let (m2, rep) = open(&dir);
+    assert_eq!(rep.incomplete_batches, 1, "{rep:?}");
+    assert_eq!(m2.get(&a), None, "torn batch must vanish whole");
+    assert_eq!(m2.get(&b), None);
+    let _ = fs::remove_dir_all(&dir);
+}

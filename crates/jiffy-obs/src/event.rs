@@ -71,10 +71,32 @@ pub enum EventKind {
     /// Helping backoff ramped (verbose builds only; `a` = rival hint,
     /// `b` = progress counter at the wait).
     BackoffRamp = 17,
+
+    /// A WAL record was appended to a stripe's page-cache buffer
+    /// (verbose builds only; `a` = stripe, `b` = encoded bytes).
+    WalAppend = 18,
+    /// A stripe's buffered WAL tail was flushed and fsynced — the group
+    /// commit point (`a` = stripe, `b` = bytes flushed).
+    WalSync = 19,
+    /// A checkpoint started: per-stripe watermarks were latched before
+    /// the first chunk scan (`a` = checkpoint id, `b` = stripe count).
+    CkptBegin = 20,
+    /// One sorted, checksummed checkpoint chunk reached disk
+    /// (`a` = chunk index, `b` = entries in the chunk).
+    CkptChunk = 21,
+    /// A checkpoint's manifest committed — the checkpoint is now the
+    /// recovery target (`a` = total entries, `b` = chunk count).
+    CkptEnd = 22,
+    /// WAL segments wholly covered by the oldest retained checkpoint
+    /// were deleted (`a` = stripe, `b` = segments removed).
+    WalPrune = 23,
+    /// Recovery replayed the WAL tail over a bulk-loaded checkpoint
+    /// (`a` = records replayed, `b` = checkpoint id + 1, 0 = none).
+    RecoverReplay = 24,
 }
 
 /// Number of event kinds (sizes the per-kind counter blocks).
-pub const KIND_COUNT: usize = 18;
+pub const KIND_COUNT: usize = 25;
 
 /// All kinds in discriminant order (drives counter reports and docs).
 pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
@@ -96,6 +118,13 @@ pub const ALL_KINDS: [EventKind; KIND_COUNT] = [
     EventKind::GateQuiesce,
     EventKind::GcFloorAdvance,
     EventKind::BackoffRamp,
+    EventKind::WalAppend,
+    EventKind::WalSync,
+    EventKind::CkptBegin,
+    EventKind::CkptChunk,
+    EventKind::CkptEnd,
+    EventKind::WalPrune,
+    EventKind::RecoverReplay,
 ];
 
 impl EventKind {
@@ -126,6 +155,13 @@ impl EventKind {
             EventKind::GateQuiesce => "GateQuiesce",
             EventKind::GcFloorAdvance => "GcFloorAdvance",
             EventKind::BackoffRamp => "BackoffRamp",
+            EventKind::WalAppend => "WalAppend",
+            EventKind::WalSync => "WalSync",
+            EventKind::CkptBegin => "CkptBegin",
+            EventKind::CkptChunk => "CkptChunk",
+            EventKind::CkptEnd => "CkptEnd",
+            EventKind::WalPrune => "WalPrune",
+            EventKind::RecoverReplay => "RecoverReplay",
         }
     }
 }

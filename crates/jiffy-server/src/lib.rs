@@ -32,5 +32,6 @@ pub mod queue;
 pub mod server;
 
 pub use client::{Client, ClientError};
+pub use jiffy_dur::Durability;
 pub use protocol::{Request, Response, StatsSnapshot, WireError};
-pub use server::{serve, Map, ServerConfig, ServerHandle, ServerStats};
+pub use server::{serve, DurableStore, Map, ServerConfig, ServerHandle, ServerStats};

@@ -50,11 +50,13 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use index_api::{Batch, BatchOp, OrderedIndex as _};
+use jiffy_dur::{DurOptions, Durability, DurableMap, RecoveryReport};
 use jiffy_shard::ElasticJiffy;
 
 use crate::protocol::{
@@ -64,6 +66,9 @@ use crate::queue;
 
 /// The storage engine the server fronts.
 pub type Map = ElasticJiffy<u64, u64>;
+
+/// The durable wrapper the workers write through when durability is on.
+pub type DurableStore = DurableMap<Arc<Map>>;
 
 /// Tuning knobs for [`serve`].
 #[derive(Clone, Debug)]
@@ -76,11 +81,27 @@ pub struct ServerConfig {
     /// Flush a coalescing run once it reaches this many puts even if
     /// the queue has more (bounds per-batch latency and memory).
     pub coalesce_max: usize,
+    /// Write durability. [`Durability::None`] (the default) keeps the
+    /// RAM-only hot path with no WAL at all; `batch` logs with a
+    /// bounded loss window; `fsync` defers every write's ack until its
+    /// WAL stripe is synced — riding the coalescer, so one fsync still
+    /// covers a whole batch of client puts (group commit).
+    pub durability: Durability,
+    /// Where the WAL + checkpoints live. Required (and created) when
+    /// `durability != None`; ignored otherwise. Existing state under
+    /// the directory is recovered into the map before serving.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { io_threads: 2, workers: 2, coalesce_max: 128 }
+        ServerConfig {
+            io_threads: 2,
+            workers: 2,
+            coalesce_max: 128,
+            durability: Durability::None,
+            data_dir: None,
+        }
     }
 }
 
@@ -142,6 +163,8 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     map: Arc<Map>,
+    durable: Option<Arc<DurableStore>>,
+    recovery: Option<RecoveryReport>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -156,12 +179,25 @@ impl ServerHandle {
         &self.map
     }
 
+    /// The durable write-through store, when the server was configured
+    /// with `durability != None` (drivers checkpoint through this).
+    pub fn durable(&self) -> Option<&Arc<DurableStore>> {
+        self.durable.as_ref()
+    }
+
+    /// What recovery found under `data_dir` before serving started
+    /// (`None` when running without durability).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
     /// The server-side counters.
     pub fn stats(&self) -> &Arc<ServerStats> {
         &self.stats
     }
 
-    /// Stop accepting, drain the threads, close every connection.
+    /// Stop accepting, drain the threads, close every connection, and
+    /// flush+fsync any WAL tail still buffered under `batch` mode.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Release);
         // Unblock the acceptor's blocking `accept` with a throwaway
@@ -170,12 +206,38 @@ impl ServerHandle {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        if let Some(dur) = &self.durable {
+            // Workers are parked for good; a final barrier makes a clean
+            // shutdown lose nothing even under the batch policy.
+            if let Err(e) = dur.sync() {
+                eprintln!("jiffy-server: final WAL sync failed: {e}");
+            }
+        }
     }
 }
 
 /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `map` until the handle
-/// is shut down.
+/// is shut down. With `cfg.durability != None`, any prior state under
+/// `cfg.data_dir` is recovered into `map` **before** the listener
+/// accepts its first connection, and every write is WAL-logged (acks
+/// deferred until fsync under [`Durability::Fsync`]).
 pub fn serve(map: Arc<Map>, addr: &str, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    // Recover + open the log first: a client must never read a map
+    // that is still being rebuilt.
+    let (durable, recovery) = match cfg.durability {
+        Durability::None => (None, None),
+        mode => {
+            let dir = cfg.data_dir.clone().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "ServerConfig.durability needs a data_dir",
+                )
+            })?;
+            let opts = DurOptions { mode, ..DurOptions::default() };
+            let (dur, report) = DurableMap::open(Arc::clone(&map), &dir, opts)?;
+            (Some(Arc::new(dur)), Some(report))
+        }
+    };
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -188,6 +250,7 @@ pub fn serve(map: Arc<Map>, addr: &str, cfg: ServerConfig) -> std::io::Result<Se
             .map(|w| {
                 let (tx, rx) = queue::channel::<Ingress>();
                 let map = Arc::clone(&map);
+                let durable = durable.clone();
                 let stats = Arc::clone(&stats);
                 let shutdown = Arc::clone(&shutdown);
                 let coalesce_max = cfg.coalesce_max.max(2);
@@ -196,7 +259,15 @@ pub fn serve(map: Arc<Map>, addr: &str, cfg: ServerConfig) -> std::io::Result<Se
                 let join = std::thread::Builder::new()
                     .name(format!("jfs-worker-{w}"))
                     .spawn(move || {
-                        worker_loop(map, rx, stats, shutdown, coalesce_max, sleeping_worker)
+                        worker_loop(
+                            map,
+                            durable,
+                            rx,
+                            stats,
+                            shutdown,
+                            coalesce_max,
+                            sleeping_worker,
+                        )
                     })
                     .expect("spawn worker");
                 let handle = Arc::new(WorkerHandle { tx, thread: join.thread().clone(), sleeping });
@@ -248,7 +319,7 @@ pub fn serve(map: Arc<Map>, addr: &str, cfg: ServerConfig) -> std::io::Result<Se
         );
     }
 
-    Ok(ServerHandle { addr, shutdown, stats, map, threads })
+    Ok(ServerHandle { addr, shutdown, stats, map, durable, recovery, threads })
 }
 
 /// One live connection owned by an event-loop thread.
@@ -447,8 +518,21 @@ fn respond(conn: &ConnShared, resp: &Response) {
     conn.resp_tx.send(buf);
 }
 
+/// Unwrap a durable write's result, reporting (not panicking on) disk
+/// failure — the client gets an error response, the server keeps going.
+fn durably<T>(r: std::io::Result<T>) -> Option<T> {
+    match r {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("jiffy-server: durable write failed: {e}");
+            None
+        }
+    }
+}
+
 fn worker_loop(
     map: Arc<Map>,
+    durable: Option<Arc<DurableStore>>,
     mut rx: queue::Receiver<Ingress>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
@@ -461,26 +545,44 @@ fn worker_loop(
 
     let flush = |run_ops: &mut Vec<BatchOp<u64, u64>>,
                  run_resps: &mut Vec<(Arc<ConnShared>, u64)>| {
-        match run_ops.len() {
+        let ok = match run_ops.len() {
             0 => return,
             1 => {
                 // A lone put gains nothing from the batch protocol.
                 let Some(BatchOp::Put(k, v)) = run_ops.pop() else { unreachable!() };
-                map.put(k, v);
                 stats.direct_ops.fetch_add(1, Ordering::Relaxed);
+                match &durable {
+                    Some(d) => durably(d.put(k, v)).is_some(),
+                    None => {
+                        map.put(k, v);
+                        true
+                    }
+                }
             }
             n => {
                 // N queued puts -> ONE Jiffy batch (§3.3.2 install; the
                 // elastic map runs cross-shard sets through two-phase).
-                map.batch_update(Batch::new(std::mem::take(run_ops)));
+                // Under durability this is also ONE WAL append per
+                // touched stripe and — under `fsync` — one group-commit
+                // sync covering all n puts.
                 stats.installed_batches.fetch_add(1, Ordering::Relaxed);
                 stats.coalesced_puts.fetch_add(n as u64, Ordering::Relaxed);
+                let batch = Batch::new(std::mem::take(run_ops));
+                match &durable {
+                    Some(d) => durably(d.batch_update(batch)).is_some(),
+                    None => {
+                        map.batch_update(batch);
+                        true
+                    }
+                }
             }
-        }
-        // Respond only after the writes are installed: the response is
-        // the client's linearization witness.
+        };
+        // Respond only after the writes are installed (and, under
+        // `fsync`, synced): the response is the client's linearization
+        // witness — and under `fsync` its durability witness too.
         for (conn, id) in run_resps.drain(..) {
-            respond(&conn, &Response::Put { id });
+            let resp = if ok { Response::Put { id } } else { Response::Error { id } };
+            respond(&conn, &resp);
         }
     };
 
@@ -502,9 +604,15 @@ fn worker_loop(
                 }
                 Request::Remove { id, key } => {
                     flush(&mut run_ops, &mut run_resps);
-                    let had = map.remove(&key);
                     stats.direct_ops.fetch_add(1, Ordering::Relaxed);
-                    respond(&conn, &Response::Remove { id, had });
+                    let resp = match &durable {
+                        Some(d) => match durably(d.remove(&key)) {
+                            Some(had) => Response::Remove { id, had },
+                            None => Response::Error { id },
+                        },
+                        None => Response::Remove { id, had: map.remove(&key) },
+                    };
+                    respond(&conn, &resp);
                 }
                 Request::Scan { id, lo, limit } => {
                     flush(&mut run_ops, &mut run_resps);
@@ -514,7 +622,10 @@ fn worker_loop(
                 }
                 Request::Txn { id, ops } => {
                     flush(&mut run_ops, &mut run_resps);
-                    if !ops.is_empty() {
+                    stats.txns.fetch_add(1, Ordering::Relaxed);
+                    let ok = if ops.is_empty() {
+                        true
+                    } else {
                         let batch = Batch::new(
                             ops.into_iter()
                                 .map(|(k, v)| match v {
@@ -523,10 +634,16 @@ fn worker_loop(
                                 })
                                 .collect(),
                         );
-                        map.batch_update(batch);
-                    }
-                    stats.txns.fetch_add(1, Ordering::Relaxed);
-                    respond(&conn, &Response::Txn { id });
+                        match &durable {
+                            Some(d) => durably(d.batch_update(batch)).is_some(),
+                            None => {
+                                map.batch_update(batch);
+                                true
+                            }
+                        }
+                    };
+                    let resp = if ok { Response::Txn { id } } else { Response::Error { id } };
+                    respond(&conn, &resp);
                 }
                 Request::Stats { id } => {
                     flush(&mut run_ops, &mut run_resps);

@@ -869,6 +869,23 @@ impl<K: MapKey, V: MapValue + PartialEq> OrderedIndex<K, V> for ElasticJiffy<K, 
     }
 }
 
+impl<K: MapKey, V: MapValue + PartialEq> BulkLoad<K, V> for ElasticJiffy<K, V> {
+    /// Pre-load through the ordinary migration-aware batch path, in
+    /// bounded chunks so one giant load neither builds a monster batch
+    /// nor starves a concurrent reshard of its help window. Chunks are
+    /// atomic individually (each is one cross-shard batch); the load as
+    /// a whole is not — the contract [`BulkLoad`] documents.
+    fn bulk_load(&self, entries: Vec<(K, V)>) {
+        const CHUNK: usize = 1024;
+        let mut entries = entries.into_iter().peekable();
+        while entries.peek().is_some() {
+            let ops: Vec<BatchOp<K, V>> =
+                entries.by_ref().take(CHUNK).map(|(k, v)| BatchOp::Put(k, v)).collect();
+            self.batch_update(Batch::new(ops));
+        }
+    }
+}
+
 /// What a [`Resharder`] step did to the layout.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ReshardEvent {

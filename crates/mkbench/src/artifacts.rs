@@ -1,0 +1,73 @@
+//! `--dir` artifact-path discipline: every mkbench subcommand that
+//! writes files (`--json`, `--out`, durability data) can be pointed at
+//! one artifact root. The root is created if missing and **probed for
+//! writability up front**, so a CI job with a typo'd or read-only
+//! output path dies with a clean exit-2 usage error before any
+//! benchmark time is spent — not with a panic after the measured
+//! window.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Create `dir` if missing and prove it is writable by creating and
+/// removing a probe file. Returns the root on success; the `Err`
+/// message is meant to go straight to `usage_error` (exit 2).
+pub fn prepare_artifact_dir(dir: &Path) -> Result<PathBuf, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("--dir {}: cannot create: {e}", dir.display()))?;
+    let probe = dir.join(format!(".mkbench-probe-{}", std::process::id()));
+    fs::write(&probe, b"probe")
+        .map_err(|e| format!("--dir {}: not writable: {e}", dir.display()))?;
+    let _ = fs::remove_file(&probe);
+    Ok(dir.to_path_buf())
+}
+
+/// Resolve an artifact path against the `--dir` root: relative paths
+/// land under the root, absolute paths (and paths with no root set)
+/// pass through untouched.
+pub fn resolve_under(root: Option<&Path>, path: &str) -> PathBuf {
+    match root {
+        Some(root) if Path::new(path).is_relative() => root.join(path),
+        _ => PathBuf::from(path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mkbench-artifacts-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn prepare_creates_missing_dirs_and_probes() {
+        let dir = tmp("fresh").join("nested/deep");
+        let _ = fs::remove_dir_all(tmp("fresh"));
+        let got = prepare_artifact_dir(&dir).expect("fresh nested dir");
+        assert_eq!(got, dir);
+        assert!(dir.is_dir());
+        // No probe file left behind.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(tmp("fresh"));
+    }
+
+    #[test]
+    fn prepare_rejects_a_path_through_a_file() {
+        // A parent component that is a regular file can never become a
+        // directory — the deterministic "unwritable" case (permission
+        // bits are unreliable when tests run as root).
+        let file = tmp("blocker");
+        fs::write(&file, b"x").unwrap();
+        let err = prepare_artifact_dir(&file.join("sub")).unwrap_err();
+        assert!(err.contains("cannot create"), "got: {err}");
+        let _ = fs::remove_file(&file);
+    }
+
+    #[test]
+    fn resolve_respects_absolute_and_missing_root() {
+        let root = PathBuf::from("/artifacts");
+        assert_eq!(resolve_under(Some(&root), "a/b.json"), PathBuf::from("/artifacts/a/b.json"));
+        assert_eq!(resolve_under(Some(&root), "/abs/b.json"), PathBuf::from("/abs/b.json"));
+        assert_eq!(resolve_under(None, "a/b.json"), PathBuf::from("a/b.json"));
+    }
+}

@@ -55,6 +55,11 @@ pub struct ClientDriverConfig {
     /// Split and re-merge a shard continuously during the window, so
     /// the measured traffic crosses live migrations.
     pub churn: bool,
+    /// Server-side write durability (`none` keeps the RAM-only path).
+    pub durability: jiffy_server::Durability,
+    /// WAL/checkpoint root when `durability != none`. `None` with
+    /// durability on picks a fresh per-process temp directory.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ClientDriverConfig {
@@ -68,6 +73,8 @@ impl Default for ClientDriverConfig {
             key_space: 100_000,
             shards: 2,
             churn: false,
+            durability: jiffy_server::Durability::None,
+            data_dir: None,
         }
     }
 }
@@ -222,10 +229,25 @@ pub fn run_client_driver(cfg: &ClientDriverConfig) -> Measurement {
     for i in 0..cfg.key_space / 2 {
         map.put(workload::permute(i, cfg.key_space), i);
     }
+    // With durability on and no explicit root, keep the WAL in a fresh
+    // per-process scratch directory (a benchmark must not replay a
+    // previous run's log into its prefilled map).
+    let data_dir = match cfg.durability {
+        jiffy_server::Durability::None => None,
+        _ => Some(cfg.data_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("mkbench-dur-{}", std::process::id()))
+        })),
+    };
     let server = serve(
         Arc::clone(&map),
         "127.0.0.1:0",
-        ServerConfig { io_threads: 2, workers: 2, coalesce_max: 128 },
+        ServerConfig {
+            io_threads: 2,
+            workers: 2,
+            coalesce_max: 128,
+            durability: cfg.durability,
+            data_dir,
+        },
     )
     .expect("bind loopback server");
     let addr = server.addr();
@@ -397,6 +419,7 @@ mod tests {
             key_space: 10_000,
             shards: 2,
             churn: true,
+            ..ClientDriverConfig::default()
         });
         assert!(m.total_mops > 0.0, "no ops completed in the window");
         let upd = m.update_lat.expect("puts ran, update latency must exist");

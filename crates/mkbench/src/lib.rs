@@ -14,6 +14,7 @@
 //! (p50/p95/p99/max) come from hand-rolled log-bucketed histograms, and
 //! `compare` diffs two `BENCH_*.json` reports as a regression gate.
 
+pub mod artifacts;
 pub mod client;
 pub mod compare;
 pub mod hist;
@@ -22,6 +23,7 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 
+pub use artifacts::{prepare_artifact_dir, resolve_under};
 pub use client::{run_client_driver, ClientDriverConfig};
 pub use compare::{compare, parse_report, BenchReport, BenchRow, Comparison};
 pub use hist::LogHistogram;

@@ -11,7 +11,12 @@
 //! mkbench autoscale      [--secs S] [--keys K]                   # §4.3: revision sizes under write-only vs update-lookup
 //! mkbench ablation clock|hash|revsize [--threads ...] [--secs S] # A1/A2/A3
 //! mkbench trace          [--threads N] [--secs S] [--keys K] [--json FILE]  # merged flight-recorder trace + obs snapshot as JSON
-//! mkbench client         [--conns N] [--pipeline D] [--threads N] [--churn] [--require-coalescing] [--json FILE]  # end-to-end jiffy-server loopback driver
+//! mkbench client         [--conns N] [--pipeline D] [--threads N] [--churn] [--require-coalescing] [--durability none|batch|fsync] [--json FILE]  # end-to-end jiffy-server loopback driver
+//!
+//! All subcommands accept `--dir ARTIFACTS`: an artifact root, created
+//! and probed writable up front (exit 2 otherwise), under which
+//! relative `--out`/`--json` paths — and `client`'s durability data —
+//! are placed.
 //! ```
 //!
 //! Observability hooks: every subcommand runs with the `jiffy-obs`
@@ -54,6 +59,9 @@ struct Args {
     indices: Option<Vec<String>>,
     /// Default shard count for `sharded-*` indices named without `:<n>`.
     shards: usize,
+    /// `--dir`: artifact root. Created + probed writable at parse time
+    /// (exit 2 if not); relative `--out`/`--json` paths resolve under it.
+    dir: Option<std::path::PathBuf>,
 }
 
 impl Args {
@@ -88,15 +96,24 @@ impl Args {
 
     fn write_reports(&self, label: &str, rows: &[Row]) {
         if let Some(out) = &self.out {
-            mkbench::write_csv(std::path::Path::new(out), rows).expect("write csv");
-            eprintln!("wrote {out}");
+            let path = mkbench::resolve_under(self.dir.as_deref(), out);
+            mkbench::write_csv(&path, rows).expect("write csv");
+            eprintln!("wrote {}", path.display());
         }
         if let Some(json) = &self.json {
-            mkbench::write_json(std::path::Path::new(json), &self.meta(label), rows)
-                .expect("write json");
-            eprintln!("wrote {json}");
+            let path = mkbench::resolve_under(self.dir.as_deref(), json);
+            mkbench::write_json(&path, &self.meta(label), rows).expect("write json");
+            eprintln!("wrote {}", path.display());
         }
     }
+}
+
+/// Parse `--dir`: the artifact root must exist (or be creatable) and be
+/// writable *now* — a typo'd CI path is an exit-2 usage error before
+/// any benchmark time is spent.
+fn parse_artifact_dir(rest: &[String], i: &mut usize) -> std::path::PathBuf {
+    let raw = flag_value(rest, i, "--dir");
+    mkbench::prepare_artifact_dir(std::path::Path::new(raw)).unwrap_or_else(|msg| usage_error(&msg))
 }
 
 /// Next flag value, or a clean usage error if it is missing.
@@ -115,6 +132,7 @@ fn parse_flags(rest: &[String]) -> Args {
         json: None,
         indices: None,
         shards: mkbench::DEFAULT_SHARDS,
+        dir: None,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -153,6 +171,9 @@ fn parse_flags(rest: &[String]) -> Args {
             }
             "--out" => {
                 args.out = Some(flag_value(rest, &mut i, "--out").to_string());
+            }
+            "--dir" => {
+                args.dir = Some(parse_artifact_dir(rest, &mut i));
             }
             "--json" => {
                 args.json = Some(flag_value(rest, &mut i, "--json").to_string());
@@ -756,6 +777,7 @@ fn cmd_trace(args: &Args) {
 fn cmd_client(argv: &[String]) {
     let mut cfg = mkbench::ClientDriverConfig::default();
     let mut json: Option<String> = None;
+    let mut dir: Option<std::path::PathBuf> = None;
     let mut require_coalescing = false;
     let mut i = 0;
     while i < argv.len() {
@@ -812,9 +834,20 @@ fn cmd_client(argv: &[String]) {
             "--churn" => cfg.churn = true,
             "--require-coalescing" => require_coalescing = true,
             "--json" => json = Some(flag_value(argv, &mut i, "--json").to_string()),
+            "--dir" => dir = Some(parse_artifact_dir(argv, &mut i)),
+            "--durability" => {
+                cfg.durability = flag_value(argv, &mut i, "--durability")
+                    .parse()
+                    .unwrap_or_else(|msg: String| usage_error(&msg));
+            }
             other => usage_error(&format!("unknown client flag `{other}`")),
         }
         i += 1;
+    }
+    // WAL + checkpoints live under the artifact root when one is given
+    // (the run's durability data is itself an inspectable artifact).
+    if let Some(d) = &dir {
+        cfg.data_dir = Some(d.join("durability"));
     }
     let m = mkbench::run_client_driver(&cfg);
     let sv = m.server.expect("client rows always carry the server column");
@@ -825,10 +858,11 @@ fn cmd_client(argv: &[String]) {
         .max()
         .unwrap_or(0);
     eprintln!(
-        "[client] {} conns x {} deep{}: {:.3} Mops/s (upd {:.3}, read {:.3}, scan {:.3}; worst p99 {worst_p99} ns)",
+        "[client] {} conns x {} deep{} (durability {:?}): {:.3} Mops/s (upd {:.3}, read {:.3}, scan {:.3}; worst p99 {worst_p99} ns)",
         cfg.conns,
         cfg.pipeline,
         if cfg.churn { ", reshard churn" } else { "" },
+        cfg.durability,
         m.total_mops,
         m.update_mops,
         m.read_mops,
@@ -858,8 +892,9 @@ fn cmd_client(argv: &[String]) {
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
         };
-        mkbench::write_json(std::path::Path::new(path), &meta, &rows).expect("write json");
-        eprintln!("wrote {path}");
+        let path = mkbench::resolve_under(dir.as_deref(), path);
+        mkbench::write_json(&path, &meta, &rows).expect("write json");
+        eprintln!("wrote {}", path.display());
     }
     if require_coalescing && !(sv.installed_batches > 0 && sv.ops_per_batch() > 1.0) {
         eprintln!(
@@ -1062,7 +1097,10 @@ fn main() {
         eprintln!("flags: --threads 1,2,4  --secs S  --warmup S  --keys K  --indices a,b,c");
         eprintln!("       --shards N (default for sharded-* indices named without :<n>)");
         eprintln!("       --out results.csv  --json BENCH_label.json  --tolerance PCT (compare)");
-        eprintln!("       --conns N  --pipeline D  --churn  --require-coalescing (client)");
+        eprintln!(
+            "       --dir ARTIFACTS (root for relative --out/--json; created, must be writable)"
+        );
+        eprintln!("       --conns N  --pipeline D  --churn  --require-coalescing  --durability none|batch|fsync (client)");
         std::process::exit(2);
     };
     match cmd.as_str() {
