@@ -197,6 +197,22 @@ pub fn list_checkpoints(root: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     Ok(out)
 }
 
+/// Validate every chunk of a committed checkpoint without keeping the
+/// data: `Ok` exactly when [`load_checkpoint`] would succeed. The
+/// pruner runs this before a checkpoint may occupy a retention slot or
+/// drive WAL pruning — a manifest-readable but chunk-corrupt
+/// checkpoint must not evict the loadable one beneath it.
+pub fn validate_checkpoint(dir: &Path, m: &Manifest) -> io::Result<()> {
+    let mut total = 0u64;
+    for idx in 0..m.chunks {
+        total += read_chunk(dir, idx)?.len() as u64;
+    }
+    if total != m.entries {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "checkpoint entry total mismatch"));
+    }
+    Ok(())
+}
+
 /// Load a checkpoint's full contents after validating every chunk.
 /// Any invalid chunk fails the whole checkpoint (`InvalidData`).
 pub fn load_checkpoint(dir: &Path, m: &Manifest) -> io::Result<Vec<Vec<(u64, u64)>>> {

@@ -192,6 +192,15 @@ impl<I: OrderedIndex<u64, u64> + BulkLoad<u64, u64>> DurableMap<I> {
         if opts.stripes == 0 || opts.chunk_entries == 0 || opts.keep_checkpoints == 0 {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "zero-sized DurOptions field"));
         }
+        // Batch parts are counted in u16 (`Payload::BatchPart`); more
+        // stripes than that would truncate `parts` and break recovery's
+        // found-vs-expected part accounting.
+        if opts.stripes > u16::MAX as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("DurOptions::stripes {} exceeds u16::MAX", opts.stripes),
+            ));
+        }
         fs::create_dir_all(dir)?;
         let stripes = match read_meta(dir)? {
             Some(n) => {
@@ -279,11 +288,15 @@ impl<I: OrderedIndex<u64, u64> + BulkLoad<u64, u64>> DurableMap<I> {
     /// Durable put: logged, installed, then (policy) fsynced. On `Ok`,
     /// the write is installed in memory and as durable as the policy
     /// promises; on `Err` it may be installed but is not durable.
+    /// After a sync failure the key's stripe is poisoned and every
+    /// later write to it fails *before* installing — the map never
+    /// drifts further from what an eventual recovery will rebuild.
     pub fn put(&self, key: u64, val: u64) -> io::Result<()> {
         let s = self.stripe_of(key);
         let seq;
         {
             let mut g = self.stripes[s].lock();
+            g.check_usable()?;
             seq = self.next_seq();
             g.append(&Record { seq, payload: Payload::Put { key, val } });
             self.inner.put(key, val);
@@ -302,6 +315,7 @@ impl<I: OrderedIndex<u64, u64> + BulkLoad<u64, u64>> DurableMap<I> {
         let had;
         {
             let mut g = self.stripes[s].lock();
+            g.check_usable()?;
             seq = self.next_seq();
             g.append(&Record { seq, payload: Payload::Remove { key: *key } });
             had = self.inner.remove(key);
@@ -337,6 +351,11 @@ impl<I: OrderedIndex<u64, u64> + BulkLoad<u64, u64>> DurableMap<I> {
         {
             // Ascending lock order (touched is ascending by construction).
             let mut guards: Vec<_> = touched.iter().map(|&s| self.stripes[s].lock()).collect();
+            // All-or-nothing: refuse before appending to ANY stripe if
+            // one of them is poisoned.
+            for g in guards.iter() {
+                g.check_usable()?;
+            }
             seq = self.next_seq();
             for (part, g) in guards.iter_mut().enumerate() {
                 g.append(&Record {
@@ -382,6 +401,14 @@ impl<I: OrderedIndex<u64, u64> + BulkLoad<u64, u64>> DurableMap<I> {
             s.lock().sync()?;
         }
         Ok(())
+    }
+
+    /// Test hook (the corruption matrix's transient-disk-error case):
+    /// stripe `stripe`'s next flush persists only a `cut`-byte prefix
+    /// and fails, which must poison it — see [`wal::Stripe::sync`].
+    #[doc(hidden)]
+    pub fn inject_sync_error(&self, stripe: usize, cut: usize) {
+        self.stripes[stripe].lock().inject_sync_error(cut);
     }
 
     /// Stream a checkpoint while traffic continues; commit it; rotate
@@ -438,20 +465,41 @@ impl<I: OrderedIndex<u64, u64> + BulkLoad<u64, u64>> DurableMap<I> {
         // Prune checkpoints beyond the retention count, then segments
         // wholly covered by the *oldest retained* manifest — falling
         // back to an older checkpoint must always find its WAL tail.
+        // Only checkpoints whose chunks re-validate occupy a retention
+        // slot or contribute watermarks: a manifest-readable but
+        // chunk-corrupt checkpoint is unloadable, and letting it count
+        // would delete the genuinely loadable older checkpoint (and
+        // prune its WAL tail) — exactly the single-corruption
+        // redundancy `keep_checkpoints = 2` exists to provide. The
+        // validation pass re-reads retained chunk files each
+        // checkpoint; that cost is bounded by keep_checkpoints copies
+        // of the data set and buys the redundancy guarantee.
         let all = checkpoint::list_checkpoints(&self.root)?;
         let mut retained_marks: Option<Vec<u64>> = None;
         let mut kept = 0usize;
         for (cid, cdir) in &all {
-            if let Ok(m) = checkpoint::read_manifest(cdir) {
-                kept += 1;
-                if kept <= self.opts.keep_checkpoints {
-                    retained_marks = Some(m.watermarks);
-                    continue;
+            let Ok(m) = checkpoint::read_manifest(cdir) else {
+                // No committed manifest: an aborted attempt, garbage by
+                // construction (the rename is the commit point).
+                if *cid != id {
+                    fs::remove_dir_all(cdir)?;
                 }
-            } else if *cid == id {
-                continue; // never delete the one we just wrote
+                continue;
+            };
+            if kept >= self.opts.keep_checkpoints {
+                if *cid != id {
+                    fs::remove_dir_all(cdir)?;
+                }
+                continue;
             }
-            fs::remove_dir_all(cdir)?;
+            if checkpoint::validate_checkpoint(cdir, &m).is_ok() {
+                kept += 1;
+                retained_marks = Some(m.watermarks);
+            }
+            // Chunk-invalid inside the keep window: leave it on disk
+            // (the failure may be a transient read error, and recovery
+            // rejects it harmlessly) but give it no slot and no say in
+            // pruning; it ages out once enough valid checkpoints exist.
         }
         let mut pruned = 0usize;
         if let Some(marks) = retained_marks.filter(|m| m.len() == self.stripes.len()) {

@@ -37,8 +37,13 @@
 //! by generation), each starting with a [`SEG_MAGIC`] header. Segments
 //! seal at checkpoint rotation or when they outgrow [`SEG_BYTES`];
 //! sealed segments wholly at-or-below the oldest retained checkpoint's
-//! watermark are pruned. The reader walks generations in order and
-//! stops a stripe at the first invalid byte — the last valid prefix.
+//! watermark are pruned. The reader walks generations in order; an
+//! invalid byte in the **newest** generation ends the stripe at the
+//! last valid prefix (the crash-tail shape — rotation fully syncs
+//! before the next generation exists, so a crash can only tear the
+//! newest segment), while corruption in a sealed earlier generation is
+//! media rot and fails the scan rather than discarding the durable
+//! suffix behind it.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -310,6 +315,17 @@ pub struct Stripe {
     last_seq: u64,
     synced_seq: u64,
     sealed: Vec<SegInfo>,
+    /// Set by the first failed flush; a poisoned stripe refuses every
+    /// later append and sync until restart. A failed `write_all` may
+    /// have persisted any prefix of `pending`; retrying would append
+    /// the full buffer *after* that torn prefix, and recovery truncates
+    /// at the first invalid byte — silently discarding every record a
+    /// later, successful sync acked as durable. Refusing is the only
+    /// answer that keeps acked ⇒ durable without tracking file offsets.
+    poisoned: bool,
+    /// Test hook (set via [`Stripe::inject_sync_error`]): the next
+    /// flush persists only this prefix, then fails.
+    inject_error_cut: Option<usize>,
     /// fsync latency, fed to `ObsSnapshot` via `DurableMap::attach_obs`.
     pub hist_sync: LogHistogram,
 }
@@ -333,8 +349,34 @@ impl Stripe {
             last_seq,
             synced_seq: last_seq,
             sealed: Vec::new(),
+            poisoned: false,
+            inject_error_cut: None,
             hist_sync: LogHistogram::new(),
         })
+    }
+
+    /// `Err` if an earlier flush failure poisoned this stripe (see the
+    /// `poisoned` field for why a poisoned stripe must refuse work).
+    /// Callers check this before appending; [`Stripe::sync`] checks it
+    /// itself.
+    pub fn check_usable(&self) -> io::Result<()> {
+        if self.poisoned {
+            Err(io::Error::other(format!(
+                "WAL stripe {} poisoned by an earlier sync failure; restart to recover",
+                self.id
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Test hook (the corruption matrix's transient-disk-error case):
+    /// the next flush persists only the first `cut` bytes of the
+    /// buffer — exactly what a partial `write_all` leaves behind — and
+    /// then fails.
+    #[doc(hidden)]
+    pub fn inject_sync_error(&mut self, cut: usize) {
+        self.inject_error_cut = Some(cut);
     }
 
     /// Seq of the last record appended (== install watermark: its map
@@ -369,8 +411,12 @@ impl Stripe {
     /// Flush the simulated page cache to the real file and `sync_data`
     /// it — the group-commit point: one call covers every record
     /// buffered so far, whoever appended it. Seals the segment when it
-    /// outgrew [`SEG_BYTES`].
+    /// outgrew [`SEG_BYTES`]. Any failure **poisons** the stripe: a
+    /// partial flush may have left a torn prefix on disk, so the only
+    /// safe continuation is refusing further work until a restart
+    /// re-scans the file and resumes in a fresh generation.
     pub fn sync(&mut self) -> io::Result<()> {
+        self.check_usable()?;
         if !self.pending.is_empty() {
             let t0 = std::time::Instant::now();
             if let Some(cut) = failpoint::write_cut("wal-sync", self.pending.len()) {
@@ -381,8 +427,18 @@ impl Stripe {
                 let _ = self.file.sync_data();
                 failpoint::crash_after_cut("wal-sync");
             }
-            self.file.write_all(&self.pending)?;
-            self.file.sync_data()?;
+            if let Some(cut) = self.inject_error_cut.take() {
+                let cut = cut.min(self.pending.len());
+                let _ = self.file.write_all(&self.pending[..cut]);
+                let _ = self.file.sync_data();
+                self.poisoned = true;
+                return Err(io::Error::other("injected sync failure"));
+            }
+            if let Err(e) = self.file.write_all(&self.pending).and_then(|()| self.file.sync_data())
+            {
+                self.poisoned = true;
+                return Err(e);
+            }
             self.file_len += self.pending.len() as u64;
             let n = std::mem::take(&mut self.pending).len();
             self.synced_seq = self.last_seq;
@@ -399,20 +455,36 @@ impl Stripe {
 
     /// Seal the current segment (after a full [`Stripe::sync`]) and
     /// start the next generation. Called by the checkpointer so pruning
-    /// has whole segments to drop, and by `sync` on overgrowth.
+    /// has whole segments to drop, and by `sync` on overgrowth. A
+    /// failure poisons the stripe: a half-created next segment cannot
+    /// be retried (`create_new` would refuse), and recovery repairs it
+    /// as a header-torn final generation.
     pub fn rotate(&mut self) -> io::Result<()> {
         if !self.pending.is_empty() {
             self.sync()?;
         }
-        self.sealed.push(SegInfo { gen: self.gen, last_seq: self.last_seq });
-        self.gen += 1;
-        let mut file =
-            OpenOptions::new().create_new(true).write(true).open(seg_path(&self.dir, self.gen))?;
-        file.write_all(&seg_header(self.id, self.gen))?;
-        file.sync_data()?;
-        self.file = file;
-        self.file_len = SEG_HEADER as u64;
-        Ok(())
+        self.check_usable()?;
+        let next = self.gen + 1;
+        let opened = (|| -> io::Result<File> {
+            let mut file =
+                OpenOptions::new().create_new(true).write(true).open(seg_path(&self.dir, next))?;
+            file.write_all(&seg_header(self.id, next))?;
+            file.sync_data()?;
+            Ok(file)
+        })();
+        match opened {
+            Ok(file) => {
+                self.sealed.push(SegInfo { gen: self.gen, last_seq: self.last_seq });
+                self.gen = next;
+                self.file = file;
+                self.file_len = SEG_HEADER as u64;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
     }
 
     /// Delete sealed segments wholly covered by `watermark` (every
@@ -444,17 +516,21 @@ pub struct StripeScan {
     pub records: Vec<Record>,
     /// Highest generation present (recovery resumes at `max_gen + 1`).
     pub max_gen: u64,
-    /// `Some` if the prefix ended early; recovery repairs the torn
-    /// segment by truncating it to the valid prefix and deletes any
-    /// later generations (they are past the tear and unreachable by
-    /// the sequential-sync invariant).
+    /// `Some` if the newest generation's prefix ended early; recovery
+    /// repairs it by truncating to the valid prefix (a crash can only
+    /// tear the newest segment — rotation fully syncs before creating
+    /// the next generation).
     pub torn: Option<Tail>,
 }
 
 /// Read one stripe directory: every segment in generation order, each
-/// truncated to its valid prefix. `repair` physically truncates a torn
-/// segment and removes post-tear generations so the *next* recovery
-/// sees a clean log.
+/// truncated to its valid prefix. A tear is auto-repairable **only in
+/// the newest generation** (the crash-tail shape); `repair` physically
+/// truncates it so the *next* recovery sees a clean log. Corruption in
+/// a sealed earlier generation is not a crash tail — it is media rot —
+/// and truncating there would discard every later durable (possibly
+/// acked) record in the stripe, so it fails the scan with an explicit
+/// error instead.
 pub fn scan_stripe(root: &Path, id: usize, repair: bool) -> io::Result<StripeScan> {
     let dir = stripe_dir(root, id);
     let mut gens: Vec<u64> = Vec::new();
@@ -479,11 +555,25 @@ pub fn scan_stripe(root: &Path, id: usize, repair: bool) -> io::Result<StripeSca
     let max_gen = gens.last().copied().unwrap_or(0);
     let mut records = Vec::new();
     let mut torn = None;
+    let mid_rot = |gen: u64, why: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "WAL stripe {id}: {why} in sealed generation {gen} with later generations \
+                 present — not a crash tail; refusing to discard the durable suffix \
+                 (restore the segment or remove the stripe directory to accept the loss)"
+            ),
+        )
+    };
     for (i, &gen) in gens.iter().enumerate() {
+        let newest = i + 1 == gens.len();
         let path = seg_path(&dir, gen);
         let mut bytes = Vec::new();
         File::open(&path)?.read_to_end(&mut bytes)?;
         if check_seg_header(&bytes, id) != Some(gen) {
+            if !newest {
+                return Err(mid_rot(gen, "bad segment header"));
+            }
             // A header is written and synced before any record, so a
             // header-torn file holds none; deleting it (under `repair`)
             // unblocks future scans instead of pinning the stripe here.
@@ -493,8 +583,10 @@ pub fn scan_stripe(root: &Path, id: usize, repair: bool) -> io::Result<StripeSca
             torn = Some(Tail::Torn { offset: 0, why: "bad segment header" });
         } else {
             let (mut recs, valid, tail) = decode_records(&bytes[SEG_HEADER..]);
-            records.append(&mut recs);
-            if let Tail::Torn { .. } = tail {
+            if let Tail::Torn { why, .. } = tail {
+                if !newest {
+                    return Err(mid_rot(gen, why));
+                }
                 if repair {
                     let f = OpenOptions::new().write(true).open(&path)?;
                     f.set_len((SEG_HEADER + valid) as u64)?;
@@ -502,14 +594,7 @@ pub fn scan_stripe(root: &Path, id: usize, repair: bool) -> io::Result<StripeSca
                 }
                 torn = Some(tail);
             }
-        }
-        if torn.is_some() {
-            if repair {
-                for &later in &gens[i + 1..] {
-                    let _ = fs::remove_file(seg_path(&dir, later));
-                }
-            }
-            break;
+            records.append(&mut recs);
         }
     }
     Ok(StripeScan { records, max_gen, torn })

@@ -310,6 +310,139 @@ fn corruption_manifestless_checkpoint_ignored() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// A failed flush poisons its stripe: no later write on it can ack on
+/// top of the possibly-torn prefix the failure left behind (a retried
+/// flush would re-append the whole buffer after that prefix, and
+/// recovery's truncate-at-first-invalid-byte would then discard records
+/// later syncs acked). Other stripes keep working; a restart re-scans,
+/// repairs the tear and resumes.
+#[test]
+fn sync_failure_poisons_stripe_until_restart() {
+    let dir = tmp("poison");
+    // Keys co-resident on one stripe, plus one on a different stripe.
+    let (m, _) = open(&dir);
+    let st = m.stripe_of(1);
+    let mut same = Vec::new();
+    let mut other_key = 0u64;
+    for k in 2..1000u64 {
+        if m.stripe_of(k) == st && same.len() < 3 {
+            same.push(k);
+        } else if m.stripe_of(k) != st {
+            other_key = k;
+        }
+    }
+    let (k2, k3, k4) = (same[0], same[1], same[2]);
+
+    m.put(1, 10).unwrap(); // acked ⇒ durable (fsync mode)
+    m.inject_sync_error(st, 3); // next flush: 3-byte torn prefix, then error
+    assert!(m.put(k2, 20).is_err(), "the failing flush must not ack");
+    let err = m.put(k3, 30).expect_err("poisoned stripe must refuse new writes");
+    assert!(err.to_string().contains("poisoned"), "{err}");
+    assert_eq!(m.get(&k3), None, "a refused write must not install either");
+    m.put(other_key, 99).unwrap(); // unaffected stripe keeps acking
+    assert!(m.sync().is_err(), "a barrier over a poisoned stripe must fail");
+    drop(m);
+
+    let (m2, rep) = open(&dir);
+    assert_eq!(rep.torn_stripes, 1, "the torn prefix is repaired: {rep:?}");
+    assert_eq!(m2.get(&1), Some(10), "acked before the failure ⇒ recovered");
+    assert_eq!(m2.get(&other_key), Some(99));
+    assert_eq!(m2.get(&k2), None, "unacked may vanish");
+    m2.put(k4, 40).unwrap(); // the reopened stripe accepts writes again
+    drop(m2);
+    let (m3, rep) = open(&dir);
+    assert_eq!(rep.torn_stripes, 0, "{rep:?}");
+    assert_eq!(m3.get(&k4), Some(40), "acks after restart are durable again");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Corruption in a sealed *non-final* generation is media rot, not a
+/// crash tail (rotation fully syncs before the next generation
+/// exists). Auto-truncating there would discard every later durable —
+/// possibly acked — record in the stripe, so recovery must refuse with
+/// an explicit error instead.
+#[test]
+fn mid_generation_corruption_refuses_recovery() {
+    let dir = tmp("mid-gen");
+    {
+        let (m, _) = open(&dir);
+        for k in 0..30u64 {
+            m.put(k, k).unwrap();
+        }
+        m.checkpoint().unwrap(); // ck-1: rotates every stripe to gen 2
+        for k in 0..30u64 {
+            m.put(k, k + 100).unwrap(); // gen-2 records on every stripe
+        }
+        m.checkpoint().unwrap(); // ck-2: rotates to gen 3, prunes gen 1
+        for k in 0..30u64 {
+            m.put(k, k + 200).unwrap(); // gen-3 records
+        }
+    }
+    let gen2 = wal::stripe_dir(&dir, 0).join("seg-000002.log");
+    assert!(gen2.exists(), "test setup: sealed non-final generation must exist");
+    corrupt::flip_bit(&gen2, wal::SEG_HEADER as u64 + 10, 2).unwrap();
+    let err = match DurableMap::open(Inner::new(), &dir, opts()) {
+        Err(e) => e,
+        Ok(_) => panic!("mid-generation corruption must fail recovery, not drop the suffix"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("sealed generation"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A manifest-readable but chunk-corrupt checkpoint must not occupy a
+/// retention slot: with keep = 2, the pruner has to keep the genuinely
+/// loadable older checkpoint *and* its WAL tail, or a second corruption
+/// later leaves recovery with nothing — the redundancy the default is
+/// documented to provide.
+#[test]
+fn corrupt_checkpoint_occupies_no_retention_slot() {
+    let dir = tmp("retention");
+    let before;
+    {
+        let (m, _) = open(&dir);
+        for k in 0..40u64 {
+            m.put(k, k).unwrap();
+        }
+        m.checkpoint().unwrap(); // ck-1: the loadable fallback
+        for k in 0..40u64 {
+            m.put(k, k + 100).unwrap();
+        }
+        m.checkpoint().unwrap(); // ck-2: about to be corrupted
+        let ck2 = jiffy_dur::checkpoint::ckpt_dir(&dir, 2);
+        corrupt::flip_bit(&jiffy_dur::checkpoint::chunk_path(&ck2, 0), 20, 1).unwrap();
+        for k in 0..40u64 {
+            m.put(k, k + 200).unwrap();
+        }
+        m.checkpoint().unwrap(); // ck-3: pruning must skip ck-2's slot
+        m.put(777, 777).unwrap();
+        before = contents(&m);
+    }
+    let ck1 = jiffy_dur::checkpoint::ckpt_dir(&dir, 1);
+    assert!(ck1.join("MANIFEST").exists(), "chunk-corrupt ck-2 must not evict loadable ck-1");
+    // Second corruption: the newest checkpoint dies too. Recovery must
+    // still find ck-1 and its (unpruned) WAL tail, losing nothing.
+    let ck3 = jiffy_dur::checkpoint::ckpt_dir(&dir, 3);
+    corrupt::flip_bit(&jiffy_dur::checkpoint::chunk_path(&ck3, 0), 20, 1).unwrap();
+    let (m2, rep) = open(&dir);
+    assert_eq!(rep.checkpoint, Some(1), "must fall back to ck-1: {rep:?}");
+    assert_eq!(contents(&m2), before, "fallback + replay must lose nothing");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Batch parts are counted in u16; a stripe count that would truncate
+/// it is refused up front.
+#[test]
+fn stripe_count_over_u16_max_refused() {
+    let dir = tmp("stripes-u16");
+    let bad = DurOptions { stripes: u16::MAX as usize + 1, ..opts() };
+    match DurableMap::open(Inner::new(), &dir, bad) {
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
+        Ok(_) => panic!("stripes > u16::MAX must be refused"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Batch atomicity across loss: if one stripe's part of a batch is
 /// gone, no part applies — but later singles on the surviving stripes
 /// still do.

@@ -520,6 +520,10 @@ fn respond(conn: &ConnShared, resp: &Response) {
 
 /// Unwrap a durable write's result, reporting (not panicking on) disk
 /// failure — the client gets an error response, the server keeps going.
+/// Serving on is safe because a failed flush *poisons* its WAL stripe
+/// (`jiffy-dur`): every later write routed there errors too instead of
+/// acking on top of a possibly-torn log, so acked ⇒ durable holds even
+/// across transient disk errors. Reads and unaffected stripes proceed.
 fn durably<T>(r: std::io::Result<T>) -> Option<T> {
     match r {
         Ok(v) => Some(v),
